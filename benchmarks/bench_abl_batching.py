@@ -1,0 +1,54 @@
+"""ABL-BATCH — write-behind batch size (the knob behind Fig. 3's gap).
+
+Sweeps the batch size on ``oprc-bypass`` under an operation-dominated
+DB cost profile: batch 1 degenerates to Knative-style per-update writes
+and throughput pins to the DB ceiling; larger batches amortize the
+per-operation cost until the CPU becomes the bottleneck again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import run_batching_ablation
+from repro.bench.report import format_table
+
+BATCH_SIZES = (1, 10, 100)
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_abl_batching(benchmark, batch_size):
+    def run():
+        return run_batching_ablation(batch_sizes=(batch_size,), nodes=6)[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append(row)
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["throughput_rps"] = round(row.throughput_rps, 1)
+    benchmark.extra_info["docs_per_op"] = round(row.docs_per_op, 1)
+    assert row.throughput_rps > 0
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print("\n\n=== ABL-BATCH: write-behind batch size (oprc-bypass, 6 VMs) ===")
+    print(
+        format_table(
+            ("batch", "throughput_rps", "db_ops", "docs/op", "mean_ms"),
+            [
+                (
+                    r.batch_size,
+                    f"{r.throughput_rps:.0f}",
+                    r.db_write_ops,
+                    f"{r.docs_per_op:.1f}",
+                    f"{r.mean_latency_ms:.1f}",
+                )
+                for r in sorted(_ROWS, key=lambda r: r.batch_size)
+            ],
+        )
+    )
+    ordered = sorted(_ROWS, key=lambda r: r.batch_size)
+    assert ordered[-1].throughput_rps > ordered[0].throughput_rps * 1.5

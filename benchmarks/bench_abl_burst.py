@@ -1,0 +1,51 @@
+"""ABL-BURST — autoscaler tracking of bursty arrivals (paper §II-D).
+
+Alternating quiet/burst phases against a Knative service: scale-to-one
+pays the autoscaler reaction time (tick + cold start) in burst-phase
+tail latency; pre-warming to the burst's working set absorbs it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import run_burst_ablation
+from repro.bench.report import format_table
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("min_scale", (1, 4))
+def test_abl_burst(benchmark, min_scale):
+    def run():
+        return run_burst_ablation(min_scales=(min_scale,))[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append(row)
+    benchmark.extra_info["min_scale"] = min_scale
+    benchmark.extra_info["base_p99_ms"] = round(row.base_p99_ms, 1)
+    benchmark.extra_info["burst_p99_ms"] = round(row.burst_p99_ms, 1)
+    benchmark.extra_info["peak_replicas"] = row.peak_replicas
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print("\n\n=== ABL-BURST: burst tracking (40 -> 400 rps phases) ===")
+    print(
+        format_table(
+            ("min_scale", "base_p99_ms", "burst_p99_ms", "degradation", "peak_replicas"),
+            [
+                (
+                    r.min_scale,
+                    f"{r.base_p99_ms:.0f}",
+                    f"{r.burst_p99_ms:.0f}",
+                    f"{r.degradation:.1f}x",
+                    r.peak_replicas,
+                )
+                for r in sorted(_ROWS, key=lambda r: r.min_scale)
+            ],
+        )
+    )
+    ordered = sorted(_ROWS, key=lambda r: r.min_scale)
+    assert ordered[0].burst_p99_ms > ordered[-1].burst_p99_ms

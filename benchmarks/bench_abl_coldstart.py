@@ -1,0 +1,52 @@
+"""ABL-COLD — scale-to-zero cold starts vs pre-warmed replicas.
+
+The tutorial's "optimal configurations to avoid potential overheads":
+``min_scale=0`` buys scale-to-zero economics but charges the first
+burst a cold start; pre-warming trades idle replicas for tail latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import run_coldstart_ablation
+from repro.bench.report import format_table
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("min_scale", (0, 1, 2))
+def test_abl_coldstart(benchmark, min_scale):
+    def run():
+        return run_coldstart_ablation(min_scales=(min_scale,), burst=24)[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append(row)
+    benchmark.extra_info["min_scale"] = min_scale
+    benchmark.extra_info["first_latency_ms"] = round(row.first_latency_ms, 1)
+    benchmark.extra_info["burst_p99_ms"] = round(row.burst_p99_ms, 1)
+    benchmark.extra_info["idle_replicas"] = row.idle_replicas
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print("\n\n=== ABL-COLD: cold start vs pre-warmed replicas ===")
+    print(
+        format_table(
+            ("min_scale", "idle_replicas", "first_ms", "burst_p99_ms", "cold_starts"),
+            [
+                (
+                    r.min_scale,
+                    r.idle_replicas,
+                    f"{r.first_latency_ms:.0f}",
+                    f"{r.burst_p99_ms:.0f}",
+                    r.cold_starts,
+                )
+                for r in sorted(_ROWS, key=lambda r: r.min_scale)
+            ],
+        )
+    )
+    ordered = sorted(_ROWS, key=lambda r: r.min_scale)
+    if len(ordered) >= 2:
+        assert ordered[0].first_latency_ms > ordered[-1].first_latency_ms

@@ -1,0 +1,51 @@
+"""ABL-LOCALITY — data-locality-aware routing (paper §II-A).
+
+OaaS "can easily find the data associated with each method and
+proactively distribute them ... close to the deployed method".  This
+ablation compares routing invocations to the node owning the object's
+DHT partition against random spraying.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import run_locality_ablation
+from repro.bench.report import format_table
+
+_ROWS = []
+
+
+def test_abl_locality(benchmark):
+    def run():
+        return run_locality_ablation(nodes=6)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.extend(rows)
+    for row in rows:
+        benchmark.extra_info[row.policy] = round(row.throughput_rps, 1)
+    by_policy = {row.policy: row for row in rows}
+    assert by_policy["LOCALITY"].locality_ratio == pytest.approx(1.0)
+    assert by_policy["LOCALITY"].mean_latency_ms < by_policy["RANDOM"].mean_latency_ms
+    assert by_policy["LOCALITY"].throughput_rps > by_policy["RANDOM"].throughput_rps
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print("\n\n=== ABL-LOCALITY: placement policy (oprc-bypass, 6 VMs) ===")
+    print(
+        format_table(
+            ("policy", "throughput_rps", "mean_ms", "local_ratio", "remote_transfers"),
+            [
+                (
+                    r.policy,
+                    f"{r.throughput_rps:.0f}",
+                    f"{r.mean_latency_ms:.2f}",
+                    f"{r.locality_ratio:.2f}",
+                    r.remote_transfers,
+                )
+                for r in _ROWS
+            ],
+        )
+    )

@@ -1,0 +1,35 @@
+"""ABL-PRESIGN — presigned direct data path vs platform proxying (§III-D).
+
+Presigned URLs let client code exchange unstructured data with the
+object store directly; proxying the same bytes through the platform
+pays an extra hop per transfer.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablations import run_presigned_ablation
+from repro.bench.report import format_table
+
+SIZES = (10_000, 1_000_000, 10_000_000)
+
+
+def test_abl_presigned(benchmark):
+    rows = benchmark.pedantic(run_presigned_ablation, args=(SIZES,), rounds=1, iterations=1)
+    print("\n\n=== ABL-PRESIGN: direct vs proxied unstructured data ===")
+    print(
+        format_table(
+            ("size_bytes", "direct_ms", "proxied_ms", "overhead"),
+            [
+                (
+                    r.size_bytes,
+                    f"{r.direct_ms:.2f}",
+                    f"{r.proxied_ms:.2f}",
+                    f"{r.overhead_factor:.2f}x",
+                )
+                for r in rows
+            ],
+        )
+    )
+    for row in rows:
+        benchmark.extra_info[f"{row.size_bytes}B"] = f"{row.overhead_factor:.2f}x"
+        assert row.proxied_ms > row.direct_ms

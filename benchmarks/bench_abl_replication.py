@@ -1,0 +1,49 @@
+"""ABL-REPL — DHT replication factor: fan-out cost vs crash survival.
+
+Runs the memory-only configuration (so the document store cannot mask
+losses), measures saturated throughput, then crashes one of six nodes
+and probes how much state survived.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import run_replication_ablation
+from repro.bench.report import format_table
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("replication", (1, 2))
+def test_abl_replication(benchmark, replication):
+    def run():
+        return run_replication_ablation(replications=(replication,), nodes=6)[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append(row)
+    benchmark.extra_info["replication"] = replication
+    benchmark.extra_info["throughput_rps"] = round(row.throughput_rps, 1)
+    benchmark.extra_info["survivors_pct"] = round(row.survivors_pct, 1)
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print("\n\n=== ABL-REPL: replication factor (memory-only, 6 VMs, 1 node crashed) ===")
+    print(
+        format_table(
+            ("replication", "throughput_rps", "mean_ms", "survivors"),
+            [
+                (
+                    r.replication,
+                    f"{r.throughput_rps:.0f}",
+                    f"{r.mean_latency_ms:.1f}",
+                    f"{r.survivors_pct:.0f}%",
+                )
+                for r in sorted(_ROWS, key=lambda r: r.replication)
+            ],
+        )
+    )
+    ordered = sorted(_ROWS, key=lambda r: r.replication)
+    assert ordered[-1].survivors_pct > ordered[0].survivors_pct

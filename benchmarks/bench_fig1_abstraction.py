@@ -1,0 +1,27 @@
+"""FIG1 — FaaS-style manual chaining vs OaaS dataflow (paper Fig. 1).
+
+Regenerates the measurable gap behind the conceptual figure: round
+trips per pipeline execution and end-to-end latency (the dataflow runs
+independent stages in parallel).
+"""
+
+from __future__ import annotations
+
+from repro.bench.abstraction import run_fig1
+
+
+def test_fig1_abstraction_gap(benchmark):
+    result = benchmark.pedantic(run_fig1, kwargs={"service_time_s": 0.05}, rounds=1, iterations=1)
+    benchmark.extra_info["manual_round_trips"] = result.manual_round_trips
+    benchmark.extra_info["macro_round_trips"] = result.macro_round_trips
+    benchmark.extra_info["manual_latency_ms"] = round(result.manual_latency_s * 1000, 1)
+    benchmark.extra_info["macro_latency_ms"] = round(result.macro_latency_s * 1000, 1)
+    benchmark.extra_info["latency_speedup"] = round(result.latency_speedup, 2)
+    print(
+        f"\nFIG1: manual={result.manual_round_trips} round trips, "
+        f"{result.manual_latency_s * 1000:.1f} ms; "
+        f"macro=1 round trip, {result.macro_latency_s * 1000:.1f} ms "
+        f"(speedup {result.latency_speedup:.2f}x)"
+    )
+    assert result.macro_round_trips < result.manual_round_trips
+    assert result.macro_latency_s < result.manual_latency_s

@@ -1,0 +1,65 @@
+"""FIG2 — class runtime templates (paper Fig. 2, §III-B).
+
+Fig. 2 depicts requirement-matched template selection producing
+dedicated class runtimes.  This benchmark deploys a package whose
+classes span the catalog's requirement combinations and reports which
+template realized each class — the behavioural content of the figure —
+while timing the full deploy (selection + runtime provisioning).
+"""
+
+from __future__ import annotations
+
+from repro.platform.oparaca import Oparaca, PlatformConfig
+
+PACKAGE = """
+name: fig2
+classes:
+  - name: Plain
+    functions: [{ name: f, image: bench/echo }]
+  - name: Ephemeral
+    constraint: { persistent: false }
+    functions: [{ name: f, image: bench/echo }]
+  - name: LatencyBound
+    qos: { latency: 50 }
+    functions: [{ name: f, image: bench/echo }]
+  - name: HighThroughput
+    qos: { throughput: 1000 }
+    functions: [{ name: f, image: bench/echo }]
+  - name: HighlyAvailable
+    qos: { availability: 0.999 }
+    functions: [{ name: f, image: bench/echo }]
+  - name: BudgetCapped
+    constraint: { budget: 25 }
+    functions: [{ name: f, image: bench/echo }]
+"""
+
+EXPECTED = {
+    "Plain": "default",
+    "Ephemeral": "in-memory-ephemeral",
+    "LatencyBound": "low-latency",
+    "HighThroughput": "high-throughput",
+    "HighlyAvailable": "high-availability",
+    "BudgetCapped": "cost-saver",
+}
+
+
+def test_fig2_template_selection(benchmark):
+    def deploy():
+        platform = Oparaca(PlatformConfig(nodes=3))
+        platform.register_image("bench/echo", lambda ctx: {})
+        platform.deploy(PACKAGE)
+        return platform
+
+    platform = benchmark.pedantic(deploy, rounds=1, iterations=1)
+    print("\nFIG2: template selection by requirement combination")
+    selected = {}
+    for runtime in platform.describe():
+        selected[runtime["class"]] = runtime["template"]
+        print(
+            f"  {runtime['class']:>16} -> {runtime['template']:<20} "
+            f"(engine={runtime['engine']}, replication={runtime['replication']}, "
+            f"persistent={runtime['persistent']})"
+        )
+        benchmark.extra_info[runtime["class"]] = runtime["template"]
+    assert selected == EXPECTED
+    platform.shutdown()

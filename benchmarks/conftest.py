@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark runs a *simulated* experiment: pytest-benchmark measures
+the wall-clock cost of the simulation run (useful for tracking harness
+regressions), while the scientifically meaningful outputs — simulated
+throughput, latency, DB counters — are attached as ``extra_info`` and
+printed, so ``pytest benchmarks/ --benchmark-only`` regenerates the
+paper's rows/series.
+
+Set ``REPRO_FULL=1`` for the paper-scale Fig. 3 sweep (minutes); the
+default quick configuration preserves the qualitative shape in seconds
+per cell.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.config import Fig3Config
+
+
+def fig3_config() -> Fig3Config:
+    if os.environ.get("REPRO_FULL") == "1":
+        return Fig3Config()
+    return Fig3Config.quick()
+
+
+def fig3_nodes() -> tuple[int, ...]:
+    return fig3_config().nodes_sweep
+
+
+@pytest.fixture(scope="session")
+def cfg() -> Fig3Config:
+    return fig3_config()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Reproduce Fig. 3: Oparaca vs Knative scalability (paper §V).
+
+Sweeps worker VMs for the four systems and prints the throughput
+series plus an ASCII rendition of the figure.  The default quick
+configuration finishes in well under a minute; pass ``--full`` for the
+paper-scale sweep (3/6/9/12 VMs, longer steady-state windows — takes a
+few minutes).
+
+Run:  python examples/fig3_scalability.py [--full] [--systems oprc,knative]
+"""
+
+import argparse
+
+from repro.bench import Fig3Config, format_fig3, format_fig3_chart, run_fig3
+from repro.bench.systems import SYSTEMS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale sweep")
+    parser.add_argument(
+        "--systems",
+        default=",".join(SYSTEMS),
+        help=f"comma-separated subset of {SYSTEMS}",
+    )
+    args = parser.parse_args()
+
+    cfg = Fig3Config() if args.full else Fig3Config.quick()
+    systems = tuple(s.strip() for s in args.systems.split(",") if s.strip())
+    print(
+        f"sweep: VMs={cfg.nodes_sweep}, systems={systems}, "
+        f"DB ceiling={cfg.db_capacity_units:.0f} units/s, "
+        f"measure window={cfg.horizon_s - cfg.warmup_s:.0f}s"
+    )
+    rows = run_fig3(cfg, systems=systems)
+    print()
+    print(format_fig3(rows))
+    print()
+    print(format_fig3_chart(rows))
+
+
+if __name__ == "__main__":
+    main()

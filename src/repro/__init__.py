@@ -1,0 +1,46 @@
+"""repro — a from-scratch reproduction of the Object-as-a-Service (OaaS)
+serverless paradigm and the Oparaca platform (ICDCS 2024 tutorial).
+
+Public entry points:
+
+* :class:`Oparaca` / :class:`PlatformConfig` — the platform facade.
+* :mod:`repro.model` — classes, functions, NFRs, dataflow, packages.
+* :mod:`repro.crm` — class-runtime templates and the optimizer.
+* :mod:`repro.bench` — the experiment harness reproducing the paper's
+  evaluation (see DESIGN.md / EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import Oparaca
+
+    oparaca = Oparaca()
+
+    @oparaca.function("img/resize", service_time_s=0.004)
+    def resize(ctx):
+        ctx.state["width"] = ctx.payload["width"]
+        return {"resized": True}
+
+    oparaca.deploy(open("package.yml").read())
+    obj = oparaca.new_object("Image")
+    print(oparaca.invoke(obj, "resize", {"width": 640}).output)
+"""
+
+from repro.errors import OaasError
+from repro.invoker.request import InvocationRequest, InvocationResult
+from repro.model.pkg import Package, load_package, loads_package, parse_package
+from repro.platform.oparaca import Oparaca, PlatformConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Oparaca",
+    "PlatformConfig",
+    "OaasError",
+    "InvocationRequest",
+    "InvocationResult",
+    "Package",
+    "load_package",
+    "loads_package",
+    "parse_package",
+    "__version__",
+]

@@ -1,0 +1,494 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* :func:`run_batching_ablation` (ABL-BATCH) — the write-behind batch
+  size is *the* knob behind Oparaca's Fig. 3 advantage: batch 1 turns
+  every object update into an individual DB write (Knative-like cost),
+  larger batches amortize the per-operation overhead.
+* :func:`run_coldstart_ablation` (ABL-COLD) — scale-to-zero saves idle
+  replicas but charges the first burst a cold start; pre-warming
+  (``min_scale > 0``) trades idle cost for tail latency.  This is the
+  "optimal configurations to avoid potential overheads" discussion of
+  the tutorial abstract.
+* :func:`run_locality_ablation` (ABL-LOCALITY) — routing invocations to
+  the node owning the object's DHT partition vs spraying them randomly
+  (§II-A's data-locality optimization).
+* :func:`run_presigned_ablation` (ABL-PRESIGN) — presigned direct
+  object-store access vs proxying file bytes through the platform
+  (§III-D), across payload sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterable
+
+from repro.bench.config import Fig3Config
+from repro.bench.systems import OprcSystem
+from repro.faas.knative import KnativeModel
+from repro.invoker.request import InvocationRequest
+from repro.invoker.router import PlacementPolicy
+from repro.model.function import FunctionDefinition, ProvisionSpec
+from repro.orchestrator.cluster import Cluster
+from repro.orchestrator.resources import ResourceSpec
+from repro.orchestrator.scheduler import Scheduler
+from repro.faas.registry import FunctionRegistry
+from repro.faas.runtime import InvocationTask
+from repro.sim.kernel import Environment
+from repro.sim.network import Network, NetworkModel
+from repro.sim.workload import ClosedLoopGenerator
+from repro.storage.object_store import ObjectStore, ObjectStoreModel
+
+__all__ = [
+    "BatchingRow",
+    "run_batching_ablation",
+    "ColdStartResult",
+    "run_coldstart_ablation",
+    "LocalityRow",
+    "run_locality_ablation",
+    "PresignRow",
+    "run_presigned_ablation",
+    "ReplicationRow",
+    "run_replication_ablation",
+    "BurstRow",
+    "run_burst_ablation",
+]
+
+
+# ---------------------------------------------------------------------------
+# ABL-BATCH
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchingRow:
+    batch_size: int
+    throughput_rps: float
+    db_write_ops: int
+    db_docs_written: int
+    mean_latency_ms: float
+
+    @property
+    def docs_per_op(self) -> float:
+        if not self.db_write_ops:
+            return 0.0
+        return self.db_docs_written / self.db_write_ops
+
+
+def run_batching_ablation(
+    batch_sizes: Iterable[int] = (1, 10, 50, 100, 200),
+    nodes: int = 6,
+    cfg: Fig3Config | None = None,
+) -> list[BatchingRow]:
+    """Sweep the write-behind batch size on the ``oprc-bypass`` system.
+
+    The default configuration differs from the Fig. 3 calibration in
+    two deliberate ways: the DB cost profile is *operation-dominated*
+    (high fixed cost per write op, cheap documents — the regime where
+    batching is the decisive mechanism), and the object population is
+    much larger than the write-behind buffers so updates rarely coalesce
+    — isolating batching from coalescing.
+    """
+    base = cfg or Fig3Config.quick()
+    rows: list[BatchingRow] = []
+    for batch in batch_sizes:
+        cell_cfg = Fig3Config(
+            **{
+                **base.__dict__,
+                "batch_size": batch,
+                "db_op_cost": 20.0,
+                "db_doc_cost": 2.0,
+                "objects": 20000,
+                "max_pending": max(500, batch),
+                "linger_s": base.linger_s,
+            }
+        )
+        system = OprcSystem(cell_cfg, nodes, variant="oprc-bypass")
+        system.prepare()
+        generator = ClosedLoopGenerator(
+            system.env,
+            system.request,
+            clients=cell_cfg.clients(nodes),
+            horizon_s=cell_cfg.horizon_s,
+            warmup_s=cell_cfg.warmup_s,
+        )
+        system.env.run(until=cell_cfg.horizon_s)
+        extras = system.extras()
+        rows.append(
+            BatchingRow(
+                batch_size=batch,
+                throughput_rps=generator.stats.throughput(cell_cfg.horizon_s),
+                db_write_ops=extras["db_write_ops"],
+                db_docs_written=extras["db_docs_written"],
+                mean_latency_ms=generator.stats.mean_latency * 1000.0,
+            )
+        )
+        system.shutdown()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# ABL-COLD
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColdStartResult:
+    min_scale: int
+    first_latency_ms: float
+    burst_p99_ms: float
+    cold_starts: int
+    idle_replicas: int
+
+
+def run_coldstart_ablation(
+    min_scales: Iterable[int] = (0, 1, 2),
+    burst: int = 24,
+    idle_s: float = 60.0,
+    cold_start_s: float = 1.8,
+    service_time_s: float = 0.02,
+) -> list[ColdStartResult]:
+    """Idle past the scale-to-zero grace, then fire a burst.
+
+    Returns one row per pre-warm level: ``min_scale=0`` pays the cold
+    start on the first request; warm replicas answer immediately.
+    """
+    results: list[ColdStartResult] = []
+    for min_scale in min_scales:
+        env = Environment()
+        cluster = Cluster(env)
+        for index in range(3):
+            cluster.add_node(f"vm-{index}", ResourceSpec(4000, 16384))
+        scheduler = Scheduler(cluster)
+        registry = FunctionRegistry()
+        registry.register("abl/echo", lambda ctx: {"ok": True}, service_time_s=service_time_s)
+        from repro.faas.knative import KnativeEngine
+
+        engine = KnativeEngine(
+            env,
+            scheduler,
+            registry,
+            KnativeModel(cold_start_s=cold_start_s, scale_to_zero_grace_s=30.0),
+        )
+        service = engine.deploy(
+            "echo",
+            FunctionDefinition(
+                name="echo",
+                image="abl/echo",
+                provision=ProvisionSpec(concurrency=8, min_scale=min_scale, max_scale=16),
+            ),
+        )
+        # Let the service go idle past the grace period.
+        env.run(until=idle_s)
+        idle_replicas = service.replicas
+        latencies: list[float] = []
+
+        def one_request(index: int) -> Generator:
+            task = InvocationTask(
+                request_id=f"b{index}",
+                cls="-",
+                object_id="x",
+                fn_name="echo",
+                image="abl/echo",
+            )
+            started = env.now
+            yield service.invoke(task)
+            latencies.append(env.now - started)
+
+        processes = [env.process(one_request(i)) for i in range(burst)]
+        from repro.sim.kernel import all_of
+
+        env.run(until=all_of(env, processes))
+        ordered = sorted(latencies)
+        results.append(
+            ColdStartResult(
+                min_scale=min_scale,
+                first_latency_ms=ordered[0] * 1000.0,
+                burst_p99_ms=ordered[max(0, int(len(ordered) * 0.99) - 1)] * 1000.0,
+                cold_starts=service.cold_starts,
+                idle_replicas=idle_replicas,
+            )
+        )
+        service.stop()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# ABL-LOCALITY
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocalityRow:
+    policy: str
+    throughput_rps: float
+    mean_latency_ms: float
+    locality_ratio: float
+    remote_transfers: int
+
+
+def run_locality_ablation(
+    nodes: int = 6, cfg: Fig3Config | None = None
+) -> list[LocalityRow]:
+    """Locality-aware routing vs random routing on ``oprc-bypass``.
+
+    Uses a short function service time so the state round trips are a
+    meaningful share of request latency.
+    """
+    base = cfg or Fig3Config.quick()
+    cell_cfg = Fig3Config(
+        **{
+            **base.__dict__,
+            "service_time_s": 0.005,
+            "clients_per_vm": 24,
+            # A short steady-state window keeps the cell cheap: with a
+            # 5 ms service time the law of large numbers kicks in fast.
+            "horizon_s": 4.0,
+            "warmup_s": 2.0,
+            # Keep the DB out of the picture: this ablation is about the
+            # network path to the object's partition.
+            "db_capacity_units": 10_000_000.0,
+        }
+    )
+    rows: list[LocalityRow] = []
+    for policy in (PlacementPolicy.LOCALITY, PlacementPolicy.RANDOM):
+        system = OprcSystem(cell_cfg, nodes, variant="oprc-bypass")
+        system.prepare()
+        runtime = system.platform.crm.runtime("Doc")
+        runtime.router.policy = policy
+        generator = ClosedLoopGenerator(
+            system.env,
+            system.request,
+            clients=cell_cfg.clients(nodes),
+            horizon_s=cell_cfg.horizon_s,
+            warmup_s=cell_cfg.warmup_s,
+        )
+        system.env.run(until=cell_cfg.horizon_s)
+        rows.append(
+            LocalityRow(
+                policy=policy.value,
+                throughput_rps=generator.stats.throughput(cell_cfg.horizon_s),
+                mean_latency_ms=generator.stats.mean_latency * 1000.0,
+                locality_ratio=runtime.router.locality_ratio,
+                remote_transfers=system.platform.network.remote_transfers,
+            )
+        )
+        system.shutdown()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# ABL-REPL
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplicationRow:
+    replication: int
+    throughput_rps: float
+    mean_latency_ms: float
+    survivors_pct: float
+
+
+def run_replication_ablation(
+    replications: Iterable[int] = (1, 2, 3),
+    nodes: int = 6,
+    cfg: Fig3Config | None = None,
+    probe_objects: int = 300,
+) -> list[ReplicationRow]:
+    """DHT replication factor: write fan-out cost vs crash survival.
+
+    Runs the memory-only system (so the document store cannot mask
+    losses), measures saturated throughput, then crashes one node and
+    probes what fraction of a sample of objects is still readable.
+    """
+    base = cfg or Fig3Config.quick()
+    rows: list[ReplicationRow] = []
+    for replication in replications:
+        system = OprcSystem(
+            base, nodes, variant="oprc-bypass-nonpersist", replication=replication
+        )
+        system.prepare()
+        generator = ClosedLoopGenerator(
+            system.env,
+            system.request,
+            clients=base.clients(nodes),
+            horizon_s=base.horizon_s,
+            warmup_s=base.warmup_s,
+        )
+        system.env.run(until=base.horizon_s)
+        platform = system.platform
+        victim = platform.cluster.node_names[0]
+        platform.fail_node(victim)
+        survivors = 0
+        probe = system._object_ids[:probe_objects]
+        for object_id in probe:
+            result = platform.invoke(object_id, "get", raise_on_error=False)
+            if result.ok:
+                survivors += 1
+        rows.append(
+            ReplicationRow(
+                replication=replication,
+                throughput_rps=generator.stats.throughput(base.horizon_s),
+                mean_latency_ms=generator.stats.mean_latency * 1000.0,
+                survivors_pct=100.0 * survivors / max(1, len(probe)),
+            )
+        )
+        system.shutdown()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# ABL-BURST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BurstRow:
+    min_scale: int
+    base_p99_ms: float
+    burst_p99_ms: float
+    peak_replicas: int
+
+    @property
+    def degradation(self) -> float:
+        if self.base_p99_ms <= 0:
+            return 0.0
+        return self.burst_p99_ms / self.base_p99_ms
+
+
+def run_burst_ablation(
+    min_scales: Iterable[int] = (1, 4),
+    base_rate: float = 40.0,
+    burst_rate: float = 400.0,
+    phase_s: float = 15.0,
+    cycles: int = 2,
+    service_time_s: float = 0.05,
+) -> list[BurstRow]:
+    """Autoscaler tracking of bursty arrivals (paper §II-D).
+
+    An open-loop workload alternates quiet and burst phases; the KPA
+    chases the burst but pays its reaction time (tick interval + cold
+    start) in burst-phase tail latency.  Pre-warming (higher
+    ``min_scale``) buys the tail down — the trade the tutorial's
+    configuration discussion is about.
+    """
+    from repro.faas.knative import KnativeEngine, KnativeModel
+    from repro.faas.runtime import InvocationTask
+    from repro.sim.workload import PhasedOpenLoopGenerator
+
+    rows: list[BurstRow] = []
+    for min_scale in min_scales:
+        env = Environment()
+        cluster = Cluster(env)
+        for index in range(4):
+            cluster.add_node(f"vm-{index}", ResourceSpec(4000, 16384))
+        registry = FunctionRegistry()
+        registry.register("abl/burst", lambda ctx: {}, service_time_s=service_time_s)
+        engine = KnativeEngine(
+            env,
+            Scheduler(cluster),
+            registry,
+            KnativeModel(cold_start_s=1.5, autoscale_interval_s=2.0, scale_to_zero_grace_s=3600),
+        )
+        service = engine.deploy(
+            "burst",
+            FunctionDefinition(
+                name="burst",
+                image="abl/burst",
+                provision=ProvisionSpec(
+                    concurrency=8, min_scale=min_scale, max_scale=16
+                ),
+            ),
+        )
+        peak = {"replicas": 0}
+
+        def one_request(index: int) -> Generator:
+            task = InvocationTask(
+                request_id=f"b{index}",
+                cls="-",
+                object_id="x",
+                fn_name="burst",
+                image="abl/burst",
+            )
+            yield service.invoke(task)
+            peak["replicas"] = max(peak["replicas"], service.replicas)
+
+        # Let the initial replicas finish booting before offering load,
+        # so phase statistics measure steady behaviour, not deploy-time
+        # boot transients.
+        env.run(until=3.0)
+        horizon = env.now + phase_s * 2 * cycles
+        generator = PhasedOpenLoopGenerator(
+            env,
+            one_request,
+            phases=[(phase_s, base_rate), (phase_s, burst_rate)],
+            horizon_s=horizon,
+        )
+        env.run(until=horizon + 5.0)
+        base_stats = generator.phase_stats[0]
+        burst_stats = generator.phase_stats[1]
+        rows.append(
+            BurstRow(
+                min_scale=min_scale,
+                base_p99_ms=base_stats.latency_percentile(99) * 1000.0,
+                burst_p99_ms=burst_stats.latency_percentile(99) * 1000.0,
+                peak_replicas=peak["replicas"],
+            )
+        )
+        service.stop()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# ABL-PRESIGN
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PresignRow:
+    size_bytes: int
+    direct_ms: float
+    proxied_ms: float
+
+    @property
+    def overhead_factor(self) -> float:
+        if self.direct_ms <= 0:
+            return 0.0
+        return self.proxied_ms / self.direct_ms
+
+
+def run_presigned_ablation(
+    sizes: Iterable[int] = (10_000, 1_000_000, 10_000_000),
+) -> list[PresignRow]:
+    """Presigned direct download vs platform-proxied download.
+
+    The proxied path moves the bytes twice (store → platform, then
+    platform → client over the fabric), paying an extra per-transfer
+    latency plus a second serialization of the payload; presigned URLs
+    hand the client a direct path and skip that hop entirely — §III-D's
+    rationale for adopting the S3 presigning technique.
+    """
+    rows: list[PresignRow] = []
+    for size in sizes:
+        env = Environment()
+        store = ObjectStore(env, ObjectStoreModel())
+        network = Network(env, NetworkModel())
+        store.create_bucket("media")
+        store.put_object("media", "blob", b"x" * size)
+
+        def direct() -> Generator:
+            url = store.presign("media", "blob", "GET")
+            yield store.presigned_get_timed(url)
+
+        def proxied() -> Generator:
+            obj = yield store.get_timed("media", "blob")  # store -> platform
+            yield network.transfer("gateway", "client", obj.size)  # platform -> client
+
+        started = env.now
+        env.run(until=env.process(direct()))
+        direct_ms = (env.now - started) * 1000.0
+        started = env.now
+        env.run(until=env.process(proxied()))
+        proxied_ms = (env.now - started) * 1000.0
+        rows.append(PresignRow(size_bytes=size, direct_ms=direct_ms, proxied_ms=proxied_ms))
+    return rows

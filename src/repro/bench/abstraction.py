@@ -1,0 +1,145 @@
+"""FIG1 — FaaS vs OaaS abstraction comparison (paper Fig. 1).
+
+Fig. 1 is conceptual: FaaS leaves workflow chaining and state
+navigation to the developer, OaaS builds them in.  This experiment
+makes the difference measurable on the image pipeline of Listing 1:
+
+* **manual chaining** (the FaaS style): the client invokes each stage
+  through the gateway and carries intermediate results itself — one
+  round trip per stage, strictly sequential.
+* **dataflow macro** (the OaaS style): one invocation; the platform
+  navigates data between steps and runs independent stages in parallel.
+
+Reported: client round trips, end-to-end latency, and the latency
+speedup from platform-side parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.oparaca import Oparaca, PlatformConfig
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+_PACKAGE = """
+name: fig1
+classes:
+  - name: Image
+    keySpecs:
+      - { name: width, type: INT, default: 1024 }
+      - { name: format, type: STR, default: png }
+      - { name: watermark, type: STR, default: "" }
+      - { name: final, type: STR, default: "" }
+    functions:
+      - name: resize
+        image: fig1/resize
+        mutable: false
+      - name: watermarkFn
+        image: fig1/watermark
+        mutable: false
+      - name: combine
+        image: fig1/combine
+      - name: pipeline
+        type: MACRO
+        dataflow:
+          steps:
+            - id: r
+              function: resize
+              args: { width: "${input.width}" }
+            - id: w
+              function: watermarkFn
+              args: { text: "${input.text}" }
+            - id: c
+              function: combine
+              inputs: [r, w]
+          output: c
+"""
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """The measurable gap between the two abstractions."""
+
+    manual_round_trips: int
+    macro_round_trips: int
+    manual_latency_s: float
+    macro_latency_s: float
+
+    @property
+    def latency_speedup(self) -> float:
+        if self.macro_latency_s <= 0:
+            return 0.0
+        return self.manual_latency_s / self.macro_latency_s
+
+
+def _build_platform(service_time_s: float) -> Oparaca:
+    platform = Oparaca(PlatformConfig(nodes=3))
+
+    @platform.function("fig1/resize", service_time_s=service_time_s)
+    def resize(ctx):
+        width = int(ctx.payload.get("width", ctx.state.get("width", 0)))
+        return {"stage": "resize", "width": width}
+
+    @platform.function("fig1/watermark", service_time_s=service_time_s)
+    def watermark(ctx):
+        return {"stage": "watermark", "text": str(ctx.payload.get("text", ""))}
+
+    @platform.function("fig1/combine", service_time_s=service_time_s)
+    def combine(ctx):
+        inputs = ctx.payload.get("inputs", [])
+        stages = "+".join(str(part.get("stage", "?")) for part in inputs)
+        ctx.state["final"] = stages
+        ctx.state["width"] = max(
+            (int(part.get("width", 0)) for part in inputs if "width" in part),
+            default=int(ctx.state.get("width") or 0),
+        )
+        return {"stage": "combine", "combined": stages}
+
+    platform.deploy(_PACKAGE)
+    return platform
+
+
+def run_fig1(service_time_s: float = 0.05) -> Fig1Result:
+    """Run both styles of the pipeline and measure the gap."""
+    platform = _build_platform(service_time_s)
+    obj = platform.new_object("Image")
+
+    # Warm every service first so neither style pays cold starts —
+    # FIG1 is about the abstraction, ABL-COLD is about cold starts.
+    platform.invoke(obj, "resize", {"width": 100})
+    platform.invoke(obj, "watermarkFn", {"text": "warm"})
+    platform.invoke(obj, "combine", {"inputs": []})
+
+    # Manual FaaS-style chaining: the client drives every stage and
+    # carries outputs between them.  resize and watermark are data-
+    # independent, but a sequential client cannot exploit that.
+    started = platform.now
+    resize_out = platform.http("POST", f"/api/objects/{obj}/invokes/resize", {"width": 640})
+    watermark_out = platform.http(
+        "POST", f"/api/objects/{obj}/invokes/watermarkFn", {"text": "(c) hpcc"}
+    )
+    platform.http(
+        "POST",
+        f"/api/objects/{obj}/invokes/combine",
+        {"inputs": [dict(resize_out.body), dict(watermark_out.body)]},
+    )
+    manual_latency = platform.now - started
+    manual_round_trips = 3
+
+    # OaaS dataflow: one round trip; the platform runs resize and
+    # watermark in the same wave, then feeds both into combine.
+    started = platform.now
+    platform.http(
+        "POST",
+        f"/api/objects/{obj}/invokes/pipeline",
+        {"width": 640, "text": "(c) hpcc"},
+    )
+    macro_latency = platform.now - started
+    platform.shutdown()
+    return Fig1Result(
+        manual_round_trips=manual_round_trips,
+        macro_round_trips=1,
+        manual_latency_s=manual_latency,
+        macro_latency_s=macro_latency,
+    )

@@ -1,0 +1,96 @@
+"""The JSON-randomization application (the Fig. 3 workload).
+
+Every request rewrites a handful of fields of one object's JSON
+document with pseudo-random strings.  Two handler images implement the
+same application for the two architectures under test:
+
+* ``bench/json-random`` — the OaaS pure-function form: state arrives in
+  the task, mutations are diffed and committed by the platform.
+* ``bench/json-random-db`` — the stateless-FaaS form: the function
+  itself reads and writes the document store *while occupying a
+  replica*, exactly how a Knative app manages its own state.
+
+Both use the same deterministic mutation so results are comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Generator
+
+from repro.faas.registry import FunctionRegistry
+from repro.faas.runtime import TaskContext
+
+__all__ = [
+    "OAAS_IMAGE",
+    "FAAS_IMAGE",
+    "randomize_fields",
+    "initial_document",
+    "register_oaas_handler",
+    "register_faas_handler",
+]
+
+OAAS_IMAGE = "bench/json-random"
+FAAS_IMAGE = "bench/json-random-db"
+
+
+def _pseudo_random_value(seed: int, field: int) -> str:
+    return hashlib.md5(f"{seed}:{field}".encode()).hexdigest()[:16]
+
+
+def randomize_fields(data: dict[str, Any], seed: int, fields: int = 8) -> dict[str, Any]:
+    """Deterministically rewrite ``fields`` keys of a JSON document."""
+    out = dict(data)
+    for index in range(fields):
+        out[f"f{index}"] = _pseudo_random_value(seed, index)
+    out["revision"] = int(out.get("revision", 0)) + 1
+    return out
+
+
+def initial_document(object_index: int, fields: int = 8) -> dict[str, Any]:
+    """The starting JSON document for object ``object_index``."""
+    data = {f"f{i}": _pseudo_random_value(-object_index, i) for i in range(fields)}
+    data["revision"] = 0
+    return data
+
+
+def register_oaas_handler(
+    registry: FunctionRegistry, service_time_s: float, fields: int = 8
+) -> None:
+    """Register the pure-function (OaaS) form of the application."""
+
+    def handler(ctx: TaskContext) -> dict[str, Any]:
+        data = dict(ctx.state.get("data") or {})
+        ctx.state["data"] = randomize_fields(data, int(ctx.payload["seed"]), fields)
+        return {"revision": ctx.state["data"]["revision"]}
+
+    registry.register(OAAS_IMAGE, handler, service_time_s=service_time_s)
+
+
+def register_faas_handler(
+    registry: FunctionRegistry,
+    service_time_s: float,
+    fields: int = 8,
+    collection: str = "objects",
+) -> None:
+    """Register the stateless-FaaS form (direct DB access per request).
+
+    The handler is a generator: its DB round trips consume simulated
+    time *while the function replica's slot is held*, which is the
+    architectural property that couples the Knative baseline to the
+    database's write ceiling.
+    """
+
+    def handler(ctx: TaskContext) -> Generator:
+        db = ctx.service("db")
+        key = str(ctx.payload["key"])
+        doc = yield db.read(collection, key)
+        if doc is None:
+            doc = {"id": key, "data": {}}
+        doc["data"] = randomize_fields(
+            dict(doc.get("data") or {}), int(ctx.payload["seed"]), fields
+        )
+        yield db.write(collection, [doc])
+        return {"revision": doc["data"]["revision"]}
+
+    registry.register(FAAS_IMAGE, handler, service_time_s=service_time_s)

@@ -1,0 +1,28 @@
+"""Control plane: class-runtime templates, runtimes, manager, optimizer."""
+
+from repro.crm.costs import ClassCostMeter, CostModel, CostTracker
+from repro.crm.manager import ClassRuntimeManager
+from repro.crm.optimizer import OptimizerDecision, RequirementOptimizer
+from repro.crm.runtime import ClassRuntime
+from repro.crm.template import (
+    ClassRuntimeTemplate,
+    RuntimeConfig,
+    TemplateCatalog,
+    TemplateSelector,
+    default_catalog,
+)
+
+__all__ = [
+    "ClassCostMeter",
+    "CostModel",
+    "CostTracker",
+    "ClassRuntimeManager",
+    "OptimizerDecision",
+    "RequirementOptimizer",
+    "ClassRuntime",
+    "ClassRuntimeTemplate",
+    "RuntimeConfig",
+    "TemplateCatalog",
+    "TemplateSelector",
+    "default_catalog",
+]

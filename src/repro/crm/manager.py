@@ -1,0 +1,305 @@
+"""The class runtime manager (CRM) — Oparaca's control plane.
+
+Deploying a package (tutorial step 5) walks each class through:
+resolve inheritance → select the runtime template matching its NFRs →
+provision the class runtime (DHT cache, router, one FaaS service per
+TASK method) → register it for the invocation engine.
+
+The manager implements the invoker's
+:class:`~repro.invoker.engine.RuntimeDirectory` protocol, so the data
+plane always executes against the runtime each class's template built.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from repro.crm.costs import CostModel, CostTracker
+from repro.crm.runtime import ClassRuntime
+from repro.crm.template import ClassRuntimeTemplate, TemplateCatalog, default_catalog
+from repro.errors import DeploymentError, UnknownClassError, UnknownFunctionError
+from repro.faas.deployment_engine import DeploymentEngine, DeploymentModel
+from repro.faas.engine import FunctionService
+from repro.faas.knative import KnativeEngine, KnativeModel
+from repro.faas.registry import FunctionRegistry
+from repro.invoker.router import ObjectRouter
+from repro.model.function import FunctionType
+from repro.model.pkg import Package
+from repro.model.resolver import ResolvedClass
+from repro.monitoring.collector import MonitoringSystem
+from repro.orchestrator.cluster import Cluster
+from repro.orchestrator.scheduler import Scheduler
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.rng import RngStreams
+from repro.storage.dht import Dht, DhtModel
+from repro.storage.kv import DocumentStore
+from repro.storage.object_store import ObjectStore
+
+__all__ = ["ClassRuntimeManager"]
+
+
+class ClassRuntimeManager:
+    """Deploys classes onto runtimes and serves as the runtime directory."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        registry: FunctionRegistry,
+        store: DocumentStore,
+        object_store: ObjectStore,
+        network: Network,
+        monitoring: MonitoringSystem,
+        rng: RngStreams | None = None,
+        catalog: TemplateCatalog | None = None,
+        knative_model: KnativeModel | None = None,
+        deployment_model: DeploymentModel | None = None,
+        dht_op_cost_s: float = 0.00002,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.registry = registry
+        self.store = store
+        self.object_store = object_store
+        self.network = network
+        self.monitoring = monitoring
+        self.rng = rng or RngStreams(0)
+        self.catalog = catalog or default_catalog()
+        self.dht_op_cost_s = dht_op_cost_s
+        self.knative = KnativeEngine(env, scheduler, registry, knative_model)
+        self.deployment = DeploymentEngine(env, scheduler, registry, deployment_model)
+        #: Services exposed to function handlers through ``ctx.service``.
+        self.handler_services: dict[str, Any] = {"object_store": object_store}
+        self.costs = CostTracker(env, store, CostModel())
+        self._runtimes: dict[str, ClassRuntime] = {}
+        self._resolved: dict[str, ResolvedClass] = {}
+
+    # -- deployment -------------------------------------------------------------
+
+    def deploy_package(self, package: Package) -> list[ClassRuntime]:
+        """Deploy every class of a package (parents before children)."""
+        resolved_all = package.resolved_classes()
+        # Deploy shallowest-first so parents exist when children need them.
+        order = sorted(resolved_all.values(), key=lambda r: (len(r.ancestry), r.name))
+        return [self.deploy_class(resolved) for resolved in order]
+
+    def deploy_class(
+        self, resolved: ResolvedClass, template: ClassRuntimeTemplate | None = None
+    ) -> ClassRuntime:
+        """Provision one class runtime (explicit ``template`` overrides
+        catalog selection, used by operators and experiments)."""
+        if resolved.name in self._runtimes:
+            raise DeploymentError(f"class {resolved.name!r} is already deployed")
+        chosen = template or self.catalog.select(resolved.nfr)
+        config = chosen.config
+        # Jurisdiction constraints (§II-C, §VI): the class's state and
+        # function pods may only live on nodes in the allowed regions.
+        jurisdictions = resolved.nfr.constraint.jurisdictions
+        if jurisdictions:
+            allowed_nodes = self.cluster.nodes_in_regions(jurisdictions)
+            if not allowed_nodes:
+                raise DeploymentError(
+                    f"class {resolved.name!r} is constrained to jurisdictions "
+                    f"{list(jurisdictions)}, but no cluster node carries a "
+                    f"matching 'region' label (regions: {list(self.cluster.regions)})"
+                )
+            node_hints: list[str] | None = allowed_nodes
+        else:
+            allowed_nodes = list(self.cluster.node_names)
+            node_hints = None
+        dht = Dht(
+            self.env,
+            allowed_nodes,
+            self.network,
+            self.store if config.persistent else None,
+            DhtModel(
+                op_cost_s=self.dht_op_cost_s,
+                replication=min(config.replication, len(allowed_nodes)),
+                persistent=config.persistent,
+                write_behind=config.write_behind,
+                max_entries_per_node=config.dht_max_entries,
+            ),
+            collection=f"objects.{resolved.name}",
+        )
+        router = ObjectRouter(dht, config.placement, self.rng)
+        services: dict[str, FunctionService] = {}
+        try:
+            for method in sorted(resolved.methods):
+                binding = resolved.methods[method]
+                if binding.function.ftype is not FunctionType.TASK:
+                    continue
+                definition = binding.function
+                if config.min_scale_override is not None:
+                    provision = dataclasses.replace(
+                        definition.provision,
+                        min_scale=config.min_scale_override,
+                        max_scale=max(
+                            definition.provision.max_scale, config.min_scale_override
+                        ),
+                    )
+                    definition = dataclasses.replace(definition, provision=provision)
+                engine = self.knative if config.engine == "knative" else self.deployment
+                services[method] = engine.deploy(
+                    f"{resolved.name}.{method}",
+                    definition,
+                    services=self.handler_services,
+                    node_hints=node_hints,
+                )
+        except Exception:
+            for svc in services.values():
+                engine = self.knative if config.engine == "knative" else self.deployment
+                engine.delete(svc.name)
+            raise
+        runtime = ClassRuntime(
+            cls=resolved.name,
+            resolved=resolved,
+            template=chosen,
+            dht=dht,
+            router=router,
+            services=services,
+            engine_name=config.engine,
+        )
+        self._runtimes[resolved.name] = runtime
+        self._resolved[resolved.name] = resolved
+        self.costs.register(runtime)
+        return runtime
+
+    def update_class(
+        self, resolved: ResolvedClass, template: ClassRuntimeTemplate | None = None
+    ) -> ClassRuntime:
+        """Redeploy a class definition in place.
+
+        Existing objects keep their state — the class's DHT cache is
+        carried over — while function services are torn down and
+        re-provisioned from the new definition (new images, new
+        provision hints, possibly a different template/engine).
+
+        Schema evolution is additive-only: every state key of the old
+        schema must survive with its type, otherwise live objects would
+        stop validating.  Violations raise :class:`DeploymentError`
+        before anything is touched.
+        """
+        old_runtime = self.runtime(resolved.name)
+        old_resolved = self._resolved[resolved.name]
+        for old_spec in old_resolved.state:
+            new_spec = resolved.state.get(old_spec.name)
+            if new_spec is None:
+                raise DeploymentError(
+                    f"class update for {resolved.name!r} drops state key "
+                    f"{old_spec.name!r}; existing objects would stop validating"
+                )
+            if new_spec.dtype is not old_spec.dtype:
+                raise DeploymentError(
+                    f"class update for {resolved.name!r} changes the type of "
+                    f"state key {old_spec.name!r} "
+                    f"({old_spec.dtype.value} -> {new_spec.dtype.value})"
+                )
+        chosen = template or self.catalog.select(resolved.nfr)
+        config = chosen.config
+        # Tear down old services, then provision per the new definition.
+        old_engine = (
+            self.knative if old_runtime.engine_name == "knative" else self.deployment
+        )
+        for svc in old_runtime.services.values():
+            old_engine.delete(svc.name)
+        engine = self.knative if config.engine == "knative" else self.deployment
+        services: dict[str, FunctionService] = {}
+        for method in sorted(resolved.methods):
+            binding = resolved.methods[method]
+            if binding.function.ftype is not FunctionType.TASK:
+                continue
+            definition = binding.function
+            if config.min_scale_override is not None:
+                provision = dataclasses.replace(
+                    definition.provision,
+                    min_scale=config.min_scale_override,
+                    max_scale=max(
+                        definition.provision.max_scale, config.min_scale_override
+                    ),
+                )
+                definition = dataclasses.replace(definition, provision=provision)
+            services[method] = engine.deploy(
+                f"{resolved.name}.{method}",
+                definition,
+                services=self.handler_services,
+            )
+        old_runtime.router.policy = config.placement
+        runtime = ClassRuntime(
+            cls=resolved.name,
+            resolved=resolved,
+            template=chosen,
+            dht=old_runtime.dht,  # state continuity
+            router=old_runtime.router,
+            services=services,
+            engine_name=config.engine,
+        )
+        self._runtimes[resolved.name] = runtime
+        self._resolved[resolved.name] = resolved
+        return runtime
+
+    def undeploy_class(self, cls: str) -> None:
+        runtime = self._runtimes.pop(cls, None)
+        if runtime is None:
+            raise UnknownClassError(f"class {cls!r} is not deployed")
+        self._resolved.pop(cls, None)
+        self.costs.unregister(cls)
+        engine = self.knative if runtime.engine_name == "knative" else self.deployment
+        for svc in runtime.services.values():
+            engine.delete(svc.name)
+
+    # -- RuntimeDirectory protocol ------------------------------------------------
+
+    def resolved(self, cls: str) -> ResolvedClass:
+        resolved = self._resolved.get(cls)
+        if resolved is None:
+            raise UnknownClassError(
+                f"class {cls!r} is not deployed; deployed: {self.deployed_classes()}"
+            )
+        return resolved
+
+    def dht_for(self, cls: str) -> Dht:
+        return self.runtime(cls).dht
+
+    def router_for(self, cls: str) -> ObjectRouter:
+        return self.runtime(cls).router
+
+    def service_for(self, cls: str, fn_name: str) -> FunctionService:
+        runtime = self.runtime(cls)
+        svc = runtime.services.get(fn_name)
+        if svc is not None:
+            return svc
+        # Inherited methods may be served by an ancestor's runtime when
+        # the child's own deployment was trimmed (not the default path,
+        # but undeploy/redeploy sequences can produce it).
+        for ancestor in runtime.resolved.ancestry[1:]:
+            parent_runtime = self._runtimes.get(ancestor)
+            if parent_runtime and fn_name in parent_runtime.services:
+                return parent_runtime.services[fn_name]
+        raise UnknownFunctionError(
+            f"no service for {cls}.{fn_name}; deployed services: "
+            f"{sorted(runtime.services)}"
+        )
+
+    def deployed_classes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._runtimes))
+
+    # -- introspection ---------------------------------------------------------------
+
+    def runtime(self, cls: str) -> ClassRuntime:
+        runtime = self._runtimes.get(cls)
+        if runtime is None:
+            raise UnknownClassError(
+                f"class {cls!r} is not deployed; deployed: {self.deployed_classes()}"
+            )
+        return runtime
+
+    @property
+    def runtimes(self) -> Mapping[str, ClassRuntime]:
+        return dict(self._runtimes)
+
+    def describe(self) -> list[dict[str, Any]]:
+        return [self._runtimes[cls].describe() for cls in sorted(self._runtimes)]

@@ -1,0 +1,185 @@
+"""Requirement-driven optimization loop (paper §III-B).
+
+"To meet the requirements, Oparaca connects the runtime to the
+monitoring system and reacts to changes in workload or performance by
+adjusting the allocated resources or system configuration."
+
+The optimizer periodically compares each deployed class's live metrics
+(sliding-window throughput and latency) against its declared QoS and
+adjusts the class runtime's function replicas:
+
+* declared throughput not met while replicas are saturated → scale up;
+* declared p99 latency exceeded → scale up;
+* sustained over-provisioning (low utilization) → scale down, never
+  below the template's floor.
+
+Every action is recorded in :attr:`decisions` so experiments and tests
+can assert on *why* the platform reconfigured itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.crm.manager import ClassRuntimeManager
+from repro.errors import SchedulingError
+from repro.faas.engine import FunctionService
+from repro.monitoring.collector import MonitoringSystem
+from repro.sim.kernel import Environment
+
+__all__ = ["OptimizerDecision", "RequirementOptimizer"]
+
+
+@dataclass(frozen=True)
+class OptimizerDecision:
+    """One recorded autoscaling action."""
+
+    at: float
+    cls: str
+    service: str
+    action: str  # "scale-up" | "scale-down"
+    replicas_before: int
+    replicas_after: int
+    reason: str
+
+
+class RequirementOptimizer:
+    """Closes the loop between monitoring and class runtimes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        manager: ClassRuntimeManager,
+        monitoring: MonitoringSystem,
+        interval_s: float = 5.0,
+        scale_down_grace_s: float = 30.0,
+        max_replicas: int = 64,
+    ) -> None:
+        self.env = env
+        self.manager = manager
+        self.monitoring = monitoring
+        self.interval_s = interval_s
+        self.scale_down_grace_s = scale_down_grace_s
+        self.max_replicas = max_replicas
+        self.decisions: list[OptimizerDecision] = []
+        self._idle_since: dict[str, float] = {}
+        self._running = True
+        self._proc = env.process(self._run())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self) -> Generator:
+        while self._running:
+            yield self.env.timeout(self.interval_s)
+            if not self._running:
+                return
+            self.tick()
+
+    def _over_budget(self, cls: str, extra: int) -> bool:
+        """Would adding ``extra`` replicas push the class past its
+        declared monthly budget?"""
+        budget = self.manager.resolved(cls).nfr.constraint.budget_usd_per_month
+        if budget is None:
+            return False
+        meter = self.manager.costs.meter(cls)
+        if meter is None:
+            return False
+        return meter.monthly_run_rate_usd(extra_replicas=extra) > budget
+
+    def tick(self) -> None:
+        """One optimization pass (exposed for deterministic tests)."""
+        self.manager.costs.observe_all()
+        for cls in self.manager.deployed_classes():
+            runtime = self.manager.runtime(cls)
+            nfr = runtime.resolved.nfr
+            if nfr.qos.is_empty:
+                continue
+            observations = self.monitoring.for_class(cls)
+            for fn_name, svc in sorted(runtime.services.items()):
+                self._adjust_service(cls, fn_name, svc, nfr, observations)
+
+    def _adjust_service(self, cls, fn_name, svc: FunctionService, nfr, observations) -> None:
+        concurrency = svc.definition.provision.concurrency
+        replicas = svc.replicas
+        in_flight = svc.total_in_flight()
+        saturated = replicas > 0 and in_flight >= replicas * concurrency * 0.8
+        key = f"{cls}.{fn_name}"
+
+        target_rps = nfr.qos.throughput_rps
+        if target_rps is not None and saturated and observations.throughput_rps < target_rps:
+            self._scale(
+                cls,
+                key,
+                svc,
+                replicas + 1,
+                f"throughput {observations.throughput_rps:.1f} rps below "
+                f"declared {target_rps:.1f} rps with saturated replicas",
+            )
+            return
+
+        bound_ms = nfr.qos.latency_ms
+        if (
+            bound_ms is not None
+            and len(observations.window) >= 10
+            and observations.latency_p99_ms() > bound_ms
+        ):
+            self._scale(
+                cls,
+                key,
+                svc,
+                replicas + 1,
+                f"p99 latency {observations.latency_p99_ms():.1f} ms above "
+                f"declared bound {bound_ms:.1f} ms",
+            )
+            return
+
+        floor = max(svc.definition.provision.min_scale, 1)
+        if replicas > floor and in_flight < (replicas - 1) * concurrency * 0.3:
+            since = self._idle_since.setdefault(key, self.env.now)
+            if self.env.now - since >= self.scale_down_grace_s:
+                self._scale(
+                    cls,
+                    key,
+                    svc,
+                    replicas - 1,
+                    f"utilization {in_flight}/{replicas * concurrency} sustained low",
+                )
+                self._idle_since.pop(key, None)
+        else:
+            self._idle_since.pop(key, None)
+
+    def _scale(self, cls: str, key: str, svc: FunctionService, to: int, reason: str) -> None:
+        to = max(1, min(self.max_replicas, to))
+        before = svc.replicas
+        if to == before:
+            return
+        if to > before and self._over_budget(cls, extra=to - before):
+            self.decisions.append(
+                OptimizerDecision(
+                    at=self.env.now,
+                    cls=cls,
+                    service=key,
+                    action="budget-hold",
+                    replicas_before=before,
+                    replicas_after=before,
+                    reason=f"scale-up to {to} would exceed the declared budget",
+                )
+            )
+            return
+        try:
+            svc.deployment.scale(to)
+        except SchedulingError:
+            return  # cluster full; try again next tick
+        self.decisions.append(
+            OptimizerDecision(
+                at=self.env.now,
+                cls=cls,
+                service=key,
+                action="scale-up" if to > before else "scale-down",
+                replicas_before=before,
+                replicas_after=svc.replicas,
+                reason=reason,
+            )
+        )

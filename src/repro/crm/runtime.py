@@ -1,0 +1,66 @@
+"""A deployed class runtime: the per-class slice of the platform.
+
+Realizing a class (Fig. 2) provisions: a DHT cache configured per the
+selected template (replication, persistence, batching), a placement
+router, and one FaaS service per TASK method.  MACRO and BUILTIN
+methods execute inside the invoker and need no service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import UnknownFunctionError
+from repro.faas.engine import FunctionService
+from repro.crm.template import ClassRuntimeTemplate
+from repro.invoker.router import ObjectRouter
+from repro.model.resolver import ResolvedClass
+from repro.storage.dht import Dht
+
+__all__ = ["ClassRuntime"]
+
+
+@dataclass
+class ClassRuntime:
+    """Everything provisioned for one deployed class."""
+
+    cls: str
+    resolved: ResolvedClass
+    template: ClassRuntimeTemplate
+    dht: Dht
+    router: ObjectRouter
+    services: dict[str, FunctionService] = field(default_factory=dict)
+    engine_name: str = "knative"
+
+    def service(self, fn_name: str) -> FunctionService:
+        svc = self.services.get(fn_name)
+        if svc is None:
+            raise UnknownFunctionError(
+                f"class {self.cls!r} has no deployed service for "
+                f"{fn_name!r}; services: {sorted(self.services)}"
+            )
+        return svc
+
+    def total_replicas(self) -> int:
+        return sum(svc.replicas for svc in self.services.values())
+
+    def describe(self) -> dict[str, Any]:
+        """A human-readable summary (used by the CLI and tests)."""
+        return {
+            "class": self.cls,
+            "template": self.template.name,
+            "engine": self.engine_name,
+            "placement": self.router.policy.value,
+            "replication": self.dht.model.replication,
+            "persistent": self.dht.model.persistent,
+            "services": {
+                name: {
+                    "image": svc.definition.image,
+                    "replicas": svc.replicas,
+                    "ready": svc.ready_replicas,
+                }
+                for name, svc in sorted(self.services.items())
+            },
+            "methods": list(self.resolved.method_names),
+        }

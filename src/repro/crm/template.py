@@ -1,0 +1,228 @@
+"""Class-runtime templates (paper §III-B, Fig. 2).
+
+"Oparaca introduces *class runtime template*, which provides a
+configurable class runtime design optimized for a specific set of
+requirement combinations.  When deploying a class, Oparaca will choose
+from the list the most suitable template ... and then follow the
+template design to create a dedicated class runtime for this class."
+
+A template is a *selector* (which NFR combinations it suits) plus a
+*runtime configuration* (which engine, placement policy, replication,
+persistence, and batching the runtime is built with) plus a provider-
+tunable *priority* that breaks ties between matching templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TemplateSelectionError, ValidationError
+from repro.invoker.router import PlacementPolicy
+from repro.model.nfr import NonFunctionalRequirements
+from repro.storage.write_behind import WriteBehindConfig
+
+__all__ = [
+    "TemplateSelector",
+    "RuntimeConfig",
+    "ClassRuntimeTemplate",
+    "TemplateCatalog",
+    "default_catalog",
+]
+
+
+@dataclass(frozen=True)
+class TemplateSelector:
+    """The requirement combination a template is designed for.
+
+    Every set field is a necessary condition; an all-default selector
+    matches anything (the fallback template).
+    """
+
+    persistent: bool | None = None
+    min_throughput_rps: float | None = None
+    requires_latency_bound: bool = False
+    min_availability: float | None = None
+    requires_budget: bool = False
+
+    def matches(self, nfr: NonFunctionalRequirements) -> bool:
+        if self.persistent is not None and nfr.constraint.persistent != self.persistent:
+            return False
+        if self.min_throughput_rps is not None:
+            declared = nfr.qos.throughput_rps
+            if declared is None or declared < self.min_throughput_rps:
+                return False
+        if self.requires_latency_bound and nfr.qos.latency_ms is None:
+            return False
+        if self.min_availability is not None:
+            declared = nfr.qos.availability
+            if declared is None or declared < self.min_availability:
+                return False
+        if self.requires_budget and nfr.constraint.budget_usd_per_month is None:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """The runtime design a template stamps out.
+
+    Attributes:
+        engine: ``"knative"`` (autoscaled, scale-to-zero capable) or
+            ``"deployment"`` (pre-provisioned, no per-request serverless
+            overhead — the bypass path).
+        placement: how invocations are routed relative to object data.
+        replication: DHT copies of each record.
+        persistent: whether the class's DHT cache write-behinds to the
+            document store.
+        write_behind: batching configuration for the flusher.
+        min_scale_override: pre-warmed replicas per function (``None``
+            keeps the function's own provision spec).
+        dht_max_entries: per-node cap on resident object records
+            (LRU-evicted; ``None`` = unbounded).
+    """
+
+    engine: str = "knative"
+    placement: PlacementPolicy = PlacementPolicy.LOCALITY
+    replication: int = 1
+    persistent: bool = True
+    write_behind: WriteBehindConfig = field(default_factory=WriteBehindConfig)
+    min_scale_override: int | None = None
+    dht_max_entries: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("knative", "deployment"):
+            raise ValidationError(
+                f"unknown engine {self.engine!r}; expected 'knative' or 'deployment'"
+            )
+        if self.replication < 1:
+            raise ValidationError(f"replication must be >= 1, got {self.replication}")
+        if self.min_scale_override is not None and self.min_scale_override < 0:
+            raise ValidationError(
+                f"min_scale_override must be >= 0, got {self.min_scale_override}"
+            )
+
+
+@dataclass(frozen=True)
+class ClassRuntimeTemplate:
+    """A named, prioritized (selector → runtime design) rule."""
+
+    name: str
+    selector: TemplateSelector = field(default_factory=TemplateSelector)
+    config: RuntimeConfig = field(default_factory=RuntimeConfig)
+    priority: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("template name must be non-empty")
+
+
+class TemplateCatalog:
+    """The provider's ordered list of runtime templates."""
+
+    def __init__(self, templates: list[ClassRuntimeTemplate]) -> None:
+        if not templates:
+            raise ValidationError("template catalog cannot be empty")
+        names = [t.name for t in templates]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValidationError(f"duplicate template names: {sorted(duplicates)}")
+        self.templates = list(templates)
+
+    def select(self, nfr: NonFunctionalRequirements) -> ClassRuntimeTemplate:
+        """The highest-priority template matching ``nfr``.
+
+        Ties break on template name for determinism.  Raises
+        :class:`TemplateSelectionError` when nothing matches (providers
+        normally include a catch-all default).
+        """
+        matching = [t for t in self.templates if t.selector.matches(nfr)]
+        if not matching:
+            raise TemplateSelectionError(
+                f"no class-runtime template matches requirements {nfr!r}; "
+                f"catalog: {[t.name for t in self.templates]}"
+            )
+        return min(matching, key=lambda t: (-t.priority, t.name))
+
+    def template(self, name: str) -> ClassRuntimeTemplate:
+        for candidate in self.templates:
+            if candidate.name == name:
+                return candidate
+        raise TemplateSelectionError(f"no template named {name!r}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self.templates)
+
+
+def default_catalog() -> TemplateCatalog:
+    """The built-in provider catalog.
+
+    Ordered by priority: the most specific requirement combinations win
+    over the catch-all default, mirroring Fig. 2's "templates customized
+    for various deployment scenarios".
+    """
+    return TemplateCatalog(
+        [
+            ClassRuntimeTemplate(
+                name="in-memory-ephemeral",
+                selector=TemplateSelector(persistent=False),
+                config=RuntimeConfig(engine="knative", persistent=False),
+                priority=30,
+                description=(
+                    "Non-persistent classes: state lives only in the DHT, "
+                    "no database write-behind at all."
+                ),
+            ),
+            ClassRuntimeTemplate(
+                name="low-latency",
+                selector=TemplateSelector(requires_latency_bound=True),
+                config=RuntimeConfig(
+                    engine="deployment",
+                    placement=PlacementPolicy.LOCALITY,
+                    min_scale_override=2,
+                    write_behind=WriteBehindConfig(batch_size=100, linger_s=0.005),
+                ),
+                priority=20,
+                description=(
+                    "Latency-bound classes: pre-warmed plain deployments "
+                    "(no activator hop, no cold starts), locality routing."
+                ),
+            ),
+            ClassRuntimeTemplate(
+                name="high-availability",
+                selector=TemplateSelector(min_availability=0.999),
+                config=RuntimeConfig(engine="knative", replication=2, min_scale_override=2),
+                priority=15,
+                description="Three-nines classes: replicated DHT entries and warm spares.",
+            ),
+            ClassRuntimeTemplate(
+                name="high-throughput",
+                selector=TemplateSelector(min_throughput_rps=500.0),
+                config=RuntimeConfig(
+                    engine="deployment",
+                    placement=PlacementPolicy.LOCALITY,
+                    write_behind=WriteBehindConfig(batch_size=200, linger_s=0.02),
+                ),
+                priority=10,
+                description=(
+                    "Throughput-heavy classes: bypass the serverless data "
+                    "path and batch database writes aggressively."
+                ),
+            ),
+            ClassRuntimeTemplate(
+                name="cost-saver",
+                selector=TemplateSelector(requires_budget=True),
+                config=RuntimeConfig(engine="knative"),
+                priority=5,
+                description="Budget-capped classes: scale-to-zero everything.",
+            ),
+            ClassRuntimeTemplate(
+                name="default",
+                selector=TemplateSelector(),
+                config=RuntimeConfig(engine="knative"),
+                priority=0,
+                description="Catch-all: Knative runtime with standard batching.",
+            ),
+        ]
+    )

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the repro (Oparaca / OaaS) platform.
+
+Every error raised by the platform derives from :class:`OaasError`, so
+callers embedding the platform can catch one base type.  The hierarchy
+mirrors the planes of the system: definition-time errors (package and
+class validation), deployment-time errors (template selection, resource
+provisioning), and invocation-time errors (routing, execution, storage).
+"""
+
+from __future__ import annotations
+
+
+class OaasError(Exception):
+    """Base class for all errors raised by the platform."""
+
+
+class ValidationError(OaasError):
+    """A package, class, function, or NFR definition is invalid."""
+
+
+class PackageError(ValidationError):
+    """A package file could not be parsed or resolved."""
+
+
+class ClassResolutionError(ValidationError):
+    """Inheritance resolution failed (unknown parent, cycle, conflict)."""
+
+
+class UnknownClassError(OaasError):
+    """A request referenced a class that is not deployed."""
+
+
+class UnknownFunctionError(OaasError):
+    """A request referenced a function not bound to the target class."""
+
+
+class UnknownObjectError(OaasError):
+    """A request referenced an object id that does not exist."""
+
+
+class DeploymentError(OaasError):
+    """Deploying a class runtime failed."""
+
+
+class TemplateSelectionError(DeploymentError):
+    """No class-runtime template matches the class requirements."""
+
+
+class InsufficientResourcesError(DeploymentError):
+    """The cluster cannot host the requested pods."""
+
+
+class InvocationError(OaasError):
+    """A function invocation failed."""
+
+
+class FunctionExecutionError(InvocationError):
+    """The user function raised an exception.
+
+    The original exception is preserved as ``__cause__`` and its text in
+    :attr:`detail` so that callers inspecting a completed invocation do
+    not need to re-raise.
+    """
+
+    def __init__(self, message: str, detail: str = "") -> None:
+        super().__init__(message)
+        self.detail = detail
+
+
+class DataflowError(InvocationError):
+    """A dataflow (macro) definition or execution is invalid."""
+
+
+class StorageError(OaasError):
+    """A storage-layer operation failed."""
+
+
+class KeyNotFoundError(StorageError):
+    """The requested key does not exist in the store."""
+
+
+class BucketNotFoundError(StorageError):
+    """The requested object-storage bucket does not exist."""
+
+
+class PresignedUrlError(StorageError):
+    """A presigned URL failed verification (bad signature or expired)."""
+
+
+class ConcurrentModificationError(StorageError):
+    """An optimistic-concurrency write lost the race (version mismatch)."""
+
+
+class SchedulingError(OaasError):
+    """The orchestrator could not place a pod."""
+
+
+class MessagingError(OaasError):
+    """A messaging (topic log) operation failed."""
+
+
+class SimulationError(OaasError):
+    """The discrete-event kernel was used incorrectly."""

@@ -1,0 +1,24 @@
+"""FaaS substrate: the task contract, image registry, and engines."""
+
+from repro.faas.deployment_engine import DeploymentEngine, DeploymentModel, DeploymentService
+from repro.faas.engine import EngineModel, FaasEngine, FunctionService
+from repro.faas.knative import KnativeEngine, KnativeModel, KnativeService
+from repro.faas.registry import FunctionRegistry, RegisteredImage
+from repro.faas.runtime import InvocationTask, TaskCompletion, TaskContext
+
+__all__ = [
+    "DeploymentEngine",
+    "DeploymentModel",
+    "DeploymentService",
+    "EngineModel",
+    "FaasEngine",
+    "FunctionService",
+    "KnativeEngine",
+    "KnativeModel",
+    "KnativeService",
+    "FunctionRegistry",
+    "RegisteredImage",
+    "InvocationTask",
+    "TaskCompletion",
+    "TaskContext",
+]

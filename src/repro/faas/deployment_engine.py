@@ -1,0 +1,150 @@
+"""Plain-deployment FaaS engine (the ``oprc-bypass`` execution path).
+
+Fig. 3's ``oprc-bypass`` "uses a standard Kubernetes deployment as its
+underlying function execution instead of Knative": replicas are
+provisioned up front (optionally autoscaled by the generic HPA), there
+is no activator hop, no queue-proxy, and no scale-to-zero — so requests
+skip Knative's per-request overhead and never see cold starts, at the
+cost of idle replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Mapping
+
+from repro.errors import InvocationError
+from repro.faas.engine import EngineModel, FaasEngine, FunctionService
+from repro.faas.registry import FunctionRegistry
+from repro.model.function import FunctionDefinition
+from repro.orchestrator.deployment import Deployment
+from repro.orchestrator.hpa import HorizontalPodAutoscaler
+from repro.orchestrator.pod import Pod, PodSpec
+from repro.orchestrator.resources import ResourceSpec
+from repro.orchestrator.scheduler import Scheduler
+from repro.sim.kernel import Environment
+
+__all__ = ["DeploymentModel", "DeploymentService", "DeploymentEngine"]
+
+
+@dataclass(frozen=True)
+class DeploymentModel(EngineModel):
+    """Thin data path: just the service VIP, no serverless machinery."""
+
+    request_overhead_s: float = 0.0004
+    cold_start_s: float = 1.5
+    autoscale: bool = False
+    autoscale_interval_s: float = 2.0
+
+
+class DeploymentService(FunctionService):
+    """A pre-provisioned deployment behind a plain service."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        definition: FunctionDefinition,
+        entry,
+        scheduler: Scheduler,
+        model: DeploymentModel,
+        replicas: int,
+        services: Mapping[str, Any] | None = None,
+        node_hints: list[str] | None = None,
+    ) -> None:
+        provision = definition.provision
+        spec = PodSpec(
+            image=definition.image,
+            resources=ResourceSpec(provision.cpu_millis, provision.memory_mb),
+            concurrency=provision.concurrency,
+            startup_delay_s=model.cold_start_s,
+            labels={"app.oparaca.io/deployment": name},
+        )
+        deployment = Deployment(
+            env,
+            name=f"dep-{name}",
+            spec=spec,
+            scheduler=scheduler,
+            replicas=replicas,
+            node_hints=node_hints,
+        )
+        super().__init__(env, name, definition, entry, deployment, model, services)
+        self.hpa: HorizontalPodAutoscaler | None = None
+        if model.autoscale:
+            self.hpa = HorizontalPodAutoscaler(
+                env,
+                deployment,
+                target_per_replica=max(1.0, provision.concurrency * 0.7),
+                min_replicas=max(1, replicas),
+                max_replicas=provision.max_scale,
+                interval_s=model.autoscale_interval_s,
+            )
+
+    def _acquire_pod(self) -> Generator[Any, Any, Pod]:
+        pod = self.deployment.least_loaded_pod()
+        if pod is not None:
+            return pod
+        # Replicas exist but are still booting (deploy-time warm-up):
+        # wait on the least-loaded starting pod rather than failing.
+        pod = self.deployment.least_loaded_pod(include_starting=True)
+        if pod is None:
+            raise InvocationError(
+                f"service {self.name!r} has no replicas; plain deployments "
+                "do not scale from zero"
+            )
+        while not pod.is_ready:
+            yield pod.ready_event()
+            if pod.is_ready:
+                break
+            pod = self.deployment.least_loaded_pod(include_starting=True)
+            if pod is None:
+                raise InvocationError(f"service {self.name!r} lost all replicas")
+        return pod
+
+    def stop(self) -> None:
+        if self.hpa is not None:
+            self.hpa.stop()
+
+
+class DeploymentEngine(FaasEngine):
+    """Deploys functions as plain deployments."""
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: Scheduler,
+        registry: FunctionRegistry,
+        model: DeploymentModel | None = None,
+    ) -> None:
+        super().__init__(env, registry)
+        self.scheduler = scheduler
+        self.model = model or DeploymentModel()
+
+    def deploy(
+        self,
+        name: str,
+        definition: FunctionDefinition,
+        services: Mapping[str, Any] | None = None,
+        node_hints: list[str] | None = None,
+        replicas: int | None = None,
+    ) -> DeploymentService:
+        entry = self.registry.get(definition.image)
+        svc = DeploymentService(
+            self.env,
+            name,
+            definition,
+            entry,
+            self.scheduler,
+            self.model,
+            replicas=replicas if replicas is not None else max(1, definition.provision.min_scale),
+            services=services,
+            node_hints=node_hints,
+        )
+        self._register(svc)
+        return svc
+
+    def delete(self, name: str) -> None:
+        svc = self._services.get(name)
+        if isinstance(svc, DeploymentService):
+            svc.stop()
+        super().delete(name)

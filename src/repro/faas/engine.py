@@ -1,0 +1,189 @@
+"""FaaS engine abstraction.
+
+Oparaca "doesn't tightly rely on any FaaS system ... by using an RPC
+request for offloading a task, any FaaS engine can accept this task"
+(§III-C).  Accordingly the platform only depends on this interface:
+
+* :class:`FaasEngine.deploy` turns a function definition into a
+  :class:`FunctionService`;
+* :meth:`FunctionService.invoke` accepts an
+  :class:`~repro.faas.runtime.InvocationTask` and resolves to a
+  :class:`~repro.faas.runtime.TaskCompletion`.
+
+Shared here: the execution core that occupies a pod slot, charges
+routing overhead and service time, runs the handler (plain or
+generator), and converts results/exceptions into completions.
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+from dataclasses import dataclass
+from typing import Any, Generator, Mapping
+
+from repro.errors import InvocationError, ValidationError
+from repro.faas.registry import FunctionRegistry, RegisteredImage
+from repro.faas.runtime import InvocationTask, TaskCompletion, TaskContext
+from repro.model.function import FunctionDefinition
+from repro.orchestrator.deployment import Deployment
+from repro.orchestrator.pod import Pod
+from repro.sim.kernel import Environment, Process
+
+__all__ = ["EngineModel", "FunctionService", "FaasEngine"]
+
+
+@dataclass(frozen=True)
+class EngineModel:
+    """Per-request cost of the engine's data path.
+
+    ``request_overhead_s`` covers the proxy hops a request traverses
+    before user code runs (for Knative: activator + queue-proxy; for a
+    plain deployment: just the service VIP).  The gap between the two is
+    the ``oprc`` vs ``oprc-bypass`` difference in Fig. 3.
+    """
+
+    request_overhead_s: float = 0.001
+    cold_start_s: float = 1.5
+
+
+class FunctionService(abc.ABC):
+    """One deployed function on some engine."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        definition: FunctionDefinition,
+        entry: RegisteredImage,
+        deployment: Deployment,
+        model: EngineModel,
+        services: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.definition = definition
+        self.entry = entry
+        self.deployment = deployment
+        self.model = model
+        self.services = dict(services or {})
+        self.invocations = 0
+        self.completed = 0
+        self.errors = 0
+        self.cold_starts = 0
+        self.busy_time = 0.0
+
+    # -- engine-specific capacity management --------------------------------
+
+    @abc.abstractmethod
+    def _acquire_pod(self) -> Generator[Any, Any, Pod]:
+        """Yield until a pod is available for one more request."""
+
+    # -- shared execution core ----------------------------------------------
+
+    def invoke(self, task: InvocationTask) -> Process:
+        """Run ``task``; the process resolves to a :class:`TaskCompletion`.
+
+        Application failures become failed completions; only platform
+        failures (no capacity at all) raise :class:`InvocationError`.
+        """
+        return self.env.process(self._invoke(task))
+
+    def _invoke(self, task: InvocationTask) -> Generator[Any, Any, TaskCompletion]:
+        self.invocations += 1
+        pod = yield from self._acquire_pod()
+        slot = pod.slots.request()
+        yield slot
+        started = self.env.now
+        try:
+            yield self.env.timeout(
+                self.model.request_overhead_s + self.entry.service_time(task)
+            )
+            completion = yield from self._run_handler(task)
+        finally:
+            self.busy_time += self.env.now - started
+            pod.slots.release()
+        if completion.ok:
+            self.completed += 1
+        else:
+            self.errors += 1
+        return completion
+
+    def _run_handler(self, task: InvocationTask) -> Generator[Any, Any, TaskCompletion]:
+        ctx = TaskContext(task, services=self.services)
+        try:
+            if self.entry.is_generator_handler:
+                result = yield from self.entry.handler(ctx)
+            else:
+                result = self.entry.handler(ctx)
+                if inspect.isgenerator(result):
+                    result = yield from result
+        except Exception as exc:  # noqa: BLE001 - user code boundary
+            return TaskCompletion.failure(
+                task.request_id, f"{type(exc).__name__}: {exc}"
+            )
+        if isinstance(result, TaskCompletion):
+            return result
+        if result is None or isinstance(result, Mapping):
+            return ctx.completion(result)
+        return TaskCompletion.failure(
+            task.request_id,
+            f"handler for {task.image!r} returned {type(result).__name__}; "
+            "expected a mapping, TaskCompletion, or None",
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def replicas(self) -> int:
+        return self.deployment.replicas
+
+    @property
+    def ready_replicas(self) -> int:
+        return self.deployment.ready_replicas
+
+    def total_in_flight(self) -> int:
+        return self.deployment.total_in_flight()
+
+
+class FaasEngine(abc.ABC):
+    """A pluggable code-execution runtime."""
+
+    def __init__(self, env: Environment, registry: FunctionRegistry) -> None:
+        self.env = env
+        self.registry = registry
+        self._services: dict[str, FunctionService] = {}
+
+    @abc.abstractmethod
+    def deploy(
+        self,
+        name: str,
+        definition: FunctionDefinition,
+        services: Mapping[str, Any] | None = None,
+        node_hints: list[str] | None = None,
+    ) -> FunctionService:
+        """Create (and register) a service running ``definition``."""
+
+    def service(self, name: str) -> FunctionService:
+        svc = self._services.get(name)
+        if svc is None:
+            raise InvocationError(f"no service {name!r} deployed on this engine")
+        return svc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    @property
+    def service_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._services))
+
+    def delete(self, name: str) -> None:
+        svc = self._services.pop(name, None)
+        if svc is not None:
+            svc.deployment.delete()
+
+    def _register(self, svc: FunctionService) -> FunctionService:
+        if svc.name in self._services:
+            raise ValidationError(f"service {svc.name!r} already deployed")
+        self._services[svc.name] = svc
+        return svc

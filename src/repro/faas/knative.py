@@ -1,0 +1,189 @@
+"""Knative-like FaaS engine (paper §III-C; the Fig. 3 baseline's engine).
+
+Reproduces the Knative serving behaviours the experiments depend on:
+
+* **Activator / scale-from-zero** — with no replicas, the first request
+  triggers a scale-up and buffers until the pod is ready (a cold
+  start).
+* **Concurrency-based autoscaler (KPA)** — desired replicas track
+  observed in-flight requests against ``concurrency x target
+  utilization``; after an idle grace period the service scales back to
+  ``min_scale`` (possibly zero).
+* **Per-request proxy overhead** — every request traverses the
+  activator/queue-proxy data path, which is the overhead ``oprc-bypass``
+  eliminates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Generator, Mapping
+
+from repro.errors import InvocationError, SchedulingError
+from repro.faas.engine import EngineModel, FaasEngine, FunctionService
+from repro.faas.registry import FunctionRegistry
+from repro.model.function import FunctionDefinition
+from repro.orchestrator.deployment import Deployment
+from repro.orchestrator.pod import Pod, PodSpec
+from repro.orchestrator.resources import ResourceSpec
+from repro.orchestrator.scheduler import Scheduler
+from repro.sim.kernel import Environment
+
+__all__ = ["KnativeModel", "KnativeService", "KnativeEngine"]
+
+
+@dataclass(frozen=True)
+class KnativeModel(EngineModel):
+    """Knative-specific tuning on top of the generic engine model."""
+
+    request_overhead_s: float = 0.002
+    cold_start_s: float = 1.8
+    target_utilization: float = 0.7
+    autoscale_interval_s: float = 2.0
+    scale_to_zero_grace_s: float = 30.0
+
+
+class KnativeService(FunctionService):
+    """A Knative service: autoscaled revision + activator semantics."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        definition: FunctionDefinition,
+        entry,
+        scheduler: Scheduler,
+        model: KnativeModel,
+        services: Mapping[str, Any] | None = None,
+        node_hints: list[str] | None = None,
+    ) -> None:
+        provision = definition.provision
+        spec = PodSpec(
+            image=definition.image,
+            resources=ResourceSpec(provision.cpu_millis, provision.memory_mb),
+            concurrency=provision.concurrency,
+            startup_delay_s=model.cold_start_s,
+            labels={"serving.oparaca.io/service": name},
+        )
+        deployment = Deployment(
+            env,
+            name=f"kn-{name}",
+            spec=spec,
+            scheduler=scheduler,
+            replicas=max(provision.min_scale, 1),
+            node_hints=node_hints,
+        )
+        super().__init__(env, name, definition, entry, deployment, model, services)
+        self.min_scale = provision.min_scale
+        self.max_scale = provision.max_scale
+        self._last_request_at = env.now
+        self._running = True
+        self._autoscaler = env.process(self._autoscale_loop())
+
+    # -- activator path --------------------------------------------------------
+
+    def _acquire_pod(self) -> Generator[Any, Any, Pod]:
+        self._last_request_at = self.env.now
+        while True:
+            pod = self.deployment.least_loaded_pod(include_starting=True)
+            if pod is None:
+                # Scale from zero: the activator holds the request and
+                # kicks the autoscaler synchronously.
+                try:
+                    self.deployment.scale(1)
+                except SchedulingError as exc:
+                    raise InvocationError(
+                        f"service {self.name!r}: cluster cannot host a replica"
+                    ) from exc
+                continue
+            if pod.is_ready:
+                return pod
+            # The request is buffered behind a booting replica: that
+            # wait is the user-visible cold start.
+            self.cold_starts += 1
+            yield pod.ready_event()
+            if pod.is_ready:
+                return pod
+            # The pod died while starting; retry placement.
+
+    # -- autoscaler (KPA) --------------------------------------------------------
+
+    def desired_replicas(self) -> int:
+        """The KPA decision from current in-flight concurrency."""
+        model: KnativeModel = self.model
+        in_flight = self.deployment.total_in_flight()
+        if in_flight <= 0:
+            idle = self.env.now - self._last_request_at
+            if idle >= model.scale_to_zero_grace_s:
+                return self.min_scale
+            return max(self.min_scale, min(self.deployment.replicas, self.max_scale))
+        target_per_pod = max(1.0, self.definition.provision.concurrency * model.target_utilization)
+        desired = math.ceil(in_flight / target_per_pod)
+        return max(self.min_scale, 1, min(self.max_scale, desired))
+
+    def _autoscale_loop(self) -> Generator:
+        model: KnativeModel = self.model
+        while self._running:
+            yield self.env.timeout(model.autoscale_interval_s)
+            if not self._running:
+                return
+            self.tick()
+
+    def tick(self) -> None:
+        """One autoscaler evaluation (exposed for deterministic tests)."""
+        self.deployment.reconcile()
+        desired = self.desired_replicas()
+        if desired == self.deployment.replicas:
+            return
+        try:
+            self.deployment.scale(desired)
+        except SchedulingError:
+            # Cluster full: keep whatever fit.
+            pass
+
+    def stop(self) -> None:
+        """Stop the autoscaler loop (teardown)."""
+        self._running = False
+
+
+class KnativeEngine(FaasEngine):
+    """Deploys functions as Knative services."""
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: Scheduler,
+        registry: FunctionRegistry,
+        model: KnativeModel | None = None,
+    ) -> None:
+        super().__init__(env, registry)
+        self.scheduler = scheduler
+        self.model = model or KnativeModel()
+
+    def deploy(
+        self,
+        name: str,
+        definition: FunctionDefinition,
+        services: Mapping[str, Any] | None = None,
+        node_hints: list[str] | None = None,
+    ) -> KnativeService:
+        entry = self.registry.get(definition.image)
+        svc = KnativeService(
+            self.env,
+            name,
+            definition,
+            entry,
+            self.scheduler,
+            self.model,
+            services=services,
+            node_hints=node_hints,
+        )
+        self._register(svc)
+        return svc
+
+    def delete(self, name: str) -> None:
+        svc = self._services.get(name)
+        if isinstance(svc, KnativeService):
+            svc.stop()
+        super().delete(name)

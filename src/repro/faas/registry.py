@@ -1,0 +1,111 @@
+"""The container-image registry.
+
+In the real platform a function's ``image`` is a container reference;
+here it resolves to a registered Python handler plus a service-time
+model.  Handlers follow the :mod:`repro.faas.runtime` contract: they
+receive a :class:`~repro.faas.runtime.TaskContext` and return either an
+output mapping, a ready :class:`~repro.faas.runtime.TaskCompletion`, or
+``None`` (no output).  A handler implemented as a *generator function*
+may ``yield`` simulation events (timed I/O) while it executes.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import ValidationError
+from repro.faas.runtime import InvocationTask, TaskContext
+
+__all__ = ["RegisteredImage", "FunctionRegistry"]
+
+Handler = Callable[[TaskContext], Any]
+ServiceTime = float | Callable[[InvocationTask], float]
+
+
+@dataclass(frozen=True)
+class RegisteredImage:
+    """One deployable image: handler + execution-cost model."""
+
+    image: str
+    handler: Handler
+    service_time_s: ServiceTime = 0.001
+    output_bytes: int = 256
+    description: str = ""
+
+    def service_time(self, task: InvocationTask) -> float:
+        if callable(self.service_time_s):
+            return float(self.service_time_s(task))
+        return float(self.service_time_s)
+
+    @property
+    def is_generator_handler(self) -> bool:
+        return inspect.isgeneratorfunction(self.handler)
+
+
+class FunctionRegistry:
+    """Image name → registered handler."""
+
+    def __init__(self) -> None:
+        self._images: dict[str, RegisteredImage] = {}
+
+    def register(
+        self,
+        image: str,
+        handler: Handler,
+        service_time_s: ServiceTime = 0.001,
+        output_bytes: int = 256,
+        description: str = "",
+    ) -> RegisteredImage:
+        """Register (or replace) an image."""
+        if not image:
+            raise ValidationError("image name must be non-empty")
+        if not callable(handler):
+            raise ValidationError(f"handler for {image!r} is not callable")
+        entry = RegisteredImage(image, handler, service_time_s, output_bytes, description)
+        self._images[image] = entry
+        return entry
+
+    def function(
+        self,
+        image: str,
+        service_time_s: ServiceTime = 0.001,
+        output_bytes: int = 256,
+        description: str = "",
+    ) -> Callable[[Handler], Handler]:
+        """Decorator form of :meth:`register`::
+
+            @registry.function("img/resize", service_time_s=0.004)
+            def resize(ctx):
+                ...
+        """
+
+        def decorate(handler: Handler) -> Handler:
+            self.register(image, handler, service_time_s, output_bytes, description)
+            return handler
+
+        return decorate
+
+    def get(self, image: str) -> RegisteredImage:
+        entry = self._images.get(image)
+        if entry is None:
+            raise ValidationError(
+                f"image {image!r} is not registered; known images: "
+                f"{sorted(self._images)}"
+            )
+        return entry
+
+    def __contains__(self, image: str) -> bool:
+        return image in self._images
+
+    @property
+    def images(self) -> tuple[str, ...]:
+        return tuple(sorted(self._images))
+
+    def merged_with(self, other: "FunctionRegistry") -> "FunctionRegistry":
+        """A new registry with ``other``'s images overlaid on this one."""
+        merged = FunctionRegistry()
+        merged._images.update(self._images)
+        merged._images.update(other._images)
+        return merged

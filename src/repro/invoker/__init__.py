@@ -1,0 +1,28 @@
+"""The invocation data plane: routing, task offload, state commit."""
+
+from repro.invoker.dataflow_exec import DataflowExecutor
+from repro.invoker.engine import (
+    BUILTIN_METHODS,
+    InvocationEngine,
+    RuntimeDirectory,
+    make_object_id,
+    split_object_id,
+)
+from repro.invoker.queue import AsyncInvoker
+from repro.invoker.request import InvocationRequest, InvocationResult, new_request_id
+from repro.invoker.router import ObjectRouter, PlacementPolicy
+
+__all__ = [
+    "DataflowExecutor",
+    "InvocationEngine",
+    "RuntimeDirectory",
+    "make_object_id",
+    "split_object_id",
+    "BUILTIN_METHODS",
+    "AsyncInvoker",
+    "InvocationRequest",
+    "InvocationResult",
+    "new_request_id",
+    "ObjectRouter",
+    "PlacementPolicy",
+]

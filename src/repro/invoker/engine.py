@@ -1,0 +1,515 @@
+"""The invocation engine — Oparaca's data plane.
+
+For every request it: resolves the target class (object ids are
+prefixed ``Cls~suffix``, enabling polymorphic dispatch to the object's
+*actual* class), routes to a handling node (per the class runtime's
+placement policy), loads the object record from the class's DHT cache,
+bundles state + payload into a pure-function
+:class:`~repro.faas.runtime.InvocationTask`, offloads it to the bound
+FaaS service, and commits the modified state back with optimistic
+concurrency (compare-and-put on the record version, retrying the whole
+load-execute-commit cycle on contention).
+
+Per-class resources (DHT cache, router, deployed services) come from a
+:class:`RuntimeDirectory` — implemented by the class runtime manager —
+so every class runs on the runtime its template provisioned (§III-B).
+
+It also provides the *builtin* object lifecycle — ``new``, ``get``,
+``update``, ``delete``, ``file-url`` — which short-circuits the FaaS
+engine, and dispatches MACRO bindings to the dataflow executor.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any, Generator, Mapping, Protocol
+
+from repro.errors import (
+    ConcurrentModificationError,
+    InvocationError,
+    OaasError,
+    UnknownClassError,
+    UnknownFunctionError,
+    UnknownObjectError,
+    ValidationError,
+)
+from repro.faas.engine import FunctionService
+from repro.faas.runtime import InvocationTask, TaskCompletion
+from repro.invoker.dataflow_exec import DataflowExecutor
+from repro.invoker.request import InvocationRequest, InvocationResult
+from repro.invoker.router import ObjectRouter
+from repro.model.cls import AccessModifier, FunctionBinding
+from repro.model.function import FunctionType
+from repro.model.resolver import ResolvedClass
+from repro.monitoring.collector import MonitoringSystem
+from repro.monitoring.tracing import Span, Tracer
+from repro.object.obj import ObjectRecord
+from repro.sim.kernel import Environment, Process
+from repro.storage.dht import Dht
+from repro.storage.object_store import ObjectStore
+
+__all__ = ["InvocationEngine", "RuntimeDirectory", "BUILTIN_METHODS", "split_object_id"]
+
+BUILTIN_METHODS = ("new", "get", "update", "delete", "file-url")
+
+#: Separator between the class prefix and the unique suffix in object ids.
+ID_SEPARATOR = "~"
+
+
+def make_object_id(cls: str, suffix: str | None = None) -> str:
+    """Compose a platform object id (``Image~a1b2...``)."""
+    return f"{cls}{ID_SEPARATOR}{suffix or uuid.uuid4().hex}"
+
+
+def split_object_id(object_id: str) -> tuple[str | None, str]:
+    """Split an object id into (class, suffix); class is ``None`` when
+    the id carries no prefix."""
+    if ID_SEPARATOR in object_id:
+        cls, _, suffix = object_id.partition(ID_SEPARATOR)
+        return cls or None, suffix
+    return None, object_id
+
+
+class RuntimeDirectory(Protocol):
+    """What the engine needs to know about deployed class runtimes."""
+
+    def resolved(self, cls: str) -> ResolvedClass:
+        """The flattened class, raising ``UnknownClassError`` if absent."""
+
+    def dht_for(self, cls: str) -> Dht:
+        """The class runtime's structured-state cache."""
+
+    def router_for(self, cls: str) -> ObjectRouter:
+        """The class runtime's placement router."""
+
+    def service_for(self, cls: str, fn_name: str) -> FunctionService:
+        """The FaaS service realizing one method of the class."""
+
+    def deployed_classes(self) -> tuple[str, ...]:
+        """Names of deployed classes (for error messages)."""
+
+
+class InvocationEngine:
+    """Executes invocation requests against deployed class runtimes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        directory: RuntimeDirectory,
+        object_store: ObjectStore,
+        monitoring: MonitoringSystem,
+        bucket: str = "oparaca",
+        max_cas_retries: int = 4,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.env = env
+        self.directory = directory
+        self.object_store = object_store
+        self.monitoring = monitoring
+        self.bucket = bucket
+        self.max_cas_retries = max_cas_retries
+        # Explicit None check: an empty Tracer is falsy (it has __len__).
+        self.tracer = tracer if tracer is not None else Tracer(env)
+        self.object_store.create_bucket(bucket)
+        self._dataflow = DataflowExecutor(self)
+        self.invocations = 0
+        self.cas_conflicts = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def invoke(self, request: InvocationRequest) -> Process:
+        """Run a request; resolves to an :class:`InvocationResult`.
+
+        Application-level problems (unknown object, failed handler,
+        access violations) become error results, never exceptions.
+        """
+        return self.env.process(self._invoke(request))
+
+    def _invoke(self, request: InvocationRequest) -> Generator[Any, Any, InvocationResult]:
+        self.invocations += 1
+        started = self.env.now
+        trace_id = request.trace_id or request.request_id
+        root = self.tracer.start(
+            trace_id,
+            f"invoke {request.fn_name}",
+            parent=request.trace_parent,
+            object_id=request.object_id,
+        )
+        try:
+            result = yield from self._dispatch(request, trace_id, root)
+        except OaasError as exc:
+            result = InvocationResult.failure(
+                request, str(exc), error_type=type(exc).__name__
+            )
+        latency = self.env.now - started
+        result = InvocationResult(
+            request_id=result.request_id,
+            cls=result.cls,
+            object_id=result.object_id,
+            fn_name=result.fn_name,
+            ok=result.ok,
+            output=result.output,
+            error=result.error,
+            error_type=result.error_type,
+            created_object_id=result.created_object_id,
+            latency_s=latency,
+            retries=result.retries,
+        )
+        self.tracer.finish(root, ok=result.ok, cls=result.cls, retries=result.retries)
+        if result.cls:
+            self.monitoring.for_class(result.cls).record_invocation(latency, result.ok)
+        return result
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        request: InvocationRequest,
+        trace_id: str | None = None,
+        root: Span | None = None,
+    ) -> Generator[Any, Any, InvocationResult]:
+        trace_id = trace_id or request.trace_id or request.request_id
+        if request.fn_name == "new":
+            return (yield from self._builtin_new(request))
+        record = yield from self._load_record(request, trace_id, root)
+        resolved = self.directory.resolved(record.cls)
+        if request.cls is not None and not resolved.is_subclass_of(request.cls):
+            raise InvocationError(
+                f"object {request.object_id!r} is a {record.cls!r}, which is "
+                f"not a subtype of the requested class {request.cls!r}"
+            )
+        binding = resolved.binding(request.fn_name)
+        if binding is None:
+            if request.fn_name in BUILTIN_METHODS:
+                return (yield from self._builtin(request, resolved, record))
+            raise UnknownFunctionError(
+                f"class {resolved.name!r} has no function {request.fn_name!r}; "
+                f"available: {list(resolved.method_names)}"
+            )
+        self._check_access(request, resolved, binding)
+        if binding.function.ftype is FunctionType.MACRO:
+            return (
+                yield from self._dataflow.execute(
+                    request, resolved, binding, record, trace_id, root
+                )
+            )
+        if binding.function.ftype is FunctionType.BUILTIN:
+            return (yield from self._builtin(request, resolved, record))
+        return (
+            yield from self._invoke_task(request, resolved, binding, record, trace_id, root)
+        )
+
+    def _check_access(
+        self, request: InvocationRequest, resolved: ResolvedClass, binding: FunctionBinding
+    ) -> None:
+        if binding.access is AccessModifier.PUBLIC:
+            return
+        if not request.internal:
+            raise InvocationError(
+                f"{resolved.name}.{binding.name} is {binding.access.value} and "
+                "cannot be invoked externally"
+            )
+        if binding.access is AccessModifier.PRIVATE:
+            caller = request.caller_cls
+            if caller is None or not self.directory.resolved(caller).is_subclass_of(
+                resolved.name
+            ):
+                raise InvocationError(
+                    f"{resolved.name}.{binding.name} is PRIVATE; caller "
+                    f"{caller!r} is not in its class hierarchy"
+                )
+
+    # -- record access --------------------------------------------------------------
+
+    def _target_class(self, request: InvocationRequest) -> str:
+        cls, _ = split_object_id(request.object_id)
+        cls = cls or request.cls
+        if cls is None:
+            raise InvocationError(
+                f"cannot determine the class of object {request.object_id!r}; "
+                "pass cls explicitly or use platform-generated ids"
+            )
+        return cls
+
+    def _load_record(
+        self,
+        request: InvocationRequest,
+        trace_id: str | None = None,
+        parent: Span | None = None,
+    ) -> Generator[Any, Any, ObjectRecord]:
+        cls = self._target_class(request)
+        resolved = self.directory.resolved(cls)
+        dht = self.directory.dht_for(resolved.name)
+        caller = self.directory.router_for(resolved.name).place(request.object_id)
+        span = self.tracer.start(
+            trace_id or request.request_id, "state.load", parent=parent, node=caller
+        )
+        doc = yield dht.get(request.object_id, caller=caller)
+        self.tracer.finish(span, hit=doc is not None)
+        if doc is None:
+            raise UnknownObjectError(f"no object {request.object_id!r}")
+        return ObjectRecord.from_doc(doc)
+
+    # -- the pure-function task path ---------------------------------------------------
+
+    def _invoke_task(
+        self,
+        request: InvocationRequest,
+        resolved: ResolvedClass,
+        binding: FunctionBinding,
+        record: ObjectRecord,
+        trace_id: str | None = None,
+        root: Span | None = None,
+    ) -> Generator[Any, Any, InvocationResult]:
+        service = self.directory.service_for(resolved.name, binding.name)
+        dht = self.directory.dht_for(resolved.name)
+        router = self.directory.router_for(resolved.name)
+        trace_id = trace_id or request.request_id
+        retries = 0
+        while True:
+            caller = router.place(request.object_id)
+            task = self._build_task(request, binding, record)
+            offload = self.tracer.start(
+                trace_id, f"task.offload {service.name}", parent=root
+            )
+            completion: TaskCompletion = yield service.invoke(task)
+            self.tracer.finish(offload, ok=completion.ok)
+            if not completion.ok:
+                return InvocationResult.failure(
+                    request,
+                    completion.error,
+                    resolved_cls=resolved.name,
+                    retries=retries,
+                    error_type="FunctionExecutionError",
+                )
+            if binding.mutable and (completion.state_updates or completion.file_updates):
+                commit_span = self.tracer.start(trace_id, "state.commit", parent=root)
+                try:
+                    record = yield from self._commit(
+                        resolved, dht, record, completion, caller
+                    )
+                    self.tracer.finish(commit_span, ok=True)
+                except ConcurrentModificationError:
+                    self.tracer.finish(commit_span, ok=False, conflict=True)
+                    self.cas_conflicts += 1
+                    retries += 1
+                    if retries > self.max_cas_retries:
+                        return InvocationResult.failure(
+                            request,
+                            f"object {record.id!r} is too contended: "
+                            f"{retries} failed commit attempts",
+                            resolved_cls=resolved.name,
+                            retries=retries,
+                            error_type="ConcurrentModificationError",
+                        )
+                    record = yield from self._load_record(request, trace_id, root)
+                    continue
+            created_id = None
+            if binding.output_class is not None:
+                created_id = yield from self._materialize_output(
+                    binding.output_class, completion
+                )
+            return InvocationResult(
+                request_id=request.request_id,
+                cls=resolved.name,
+                object_id=record.id,
+                fn_name=binding.name,
+                ok=True,
+                output=completion.output,
+                created_object_id=created_id,
+                retries=retries,
+            )
+
+    def _build_task(
+        self, request: InvocationRequest, binding: FunctionBinding, record: ObjectRecord
+    ) -> InvocationTask:
+        file_urls = {
+            key: self.object_store.presign(self.bucket, object_key, "GET")
+            for key, object_key in record.files.items()
+        }
+        return InvocationTask(
+            request_id=request.request_id,
+            cls=record.cls,
+            object_id=record.id,
+            fn_name=binding.name,
+            image=binding.function.image,
+            payload=request.payload,
+            state=record.state,
+            file_urls=file_urls,
+            immutable=not binding.mutable,
+        )
+
+    def _commit(
+        self,
+        resolved: ResolvedClass,
+        dht: Dht,
+        record: ObjectRecord,
+        completion: TaskCompletion,
+        caller: str,
+    ) -> Generator[Any, Any, ObjectRecord]:
+        resolved.state.validate_state(dict(completion.state_updates))
+        for key in completion.file_updates:
+            spec = resolved.state.get(key)
+            if spec is None or not spec.is_file:
+                raise ValidationError(
+                    f"function updated file key {key!r}, which is not a FILE "
+                    f"state key of class {resolved.name!r}"
+                )
+        updated = record.with_updates(completion.state_updates, completion.file_updates)
+        yield dht.compare_and_put(
+            updated.to_doc(), expected_version=record.version, caller=caller
+        )
+        return updated
+
+    def _materialize_output(
+        self, output_cls: str, completion: TaskCompletion
+    ) -> Generator[Any, Any, str]:
+        resolved = self.directory.resolved(output_cls)
+        state = dict(resolved.state.defaults())
+        for key, value in completion.output.items():
+            spec = resolved.state.get(key)
+            if spec is not None and not spec.is_file:
+                state[key] = value
+        resolved.state.validate_state(state)
+        object_id = make_object_id(output_cls)
+        record = ObjectRecord(id=object_id, cls=output_cls, version=1, state=state)
+        dht = self.directory.dht_for(output_cls)
+        caller = self.directory.router_for(output_cls).place(object_id)
+        yield dht.put(record.to_doc(), caller=caller)
+        return record.id
+
+    # -- catalog ----------------------------------------------------------------------
+
+    def list_objects(self, cls: str) -> list[str]:
+        """Ids of every live object of ``cls`` (not subclasses)."""
+        self.directory.resolved(cls)  # raises UnknownClassError if absent
+        return self.directory.dht_for(cls).scan_ids()
+
+    # -- file attachment (platform-internal) ----------------------------------------------
+
+    def attach_file(self, object_id: str, key: str, object_key: str) -> Process:
+        """Commit a FILE state-key mapping after an out-of-band upload."""
+        return self.env.process(self._attach_file(object_id, key, object_key))
+
+    def _attach_file(self, object_id: str, key: str, object_key: str) -> Generator:
+        request = InvocationRequest(object_id=object_id, fn_name="file-url")
+        for _ in range(self.max_cas_retries + 1):
+            record = yield from self._load_record(request)
+            resolved = self.directory.resolved(record.cls)
+            spec = resolved.state.get(key)
+            if spec is None or not spec.is_file:
+                raise ValidationError(f"{record.cls!r} has no FILE state key {key!r}")
+            dht = self.directory.dht_for(resolved.name)
+            caller = self.directory.router_for(resolved.name).place(object_id)
+            updated = record.with_updates(file_updates={key: object_key})
+            try:
+                yield dht.compare_and_put(
+                    updated.to_doc(), expected_version=record.version, caller=caller
+                )
+                return updated
+            except ConcurrentModificationError:
+                self.cas_conflicts += 1
+        raise InvocationError(f"object {object_id!r} too contended to attach file")
+
+    # -- builtins ----------------------------------------------------------------------
+
+    def _builtin_new(self, request: InvocationRequest) -> Generator[Any, Any, InvocationResult]:
+        cls = request.cls or split_object_id(request.object_id)[0]
+        if cls is None:
+            raise InvocationError("'new' requires an explicit class")
+        resolved = self.directory.resolved(cls)
+        state = dict(resolved.state.defaults())
+        overrides = dict(request.payload.get("state", {}))
+        resolved.state.validate_state(overrides)
+        state.update(overrides)
+        requested = request.payload.get("id") or (request.object_id or None)
+        if requested:
+            prefix, suffix = split_object_id(str(requested))
+            if prefix is not None and prefix != resolved.name:
+                raise InvocationError(
+                    f"id {requested!r} carries class prefix {prefix!r}, but the "
+                    f"object is being created as {resolved.name!r}"
+                )
+            object_id = make_object_id(resolved.name, suffix)
+        else:
+            object_id = make_object_id(resolved.name)
+        dht = self.directory.dht_for(resolved.name)
+        caller = self.directory.router_for(resolved.name).place(object_id)
+        existing = yield dht.get(object_id, caller=caller)
+        if existing is not None:
+            raise InvocationError(f"object {object_id!r} already exists")
+        record = ObjectRecord(id=object_id, cls=resolved.name, version=1, state=state)
+        yield dht.put(record.to_doc(), caller=caller)
+        return InvocationResult(
+            request_id=request.request_id,
+            cls=resolved.name,
+            object_id=object_id,
+            fn_name="new",
+            ok=True,
+            output={"id": object_id},
+            created_object_id=object_id,
+        )
+
+    def _builtin(
+        self, request: InvocationRequest, resolved: ResolvedClass, record: ObjectRecord
+    ) -> Generator[Any, Any, InvocationResult]:
+        fn = request.fn_name
+
+        def ok(output: Mapping[str, Any]) -> InvocationResult:
+            return InvocationResult(
+                request_id=request.request_id,
+                cls=resolved.name,
+                object_id=record.id,
+                fn_name=fn,
+                ok=True,
+                output=output,
+            )
+
+        if fn == "get":
+            return ok(
+                {
+                    "id": record.id,
+                    "cls": record.cls,
+                    "version": record.version,
+                    "state": dict(record.state),
+                    "files": dict(record.files),
+                }
+            )
+        dht = self.directory.dht_for(resolved.name)
+        router = self.directory.router_for(resolved.name)
+        if fn == "update":
+            updates = dict(request.payload.get("state", {}))
+            resolved.state.validate_state(updates)
+            caller = router.place(record.id)
+            updated = record.with_updates(updates)
+            yield dht.compare_and_put(
+                updated.to_doc(), expected_version=record.version, caller=caller
+            )
+            return ok({"version": updated.version})
+        if fn == "delete":
+            caller = router.place(record.id)
+            yield dht.delete(record.id, caller=caller)
+            for object_key in record.files.values():
+                self.object_store.delete_object(self.bucket, object_key)
+            return ok({"deleted": record.id})
+        if fn == "file-url":
+            key = request.payload.get("key")
+            method = str(request.payload.get("method", "GET")).upper()
+            spec = resolved.state.get(key) if key else None
+            if spec is None or not spec.is_file:
+                raise ValidationError(
+                    f"{resolved.name!r} has no FILE state key {key!r}"
+                )
+            if method == "GET":
+                object_key = record.files.get(key)
+                if object_key is None:
+                    raise UnknownObjectError(
+                        f"object {record.id!r} has no file for key {key!r} yet"
+                    )
+                return ok({"url": self.object_store.presign(self.bucket, object_key, "GET")})
+            if method == "PUT":
+                object_key = f"{record.cls}/{record.id}/{key}/v{record.version + 1}"
+                url = self.object_store.presign(self.bucket, object_key, "PUT")
+                return ok({"url": url, "object_key": object_key})
+            raise ValidationError(f"file-url method must be GET or PUT, got {method!r}")
+        raise UnknownFunctionError(f"unknown builtin {fn!r}")

@@ -1,0 +1,66 @@
+"""Asynchronous (fire-and-forget) invocation.
+
+Requests are published to a partitioned topic keyed by object id, so
+all updates to one object land on one partition and execute in order —
+serializing writers per object without locks.  Workers consume
+partitions and run requests through the invocation engine; callers can
+await the result through the returned completion event or poll the
+result log by request id.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.invoker.engine import InvocationEngine
+from repro.invoker.request import InvocationRequest, InvocationResult
+from repro.messaging.topic import ConsumerGroup, Message, Topic
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["AsyncInvoker"]
+
+
+class AsyncInvoker:
+    """Queue-backed invocation front end."""
+
+    def __init__(
+        self,
+        env: Environment,
+        engine: InvocationEngine,
+        partitions: int = 8,
+        topic_name: str = "oaas-invocations",
+    ) -> None:
+        self.env = env
+        self.engine = engine
+        self.topic = Topic(env, topic_name, partitions=partitions)
+        self.results: dict[str, InvocationResult] = {}
+        self._completions: dict[str, Event] = {}
+        self.submitted = 0
+        self._group = ConsumerGroup(env, self.topic, self._handle)
+
+    def submit(self, request: InvocationRequest) -> Event:
+        """Enqueue a request; returns an event resolving to its result."""
+        self.submitted += 1
+        completion = self.env.event()
+        self._completions[request.request_id] = completion
+        self.topic.publish(request.object_id, request)
+        return completion
+
+    def result(self, request_id: str) -> InvocationResult | None:
+        """Poll a completed result by request id."""
+        return self.results.get(request_id)
+
+    @property
+    def pending(self) -> int:
+        return self.topic.depth()
+
+    def _handle(self, message: Message) -> Generator:
+        request: InvocationRequest = message.value
+        result = yield self.engine.invoke(request)
+        self.results[request.request_id] = result
+        completion = self._completions.pop(request.request_id, None)
+        if completion is not None and not completion.triggered:
+            completion.succeed(result)
+
+    def stop(self) -> None:
+        self._group.stop()

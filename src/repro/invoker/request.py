@@ -1,0 +1,87 @@
+"""Invocation request/result types — the platform's client-facing RPC."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["InvocationRequest", "InvocationResult", "new_request_id"]
+
+_request_seq = itertools.count(1)
+
+
+def new_request_id() -> str:
+    return f"req-{next(_request_seq)}"
+
+
+@dataclass(frozen=True)
+class InvocationRequest:
+    """A request to invoke ``fn_name`` on object ``object_id``.
+
+    ``cls`` may be omitted (``None``) — the platform resolves the class
+    from the object record, which is what enables polymorphism: invoking
+    ``resize`` on a ``LabelledImage`` through an ``Image``-typed
+    reference dispatches to the object's actual class.
+
+    ``internal`` marks platform-originated calls (dataflow steps), which
+    may reach INTERNAL/PRIVATE bindings; ``caller_cls`` carries the
+    invoking class for PRIVATE checks.
+    """
+
+    object_id: str
+    fn_name: str
+    cls: str | None = None
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    request_id: str = field(default_factory=new_request_id)
+    internal: bool = False
+    caller_cls: str | None = None
+    #: Trace correlation: sub-invocations (dataflow steps) inherit the
+    #: originating request's trace id and link to their step span.
+    trace_id: str | None = None
+    trace_parent: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "payload", dict(self.payload))
+
+
+@dataclass(frozen=True)
+class InvocationResult:
+    """The outcome of one invocation."""
+
+    request_id: str
+    cls: str
+    object_id: str
+    fn_name: str
+    ok: bool
+    output: Mapping[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    error_type: str | None = None
+    created_object_id: str | None = None
+    latency_s: float = 0.0
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "output", dict(self.output))
+
+    @classmethod
+    def failure(
+        cls,
+        request: InvocationRequest,
+        error: str,
+        resolved_cls: str = "",
+        latency_s: float = 0.0,
+        retries: int = 0,
+        error_type: str = "InvocationError",
+    ) -> "InvocationResult":
+        return cls(
+            request_id=request.request_id,
+            cls=resolved_cls or (request.cls or ""),
+            object_id=request.object_id,
+            fn_name=request.fn_name,
+            ok=False,
+            error=error,
+            error_type=error_type,
+            latency_s=latency_s,
+            retries=retries,
+        )

@@ -1,0 +1,5 @@
+"""Messaging substrate: partitioned topic log and consumer groups."""
+
+from repro.messaging.topic import ConsumerGroup, Message, Topic
+
+__all__ = ["ConsumerGroup", "Message", "Topic"]

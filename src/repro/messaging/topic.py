@@ -1,0 +1,149 @@
+"""Partitioned topic log (Kafka-style) for asynchronous invocation.
+
+Oparaca accepts fire-and-forget invocations by publishing tasks onto a
+topic; class-runtime workers consume partitions and execute them.  The
+log is partitioned by object key so updates to one object are consumed
+in order (single writer per partition), which keeps asynchronous state
+commits serializable without locking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.errors import MessagingError
+from repro.sim.kernel import Environment, Event, Process
+from repro.sim.resources import Store
+
+__all__ = ["Message", "Topic", "ConsumerGroup"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One record on a partition."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: str
+    value: Any
+    timestamp: float
+
+
+class _Partition:
+    def __init__(self, env: Environment, topic: str, index: int) -> None:
+        self.env = env
+        self.topic = topic
+        self.index = index
+        self.log: list[Message] = []
+        self.queue = Store(env)
+
+    def append(self, key: str, value: Any) -> Message:
+        message = Message(
+            topic=self.topic,
+            partition=self.index,
+            offset=len(self.log),
+            key=key,
+            value=value,
+            timestamp=self.env.now,
+        )
+        self.log.append(message)
+        self.queue.put(message)
+        return message
+
+
+class Topic:
+    """A named, partitioned log."""
+
+    def __init__(self, env: Environment, name: str, partitions: int = 4) -> None:
+        if partitions < 1:
+            raise MessagingError(f"partitions must be >= 1, got {partitions}")
+        self.env = env
+        self.name = name
+        self._partitions = [_Partition(env, name, i) for i in range(partitions)]
+        self.published = 0
+
+    @property
+    def partitions(self) -> int:
+        return len(self._partitions)
+
+    def partition_for(self, key: str) -> int:
+        digest = hashlib.md5(key.encode()).digest()
+        return int.from_bytes(digest[:4], "big") % len(self._partitions)
+
+    def publish(self, key: str, value: Any) -> Message:
+        """Append a record, routed by key hash."""
+        if not key:
+            raise MessagingError("message key must be non-empty")
+        self.published += 1
+        return self._partitions[self.partition_for(key)].append(key, value)
+
+    def get(self, partition: int) -> Event:
+        """Blocking fetch of the next unconsumed record of a partition."""
+        if not 0 <= partition < len(self._partitions):
+            raise MessagingError(
+                f"topic {self.name!r} has {len(self._partitions)} partitions, "
+                f"asked for {partition}"
+            )
+        return self._partitions[partition].queue.get()
+
+    def depth(self, partition: int | None = None) -> int:
+        """Unconsumed records (one partition or the whole topic)."""
+        if partition is not None:
+            return len(self._partitions[partition].queue)
+        return sum(len(p.queue) for p in self._partitions)
+
+    def history(self, partition: int) -> list[Message]:
+        return list(self._partitions[partition].log)
+
+
+class ConsumerGroup:
+    """Spreads a topic's partitions over worker processes.
+
+    ``handler(message)`` must be a generator (it may perform timed
+    work).  Each partition gets exactly one worker, preserving
+    per-object ordering.
+    """
+
+    def __init__(self, env: Environment, topic: Topic, handler, workers: int | None = None) -> None:
+        self.env = env
+        self.topic = topic
+        self.handler = handler
+        self.consumed = 0
+        self._running = True
+        count = topic.partitions if workers is None else min(workers, topic.partitions)
+        if count < 1:
+            raise MessagingError("consumer group needs at least one worker")
+        # Assign partitions round-robin over workers.
+        assignments: list[list[int]] = [[] for _ in range(count)]
+        for partition in range(topic.partitions):
+            assignments[partition % count].append(partition)
+        self.processes: list[Process] = [
+            env.process(self._worker(parts)) for parts in assignments if parts
+        ]
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _worker(self, partitions: list[int]) -> Generator:
+        # A worker owning several partitions drains them round-robin,
+        # blocking only when all its partitions are empty.
+        while self._running:
+            message = None
+            for partition in partitions:
+                if self.topic.depth(partition):
+                    message = yield self.topic.get(partition)
+                    break
+            if message is None:
+                if len(partitions) == 1:
+                    message = yield self.topic.get(partitions[0])
+                else:
+                    # Block on the first partition; adequate for tests and
+                    # balanced loads, and avoids busy-waiting.
+                    message = yield self.topic.get(partitions[0])
+            if not self._running:
+                return
+            yield from self.handler(message)
+            self.consumed += 1

@@ -1,0 +1,48 @@
+"""The OaaS data model: classes, state, functions, dataflow, NFRs.
+
+This package is the control-plane vocabulary of the platform — pure,
+immutable definitions with strict validation, independent of any
+runtime concern.
+"""
+
+from repro.model.cls import AccessModifier, ClassDefinition, FunctionBinding
+from repro.model.dataflow import (
+    MACRO_INPUT,
+    SELF_TARGET,
+    DataflowSpec,
+    DataflowStep,
+    resolve_path,
+    resolve_template,
+)
+from repro.model.function import FunctionDefinition, FunctionType, ProvisionSpec
+from repro.model.nfr import Constraint, NonFunctionalRequirements, QosRequirement
+from repro.model.pkg import Package, load_package, loads_package, parse_package
+from repro.model.resolver import ClassResolver, ResolvedClass
+from repro.model.types import DataType, KeySpec, StateSpec
+
+__all__ = [
+    "AccessModifier",
+    "ClassDefinition",
+    "FunctionBinding",
+    "DataflowSpec",
+    "DataflowStep",
+    "MACRO_INPUT",
+    "SELF_TARGET",
+    "resolve_path",
+    "resolve_template",
+    "FunctionDefinition",
+    "FunctionType",
+    "ProvisionSpec",
+    "Constraint",
+    "NonFunctionalRequirements",
+    "QosRequirement",
+    "Package",
+    "load_package",
+    "loads_package",
+    "parse_package",
+    "ClassResolver",
+    "ResolvedClass",
+    "DataType",
+    "KeySpec",
+    "StateSpec",
+]

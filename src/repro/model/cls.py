@@ -1,0 +1,114 @@
+"""Class definitions (paper §III-A, Listing 1).
+
+An OaaS *class* declares the structure of its objects: the state schema
+(``keySpecs``), the functions bound to it (its methods), optional
+non-functional requirements, and an optional parent class for
+inheritance.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.model.function import FunctionDefinition, FunctionType
+from repro.model.nfr import NonFunctionalRequirements
+from repro.model.types import StateSpec
+
+__all__ = ["AccessModifier", "FunctionBinding", "ClassDefinition"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+
+
+class AccessModifier(str, enum.Enum):
+    """Who may invoke a bound function.
+
+    PUBLIC — any client through the gateway.
+    INTERNAL — only other functions (dataflow steps) of the same package.
+    PRIVATE — only functions of the same class.
+    """
+
+    PUBLIC = "PUBLIC"
+    INTERNAL = "INTERNAL"
+    PRIVATE = "PRIVATE"
+
+
+@dataclass(frozen=True)
+class FunctionBinding:
+    """Binds a function definition to a class as a named method.
+
+    Attributes:
+        name: the method name on the class (may differ from the
+            underlying function's name).
+        function: the function definition being bound.
+        access: visibility of the method.
+        mutable: whether the method may modify object state; immutable
+            methods skip the state-commit phase entirely.
+        output_class: class name of the object the method produces, or
+            ``None`` if it returns only a payload.
+        nfr: per-method NFR override (merged over the class NFR).
+    """
+
+    name: str
+    function: FunctionDefinition
+    access: AccessModifier = AccessModifier.PUBLIC
+    mutable: bool = True
+    output_class: str | None = None
+    nfr: NonFunctionalRequirements | None = None
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValidationError(f"invalid method name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ClassDefinition:
+    """A single OaaS class as written by the developer (pre-resolution).
+
+    Inheritance (``parent``) is resolved by
+    :class:`~repro.model.resolver.ClassResolver`, which merges state
+    schemas and method tables down the chain.
+    """
+
+    name: str
+    package: str = ""
+    parent: str | None = None
+    state: StateSpec = field(default_factory=StateSpec)
+    bindings: tuple[FunctionBinding, ...] = field(default_factory=tuple)
+    nfr: NonFunctionalRequirements = field(default_factory=NonFunctionalRequirements.none)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValidationError(f"invalid class name {self.name!r}")
+        if self.parent is not None and self.parent == self.name:
+            raise ValidationError(f"class {self.name!r} cannot be its own parent")
+        object.__setattr__(self, "bindings", tuple(self.bindings))
+        names = [binding.name for binding in self.bindings]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValidationError(
+                f"class {self.name!r} binds duplicate methods: {sorted(duplicates)}"
+            )
+        for binding in self.bindings:
+            if binding.function.ftype is FunctionType.MACRO:
+                # Macro steps must call methods that exist on this class;
+                # full checking happens post-resolution, but self-evident
+                # mistakes (step calling the macro itself) fail fast here.
+                if binding.name in binding.function.dataflow.referenced_functions():
+                    raise ValidationError(
+                        f"macro {binding.name!r} on class {self.name!r} "
+                        "invokes itself"
+                    )
+
+    def binding(self, method: str) -> FunctionBinding | None:
+        for candidate in self.bindings:
+            if candidate.name == method:
+                return candidate
+        return None
+
+    @property
+    def method_names(self) -> tuple[str, ...]:
+        return tuple(binding.name for binding in self.bindings)

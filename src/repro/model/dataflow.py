@@ -1,0 +1,191 @@
+"""Dataflow abstraction (paper §II-B).
+
+A MACRO function is defined as a directed acyclic graph of *steps*.
+Execution order is derived from the flow of data — a step runs as soon
+as every value it references is available — rather than from an
+explicit invocation order.  The platform extracts the dependency
+structure, runs independent steps in parallel, and navigates outputs
+between steps, so the composition can change without touching function
+code.
+
+Reference syntax
+----------------
+
+* step ``target``: ``$self`` (the object the macro was invoked on) or
+  ``@<step-id>`` (the object *produced* by a previous step, for steps
+  whose function has an output class).
+* step ``inputs``: ``$`` (the macro's own payload) or a step id (the
+  payload is that step's output).
+* step ``args`` values: template strings where ``${input.<path>}``
+  references the macro payload and ``${<step-id>.<path>}`` references a
+  prior step's output.  An arg that is *exactly* one reference resolves
+  to the referenced value with its type preserved.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import DataflowError
+
+__all__ = [
+    "MACRO_INPUT",
+    "SELF_TARGET",
+    "DataflowStep",
+    "DataflowSpec",
+    "resolve_path",
+    "resolve_template",
+]
+
+MACRO_INPUT = "$"
+SELF_TARGET = "$self"
+
+_REF_RE = re.compile(r"\$\{([A-Za-z_][A-Za-z0-9_.\-\[\]]*)\}")
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_-]*$")
+
+
+def resolve_path(path: str, context: Mapping[str, Any]) -> Any:
+    """Resolve ``root.seg1.seg2`` against ``context[root]``.
+
+    Dict lookups for mapping segments, integer indexing for sequences.
+    Raises :class:`DataflowError` on a missing segment.
+    """
+    parts = path.split(".")
+    root = parts[0]
+    if root not in context:
+        raise DataflowError(f"unknown reference root {root!r} in ${{{path}}}")
+    value: Any = context[root]
+    for segment in parts[1:]:
+        if isinstance(value, Mapping):
+            if segment not in value:
+                raise DataflowError(f"missing field {segment!r} resolving ${{{path}}}")
+            value = value[segment]
+        elif isinstance(value, (list, tuple)):
+            try:
+                value = value[int(segment)]
+            except (ValueError, IndexError):
+                raise DataflowError(
+                    f"bad index {segment!r} resolving ${{{path}}}"
+                ) from None
+        else:
+            raise DataflowError(
+                f"cannot descend into {type(value).__name__} at {segment!r} "
+                f"resolving ${{{path}}}"
+            )
+    return value
+
+
+def resolve_template(template: str, context: Mapping[str, Any]) -> Any:
+    """Interpolate ``${...}`` references in ``template``.
+
+    A template consisting of exactly one reference returns the raw
+    referenced value; otherwise references are string-interpolated.
+    """
+    whole = _REF_RE.fullmatch(template)
+    if whole:
+        return resolve_path(whole.group(1), context)
+    return _REF_RE.sub(lambda m: str(resolve_path(m.group(1), context)), template)
+
+
+def template_references(template: str) -> set[str]:
+    """Root names referenced by a template string."""
+    return {match.group(1).split(".")[0] for match in _REF_RE.finditer(template)}
+
+
+@dataclass(frozen=True)
+class DataflowStep:
+    """One node of the dataflow graph."""
+
+    id: str
+    function: str
+    target: str = SELF_TARGET
+    inputs: tuple[str, ...] = ()
+    args: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not _ID_RE.match(self.id):
+            raise DataflowError(f"invalid step id {self.id!r}")
+        if not self.function:
+            raise DataflowError(f"step {self.id!r} has no function")
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "args", dict(self.args))
+
+    def dependencies(self) -> set[str]:
+        """Ids of steps this step's data references depend on."""
+        deps: set[str] = set()
+        for ref in self.inputs:
+            if ref != MACRO_INPUT:
+                deps.add(ref)
+        if self.target.startswith("@"):
+            deps.add(self.target[1:])
+        for value in self.args.values():
+            for root in template_references(value):
+                if root != "input":
+                    deps.add(root)
+        return deps
+
+
+@dataclass(frozen=True)
+class DataflowSpec:
+    """A validated dataflow graph."""
+
+    steps: tuple[DataflowStep, ...]
+    output: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(self.steps))
+        if not self.steps:
+            raise DataflowError("dataflow has no steps")
+        ids = [step.id for step in self.steps]
+        duplicates = {sid for sid in ids if ids.count(sid) > 1}
+        if duplicates:
+            raise DataflowError(f"duplicate step ids: {sorted(duplicates)}")
+        known = set(ids)
+        for step in self.steps:
+            for dep in step.dependencies():
+                if dep not in known:
+                    raise DataflowError(
+                        f"step {step.id!r} references unknown step {dep!r}"
+                    )
+            if step.target != SELF_TARGET and not step.target.startswith("@"):
+                raise DataflowError(
+                    f"step {step.id!r} target must be {SELF_TARGET!r} or "
+                    f"'@<step-id>', got {step.target!r}"
+                )
+        if self.output is not None and self.output not in known:
+            raise DataflowError(f"dataflow output {self.output!r} is not a step id")
+        # Validate acyclicity eagerly so bad definitions fail at parse time.
+        self.waves()
+
+    def step(self, step_id: str) -> DataflowStep:
+        for candidate in self.steps:
+            if candidate.id == step_id:
+                return candidate
+        raise DataflowError(f"no step {step_id!r}")
+
+    def waves(self) -> list[list[DataflowStep]]:
+        """Topological *waves*: steps within a wave are data-independent
+        and may execute in parallel; waves execute in order.
+
+        Raises :class:`DataflowError` if the graph has a cycle.
+        """
+        remaining = {step.id: set(step.dependencies()) for step in self.steps}
+        order: list[list[DataflowStep]] = []
+        done: set[str] = set()
+        while remaining:
+            ready = sorted(sid for sid, deps in remaining.items() if deps <= done)
+            if not ready:
+                raise DataflowError(
+                    f"dataflow cycle among steps {sorted(remaining)}"
+                )
+            order.append([self.step(sid) for sid in ready])
+            done.update(ready)
+            for sid in ready:
+                del remaining[sid]
+        return order
+
+    def referenced_functions(self) -> set[str]:
+        """Function names the dataflow invokes (for binding validation)."""
+        return {step.function for step in self.steps}

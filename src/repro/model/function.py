@@ -1,0 +1,99 @@
+"""Function definitions.
+
+A function is the unit of logic in OaaS — realized by a serverless
+function behind the scenes (§II).  Three kinds exist:
+
+* ``TASK`` — a container image (here: a registered Python callable)
+  executed by a FaaS engine under the pure-function contract (§III-C).
+* ``MACRO`` — a dataflow composition of other functions (§II-B); the
+  platform executes the steps, not a container.
+* ``BUILTIN`` — platform-provided functionality (e.g. the implicit
+  ``new`` constructor and state getters) that short-circuits the FaaS
+  engine.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model.dataflow import DataflowSpec
+
+__all__ = ["FunctionType", "ProvisionSpec", "FunctionDefinition"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+
+
+class FunctionType(str, enum.Enum):
+    TASK = "TASK"
+    MACRO = "MACRO"
+    BUILTIN = "BUILTIN"
+
+
+@dataclass(frozen=True)
+class ProvisionSpec:
+    """Resource/deployment hints for a TASK function's runtime.
+
+    These mirror Knative/Kubernetes knobs: per-replica concurrency,
+    resource requests, and scale bounds.  ``min_scale=0`` enables
+    scale-to-zero (with cold starts); raising it pre-warms replicas.
+    """
+
+    concurrency: int = 8
+    cpu_millis: int = 500
+    memory_mb: int = 256
+    min_scale: int = 0
+    max_scale: int = 64
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValidationError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.cpu_millis < 1:
+            raise ValidationError(f"cpu_millis must be >= 1, got {self.cpu_millis}")
+        if self.memory_mb < 1:
+            raise ValidationError(f"memory_mb must be >= 1, got {self.memory_mb}")
+        if self.min_scale < 0:
+            raise ValidationError(f"min_scale must be >= 0, got {self.min_scale}")
+        if self.max_scale < max(1, self.min_scale):
+            raise ValidationError(
+                f"max_scale must be >= max(1, min_scale), got {self.max_scale}"
+            )
+
+
+@dataclass(frozen=True)
+class FunctionDefinition:
+    """A deployable function.
+
+    Attributes:
+        name: function name, unique within its package.
+        ftype: TASK, MACRO, or BUILTIN.
+        image: container image reference for TASK functions; resolved
+            against the :class:`~repro.faas.registry.FunctionRegistry`.
+        dataflow: the composition for MACRO functions.
+        provision: deployment hints for TASK functions.
+        description: human-readable docstring.
+    """
+
+    name: str
+    ftype: FunctionType = FunctionType.TASK
+    image: str | None = None
+    dataflow: "DataflowSpec | None" = None
+    provision: ProvisionSpec = field(default_factory=ProvisionSpec)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValidationError(f"invalid function name {self.name!r}")
+        if self.ftype is FunctionType.TASK and not self.image:
+            raise ValidationError(f"TASK function {self.name!r} requires an image")
+        if self.ftype is FunctionType.MACRO and self.dataflow is None:
+            raise ValidationError(f"MACRO function {self.name!r} requires a dataflow")
+        if self.ftype is not FunctionType.MACRO and self.dataflow is not None:
+            raise ValidationError(
+                f"function {self.name!r} has a dataflow but is {self.ftype.value}"
+            )

@@ -1,0 +1,127 @@
+"""Non-functional requirement (NFR) interface (paper §II-C).
+
+Developers attach *QoS requirements* (measurable service-level targets:
+throughput, availability, latency) and *deployment constraints*
+(persistence, budget, jurisdiction) to a class — or override them per
+function.  The platform consumes these during deployment: the class
+runtime manager matches them against runtime templates (§III-B) and the
+optimizer enforces them at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.errors import ValidationError
+
+__all__ = ["QosRequirement", "Constraint", "NonFunctionalRequirements"]
+
+
+@dataclass(frozen=True)
+class QosRequirement:
+    """Measurable quality-of-service targets.
+
+    All fields are optional; ``None`` means "no requirement".
+
+    Attributes:
+        throughput_rps: sustained invocations/second the class must
+            support (Listing 1: ``throughput: 100``).
+        availability: required availability as a fraction in (0, 1],
+            e.g. ``0.999``.
+        latency_ms: p99 end-to-end invocation latency bound.
+    """
+
+    throughput_rps: float | None = None
+    availability: float | None = None
+    latency_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.throughput_rps is not None and self.throughput_rps <= 0:
+            raise ValidationError(f"throughput must be > 0, got {self.throughput_rps}")
+        if self.availability is not None and not 0 < self.availability <= 1:
+            raise ValidationError(
+                f"availability must be in (0, 1], got {self.availability}"
+            )
+        if self.latency_ms is not None and self.latency_ms <= 0:
+            raise ValidationError(f"latency bound must be > 0, got {self.latency_ms}")
+
+    @property
+    def is_empty(self) -> bool:
+        return all(getattr(self, f.name) is None for f in fields(self))
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Deployment constraints.
+
+    Attributes:
+        persistent: whether object state must survive the in-memory tier
+            (Listing 1: ``persistent: true``).  Non-persistent classes
+            skip database write-behind entirely — the
+            ``oprc-bypass-nonpersist`` configuration of Fig. 3.
+        budget_usd_per_month: upper bound on monthly deployment cost.
+        jurisdictions: datacenter regions where state may reside; empty
+            means unrestricted.
+    """
+
+    persistent: bool = True
+    budget_usd_per_month: float | None = None
+    jurisdictions: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.budget_usd_per_month is not None and self.budget_usd_per_month <= 0:
+            raise ValidationError(
+                f"budget must be > 0, got {self.budget_usd_per_month}"
+            )
+
+    @property
+    def is_default(self) -> bool:
+        return (
+            self.persistent
+            and self.budget_usd_per_month is None
+            and not self.jurisdictions
+        )
+
+
+@dataclass(frozen=True)
+class NonFunctionalRequirements:
+    """The complete NFR block of a class or function."""
+
+    qos: QosRequirement = field(default_factory=QosRequirement)
+    constraint: Constraint = field(default_factory=Constraint)
+
+    @classmethod
+    def none(cls) -> "NonFunctionalRequirements":
+        """The empty requirement block (all defaults)."""
+        return cls()
+
+    @property
+    def is_default(self) -> bool:
+        return self.qos.is_empty and self.constraint.is_default
+
+    def merged_over(self, base: "NonFunctionalRequirements") -> "NonFunctionalRequirements":
+        """Overlay these requirements on inherited ``base`` requirements.
+
+        Field-wise: a child value wins where it is set; unset QoS fields
+        fall back to the parent.  Constraints are taken wholesale from
+        whichever block is non-default, preferring the child.
+        """
+        qos = QosRequirement(
+            throughput_rps=(
+                self.qos.throughput_rps
+                if self.qos.throughput_rps is not None
+                else base.qos.throughput_rps
+            ),
+            availability=(
+                self.qos.availability
+                if self.qos.availability is not None
+                else base.qos.availability
+            ),
+            latency_ms=(
+                self.qos.latency_ms
+                if self.qos.latency_ms is not None
+                else base.qos.latency_ms
+            ),
+        )
+        constraint = self.constraint if not self.constraint.is_default else base.constraint
+        return NonFunctionalRequirements(qos=qos, constraint=constraint)

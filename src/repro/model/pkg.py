@@ -1,0 +1,465 @@
+"""Packages: parsing class definitions from YAML/JSON (tutorial step 4).
+
+A package bundles class definitions and function definitions, exactly
+like the paper's Listing 1.  Developers write YAML (or JSON); the
+parser is strict — unknown keys raise :class:`ValidationError` so typos
+in definitions fail at deploy time, not silently at run time.
+
+Accepted document shape::
+
+    name: image-app                # optional package name
+    functions:                     # optional package-level functions
+      - name: resize
+        image: img/resize
+    classes:
+      - name: Image
+        qos: { throughput: 100 }
+        constraint: { persistent: true }
+        keySpecs:
+          - name: image
+            type: FILE
+        functions:
+          - name: resize           # inline image, or a reference to a
+            image: img/resize      # package-level function by name
+      - name: LabelledImage
+        parent: Image
+        functions:
+          - name: detectObject
+            image: img/detect-object
+
+Both ``camelCase`` and ``snake_case`` key spellings are accepted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import PackageError, ValidationError
+from repro.model.cls import AccessModifier, ClassDefinition, FunctionBinding
+from repro.model.dataflow import DataflowSpec, DataflowStep
+from repro.model.function import FunctionDefinition, FunctionType, ProvisionSpec
+from repro.model.nfr import Constraint, NonFunctionalRequirements, QosRequirement
+from repro.model.resolver import ClassResolver, ResolvedClass
+from repro.model.types import DataType, KeySpec, StateSpec
+
+__all__ = ["Package", "parse_package", "load_package", "loads_package"]
+
+
+@dataclass(frozen=True)
+class Package:
+    """A deployable bundle of classes and functions."""
+
+    name: str = "default"
+    classes: tuple[ClassDefinition, ...] = field(default_factory=tuple)
+    functions: tuple[FunctionDefinition, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [cls.name for cls in self.classes]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValidationError(f"duplicate classes in package: {sorted(duplicates)}")
+        fnames = [fn.name for fn in self.functions]
+        fdup = {n for n in fnames if fnames.count(n) > 1}
+        if fdup:
+            raise ValidationError(f"duplicate functions in package: {sorted(fdup)}")
+
+    def cls(self, name: str) -> ClassDefinition:
+        for candidate in self.classes:
+            if candidate.name == name:
+                return candidate
+        raise ValidationError(f"package {self.name!r} has no class {name!r}")
+
+    def resolver(self) -> ClassResolver:
+        return ClassResolver({cls.name: cls for cls in self.classes})
+
+    def resolved_classes(self) -> dict[str, ResolvedClass]:
+        """Flatten every class (validates the whole hierarchy)."""
+        return self.resolver().resolve_all()
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def _require_mapping(node: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(node, Mapping):
+        raise PackageError(f"{what} must be a mapping, got {type(node).__name__}")
+    return node
+
+
+def _check_keys(node: Mapping[str, Any], allowed: dict[str, str], what: str) -> dict[str, Any]:
+    """Normalize key spellings and reject unknown keys.
+
+    ``allowed`` maps every accepted spelling to its canonical name.
+    """
+    out: dict[str, Any] = {}
+    for key, value in node.items():
+        canonical = allowed.get(key)
+        if canonical is None:
+            raise PackageError(
+                f"unknown key {key!r} in {what}; allowed: "
+                f"{sorted(set(allowed.values()))}"
+            )
+        if canonical in out:
+            raise PackageError(f"duplicate key {canonical!r} in {what}")
+        out[canonical] = value
+    return out
+
+
+_QOS_KEYS = {
+    "throughput": "throughput",
+    "throughputRps": "throughput",
+    "throughput_rps": "throughput",
+    "availability": "availability",
+    "latency": "latency",
+    "latencyMs": "latency",
+    "latency_ms": "latency",
+}
+
+_CONSTRAINT_KEYS = {
+    "persistent": "persistent",
+    "budget": "budget",
+    "budgetUsdPerMonth": "budget",
+    "budget_usd_per_month": "budget",
+    "jurisdiction": "jurisdictions",
+    "jurisdictions": "jurisdictions",
+}
+
+
+def parse_nfr(node: Mapping[str, Any], what: str) -> NonFunctionalRequirements:
+    qos_node = _check_keys(_require_mapping(node.get("qos", {}), f"{what}.qos"), _QOS_KEYS, f"{what}.qos")
+    constraint_node = _check_keys(
+        _require_mapping(node.get("constraint", {}), f"{what}.constraint"),
+        _CONSTRAINT_KEYS,
+        f"{what}.constraint",
+    )
+    jurisdictions = constraint_node.get("jurisdictions", ())
+    if isinstance(jurisdictions, str):
+        jurisdictions = (jurisdictions,)
+    try:
+        qos = QosRequirement(
+            throughput_rps=qos_node.get("throughput"),
+            availability=qos_node.get("availability"),
+            latency_ms=qos_node.get("latency"),
+        )
+        constraint = Constraint(
+            persistent=bool(constraint_node.get("persistent", True)),
+            budget_usd_per_month=constraint_node.get("budget"),
+            jurisdictions=tuple(jurisdictions),
+        )
+    except ValidationError as exc:
+        raise PackageError(f"invalid NFR in {what}: {exc}") from exc
+    return NonFunctionalRequirements(qos=qos, constraint=constraint)
+
+
+_KEYSPEC_KEYS = {"name": "name", "type": "type", "default": "default", "doc": "doc"}
+
+
+def parse_key_spec(node: Any, what: str) -> KeySpec:
+    mapping = _check_keys(_require_mapping(node, what), _KEYSPEC_KEYS, what)
+    if "name" not in mapping:
+        raise PackageError(f"{what} is missing 'name'")
+    dtype = DataType.parse(mapping.get("type", "JSON"))
+    return KeySpec(
+        name=str(mapping["name"]),
+        dtype=dtype,
+        default=mapping.get("default"),
+        doc=str(mapping.get("doc", "")),
+    )
+
+
+_PROVISION_KEYS = {
+    "concurrency": "concurrency",
+    "cpu": "cpu_millis",
+    "cpuMillis": "cpu_millis",
+    "cpu_millis": "cpu_millis",
+    "memory": "memory_mb",
+    "memoryMb": "memory_mb",
+    "memory_mb": "memory_mb",
+    "minScale": "min_scale",
+    "min_scale": "min_scale",
+    "maxScale": "max_scale",
+    "max_scale": "max_scale",
+}
+
+
+def parse_provision(node: Any, what: str) -> ProvisionSpec:
+    mapping = _check_keys(_require_mapping(node, what), _PROVISION_KEYS, what)
+    defaults = ProvisionSpec()
+    try:
+        return ProvisionSpec(
+            concurrency=int(mapping.get("concurrency", defaults.concurrency)),
+            cpu_millis=int(mapping.get("cpu_millis", defaults.cpu_millis)),
+            memory_mb=int(mapping.get("memory_mb", defaults.memory_mb)),
+            min_scale=int(mapping.get("min_scale", defaults.min_scale)),
+            max_scale=int(mapping.get("max_scale", defaults.max_scale)),
+        )
+    except ValidationError as exc:
+        raise PackageError(f"invalid provision in {what}: {exc}") from exc
+
+
+_STEP_KEYS = {
+    "id": "id",
+    "name": "id",
+    "function": "function",
+    "target": "target",
+    "inputs": "inputs",
+    "args": "args",
+}
+
+
+def parse_dataflow(node: Any, what: str) -> DataflowSpec:
+    mapping = _check_keys(
+        _require_mapping(node, what), {"steps": "steps", "output": "output"}, what
+    )
+    raw_steps = mapping.get("steps")
+    if not isinstance(raw_steps, list):
+        raise PackageError(f"{what}.steps must be a list")
+    steps = []
+    for i, raw in enumerate(raw_steps):
+        step_node = _check_keys(
+            _require_mapping(raw, f"{what}.steps[{i}]"), _STEP_KEYS, f"{what}.steps[{i}]"
+        )
+        if "id" not in step_node or "function" not in step_node:
+            raise PackageError(f"{what}.steps[{i}] needs 'id' and 'function'")
+        inputs = step_node.get("inputs", ())
+        if isinstance(inputs, str):
+            inputs = (inputs,)
+        args = _require_mapping(step_node.get("args", {}), f"{what}.steps[{i}].args")
+        steps.append(
+            DataflowStep(
+                id=str(step_node["id"]),
+                function=str(step_node["function"]),
+                target=str(step_node.get("target", "$self")),
+                inputs=tuple(str(ref) for ref in inputs),
+                args={str(k): str(v) for k, v in args.items()},
+            )
+        )
+    return DataflowSpec(steps=tuple(steps), output=mapping.get("output"))
+
+
+_FUNCTION_KEYS = {
+    "name": "name",
+    "type": "type",
+    "image": "image",
+    "dataflow": "dataflow",
+    "provision": "provision",
+    "description": "description",
+    # Binding-level keys, accepted when a function appears inline in a
+    # class; ignored by parse_function itself.
+    "access": "access",
+    "mutable": "mutable",
+    "outputClass": "output_class",
+    "output_class": "output_class",
+    "qos": "qos",
+    "constraint": "constraint",
+}
+
+
+def _parse_function_fields(mapping: dict[str, Any], what: str) -> FunctionDefinition | None:
+    """Build a FunctionDefinition from normalized fields, or ``None`` if
+    the node carries no definition (it is then a reference by name)."""
+    has_def = "image" in mapping or "dataflow" in mapping or "type" in mapping
+    if not has_def:
+        return None
+    raw_type = str(mapping.get("type", "TASK" if "image" in mapping else "MACRO")).upper()
+    try:
+        ftype = FunctionType(raw_type)
+    except ValueError:
+        raise PackageError(
+            f"unknown function type {raw_type!r} in {what}; expected "
+            f"{', '.join(t.value for t in FunctionType)}"
+        ) from None
+    dataflow = None
+    if "dataflow" in mapping:
+        dataflow = parse_dataflow(mapping["dataflow"], f"{what}.dataflow")
+    provision = (
+        parse_provision(mapping["provision"], f"{what}.provision")
+        if "provision" in mapping
+        else ProvisionSpec()
+    )
+    try:
+        return FunctionDefinition(
+            name=str(mapping["name"]),
+            ftype=ftype,
+            image=mapping.get("image"),
+            dataflow=dataflow,
+            provision=provision,
+            description=str(mapping.get("description", "")),
+        )
+    except ValidationError as exc:
+        raise PackageError(f"invalid function in {what}: {exc}") from exc
+
+
+def parse_function(node: Any, what: str) -> FunctionDefinition:
+    mapping = _check_keys(_require_mapping(node, what), _FUNCTION_KEYS, what)
+    if "name" not in mapping:
+        raise PackageError(f"{what} is missing 'name'")
+    definition = _parse_function_fields(mapping, what)
+    if definition is None:
+        raise PackageError(f"{what} must define 'image', 'dataflow', or 'type'")
+    return definition
+
+
+def parse_binding(
+    node: Any, what: str, package_functions: Mapping[str, FunctionDefinition]
+) -> FunctionBinding:
+    mapping = _check_keys(_require_mapping(node, what), _FUNCTION_KEYS, what)
+    if "name" not in mapping:
+        raise PackageError(f"{what} is missing 'name'")
+    name = str(mapping["name"])
+    definition = _parse_function_fields(mapping, what)
+    if definition is None:
+        definition = package_functions.get(name)
+        if definition is None:
+            raise PackageError(
+                f"{what}: {name!r} neither defines a function inline nor "
+                "references a package-level function"
+            )
+    access_raw = str(mapping.get("access", "PUBLIC")).upper()
+    try:
+        access = AccessModifier(access_raw)
+    except ValueError:
+        raise PackageError(
+            f"unknown access modifier {access_raw!r} in {what}"
+        ) from None
+    nfr = None
+    if "qos" in mapping or "constraint" in mapping:
+        nfr = parse_nfr(
+            {"qos": mapping.get("qos", {}), "constraint": mapping.get("constraint", {})},
+            what,
+        )
+    try:
+        return FunctionBinding(
+            name=name,
+            function=definition,
+            access=access,
+            mutable=bool(mapping.get("mutable", True)),
+            output_class=mapping.get("output_class"),
+            nfr=nfr,
+        )
+    except ValidationError as exc:
+        raise PackageError(f"invalid binding in {what}: {exc}") from exc
+
+
+_CLASS_KEYS = {
+    "name": "name",
+    "parent": "parent",
+    "keySpecs": "key_specs",
+    "key_specs": "key_specs",
+    "stateSpec": "key_specs",
+    "functions": "functions",
+    "qos": "qos",
+    "constraint": "constraint",
+    "description": "description",
+}
+
+
+def parse_class(
+    node: Any,
+    what: str,
+    package_name: str,
+    package_functions: Mapping[str, FunctionDefinition],
+) -> ClassDefinition:
+    mapping = _check_keys(_require_mapping(node, what), _CLASS_KEYS, what)
+    if "name" not in mapping:
+        raise PackageError(f"{what} is missing 'name'")
+    raw_keys = mapping.get("key_specs", [])
+    if not isinstance(raw_keys, list):
+        raise PackageError(f"{what}.keySpecs must be a list")
+    key_specs = tuple(
+        parse_key_spec(raw, f"{what}.keySpecs[{i}]") for i, raw in enumerate(raw_keys)
+    )
+    raw_functions = mapping.get("functions", [])
+    if not isinstance(raw_functions, list):
+        raise PackageError(f"{what}.functions must be a list")
+    bindings = tuple(
+        parse_binding(raw, f"{what}.functions[{i}]", package_functions)
+        for i, raw in enumerate(raw_functions)
+    )
+    nfr = parse_nfr(
+        {"qos": mapping.get("qos", {}), "constraint": mapping.get("constraint", {})},
+        what,
+    )
+    try:
+        return ClassDefinition(
+            name=str(mapping["name"]),
+            package=package_name,
+            parent=mapping.get("parent"),
+            state=StateSpec(key_specs),
+            bindings=bindings,
+            nfr=nfr,
+            description=str(mapping.get("description", "")),
+        )
+    except ValidationError as exc:
+        raise PackageError(f"invalid class in {what}: {exc}") from exc
+
+
+_PACKAGE_KEYS = {
+    "name": "name",
+    "classes": "classes",
+    "functions": "functions",
+    "description": "description",
+}
+
+
+def parse_package(data: Any) -> Package:
+    """Parse a package document (already decoded from YAML/JSON)."""
+    mapping = _check_keys(_require_mapping(data, "package"), _PACKAGE_KEYS, "package")
+    package_name = str(mapping.get("name", "default"))
+    raw_functions = mapping.get("functions", [])
+    if not isinstance(raw_functions, list):
+        raise PackageError("package.functions must be a list")
+    functions = tuple(
+        parse_function(raw, f"package.functions[{i}]")
+        for i, raw in enumerate(raw_functions)
+    )
+    function_index = {fn.name: fn for fn in functions}
+    raw_classes = mapping.get("classes", [])
+    if not isinstance(raw_classes, list):
+        raise PackageError("package.classes must be a list")
+    classes = tuple(
+        parse_class(raw, f"package.classes[{i}]", package_name, function_index)
+        for i, raw in enumerate(raw_classes)
+    )
+    package = Package(name=package_name, classes=classes, functions=functions)
+    # Validate the inheritance hierarchy eagerly so broken packages are
+    # rejected at parse time, matching deploy-time behaviour of Oparaca.
+    package.resolved_classes()
+    return package
+
+
+def loads_package(text: str, fmt: str = "yaml") -> Package:
+    """Parse a package from YAML or JSON text."""
+    if fmt == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PackageError(f"invalid JSON: {exc}") from exc
+    elif fmt == "yaml":
+        try:
+            import yaml
+        except ImportError:  # pragma: no cover - yaml always present in CI
+            raise PackageError("PyYAML is not installed; use JSON") from None
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise PackageError(f"invalid YAML: {exc}") from exc
+    else:
+        raise PackageError(f"unknown package format {fmt!r}; use 'yaml' or 'json'")
+    return parse_package(data)
+
+
+def load_package(path: str | Path) -> Package:
+    """Load a package from a ``.yml``/``.yaml``/``.json`` file."""
+    path = Path(path)
+    fmt = "json" if path.suffix.lower() == ".json" else "yaml"
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise PackageError(f"cannot read package file {path}: {exc}") from exc
+    return loads_package(text, fmt=fmt)

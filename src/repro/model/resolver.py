@@ -1,0 +1,158 @@
+"""Inheritance and polymorphism resolution (paper §II-A, §III-A).
+
+Oparaca classes support single inheritance: a child class inherits its
+parent's state keys and methods, may add new ones, and may *override*
+inherited methods (polymorphism — Listing 1's ``LabelledImage`` extends
+``Image`` and adds ``detectObject``).  The resolver flattens each class
+into a :class:`ResolvedClass` carrying the merged state schema, the full
+method table, and the ancestry chain used for subtype checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClassResolutionError
+from repro.model.cls import ClassDefinition, FunctionBinding
+from repro.model.dataflow import DataflowSpec
+from repro.model.function import FunctionType
+from repro.model.nfr import NonFunctionalRequirements
+from repro.model.types import StateSpec
+
+__all__ = ["ResolvedClass", "ClassResolver"]
+
+
+@dataclass(frozen=True)
+class ResolvedClass:
+    """A class flattened through its inheritance chain.
+
+    Attributes:
+        name: class name.
+        definition: the original (unflattened) definition.
+        ancestry: ``(name, parent, grandparent, ...)`` — self first.
+        state: merged state schema, parent keys first.
+        methods: method name → effective binding (overrides applied).
+        nfr: effective NFRs (child overlaid on ancestors).
+    """
+
+    name: str
+    definition: ClassDefinition
+    ancestry: tuple[str, ...]
+    state: StateSpec
+    methods: dict[str, FunctionBinding]
+    nfr: NonFunctionalRequirements
+
+    def binding(self, method: str) -> FunctionBinding | None:
+        return self.methods.get(method)
+
+    def is_subclass_of(self, other: str) -> bool:
+        """True if this class is ``other`` or inherits from it."""
+        return other in self.ancestry
+
+    def effective_nfr(self, method: str) -> NonFunctionalRequirements:
+        """The NFRs governing one method (binding override over class)."""
+        binding = self.methods.get(method)
+        if binding is not None and binding.nfr is not None:
+            return binding.nfr.merged_over(self.nfr)
+        return self.nfr
+
+    @property
+    def method_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.methods))
+
+
+class ClassResolver:
+    """Resolves a set of class definitions into flattened classes."""
+
+    def __init__(self, definitions: dict[str, ClassDefinition]) -> None:
+        self._definitions = dict(definitions)
+        self._cache: dict[str, ResolvedClass] = {}
+
+    def resolve(self, name: str) -> ResolvedClass:
+        """Flatten ``name`` through its ancestry.
+
+        Raises:
+            ClassResolutionError: unknown class/parent, inheritance
+                cycle, or a macro referencing a method the class lacks.
+        """
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        chain = self._ancestry(name)
+        # Merge root-first so children override.
+        state = StateSpec()
+        methods: dict[str, FunctionBinding] = {}
+        nfr = NonFunctionalRequirements.none()
+        for cls_name in reversed(chain):
+            definition = self._definitions[cls_name]
+            state = state.merged_with(definition.state)
+            for binding in definition.bindings:
+                self._check_override(cls_name, binding, methods.get(binding.name))
+                methods[binding.name] = binding
+            if not definition.nfr.is_default:
+                nfr = definition.nfr.merged_over(nfr)
+        resolved = ResolvedClass(
+            name=name,
+            definition=self._definitions[name],
+            ancestry=tuple(chain),
+            state=state,
+            methods=methods,
+            nfr=nfr,
+        )
+        self._validate_macros(resolved)
+        self._cache[name] = resolved
+        return resolved
+
+    def resolve_all(self) -> dict[str, ResolvedClass]:
+        return {name: self.resolve(name) for name in sorted(self._definitions)}
+
+    def is_subclass(self, child: str, parent: str) -> bool:
+        """Subtype check across the registered hierarchy."""
+        if child not in self._definitions:
+            raise ClassResolutionError(f"unknown class {child!r}")
+        return parent in self._ancestry(child)
+
+    # -- internals -------------------------------------------------------
+
+    def _ancestry(self, name: str) -> list[str]:
+        chain: list[str] = []
+        seen: set[str] = set()
+        current: str | None = name
+        while current is not None:
+            if current not in self._definitions:
+                where = f" (parent of {chain[-1]!r})" if chain else ""
+                raise ClassResolutionError(f"unknown class {current!r}{where}")
+            if current in seen:
+                raise ClassResolutionError(
+                    f"inheritance cycle involving {current!r}: {chain + [current]}"
+                )
+            seen.add(current)
+            chain.append(current)
+            current = self._definitions[current].parent
+        return chain
+
+    @staticmethod
+    def _check_override(
+        cls_name: str, binding: FunctionBinding, inherited: FunctionBinding | None
+    ) -> None:
+        if inherited is None:
+            return
+        if binding.mutable != inherited.mutable:
+            raise ClassResolutionError(
+                f"class {cls_name!r} overrides {binding.name!r} changing "
+                f"mutability ({inherited.mutable} -> {binding.mutable}); "
+                "callers relying on the parent contract would break"
+            )
+
+    def _validate_macros(self, resolved: ResolvedClass) -> None:
+        for method, binding in resolved.methods.items():
+            if binding.function.ftype is not FunctionType.MACRO:
+                continue
+            dataflow: DataflowSpec = binding.function.dataflow
+            for step in dataflow.steps:
+                callee = resolved.methods.get(step.function)
+                if callee is None and step.target == "$self":
+                    raise ClassResolutionError(
+                        f"macro {method!r} on class {resolved.name!r}: step "
+                        f"{step.id!r} calls unknown method {step.function!r}"
+                    )

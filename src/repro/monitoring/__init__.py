@@ -1,0 +1,17 @@
+"""Monitoring: metric primitives and the platform metrics hub."""
+
+from repro.monitoring.collector import ClassObservations, MonitoringSystem
+from repro.monitoring.metrics import Counter, Gauge, Histogram, MetricsRegistry, SlidingWindow
+from repro.monitoring.tracing import Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "ClassObservations",
+    "MonitoringSystem",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlidingWindow",
+]

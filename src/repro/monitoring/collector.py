@@ -1,0 +1,68 @@
+"""Per-class observation feeding the requirement-driven optimizer."""
+
+from __future__ import annotations
+
+from repro.monitoring.metrics import Histogram, MetricsRegistry, SlidingWindow
+from repro.sim.kernel import Environment
+
+__all__ = ["ClassObservations", "MonitoringSystem"]
+
+
+class ClassObservations:
+    """Live + lifetime metrics for one deployed class."""
+
+    def __init__(self, env: Environment, cls: str, window_s: float = 30.0) -> None:
+        self.env = env
+        self.cls = cls
+        self.window = SlidingWindow(window_s)
+        self.latency = Histogram(f"{cls}.latency_s")
+        self.completed = 0
+        self.failed = 0
+
+    def record_invocation(self, latency_s: float, ok: bool) -> None:
+        self.window.record(self.env.now, latency_s, ok)
+        self.latency.record(latency_s)
+        if ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.window.throughput(self.env.now)
+
+    @property
+    def error_rate(self) -> float:
+        return self.window.error_rate(self.env.now)
+
+    def latency_p99_ms(self) -> float:
+        return self.window.latency_percentile(self.env.now, 99) * 1000.0
+
+
+class MonitoringSystem:
+    """The platform's metrics hub: per-class observations + a registry."""
+
+    def __init__(self, env: Environment, window_s: float = 30.0) -> None:
+        self.env = env
+        self.window_s = window_s
+        self.registry = MetricsRegistry()
+        self._classes: dict[str, ClassObservations] = {}
+
+    def for_class(self, cls: str) -> ClassObservations:
+        obs = self._classes.get(cls)
+        if obs is None:
+            obs = ClassObservations(self.env, cls, self.window_s)
+            self._classes[cls] = obs
+        return obs
+
+    @property
+    def observed_classes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._classes))
+
+    def snapshot(self) -> dict[str, float]:
+        out = self.registry.snapshot()
+        for cls, obs in self._classes.items():
+            out[f"class.{cls}.throughput_rps"] = obs.throughput_rps
+            out[f"class.{cls}.error_rate"] = obs.error_rate
+            out[f"class.{cls}.latency_p99_ms"] = obs.latency_p99_ms()
+        return out

@@ -1,0 +1,168 @@
+"""Metric primitives: counters, gauges, histograms, and a registry.
+
+The requirement-driven optimizer (§III-B: "Oparaca connects the runtime
+to the monitoring system and reacts to changes in workload or
+performance") consumes these through sliding windows; benchmarks read
+the same registry to report results.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "SlidingWindow", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValidationError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Exact-value distribution (fine at simulation scales)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        self._values.append(float(value))
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def percentile(self, pct: float) -> float:
+        """Value at percentile ``pct`` (0 < pct <= 100)."""
+        if not 0 < pct <= 100:
+            raise ValidationError(f"percentile must be in (0, 100], got {pct}")
+        if not self._values:
+            return 0.0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = max(0, min(len(self._values) - 1, math.ceil(pct / 100 * len(self._values)) - 1))
+        return self._values[rank]
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+
+@dataclass(frozen=True)
+class _WindowSample:
+    at: float
+    value: float
+    ok: bool
+
+
+class SlidingWindow:
+    """Completions over the trailing ``window_s`` seconds.
+
+    Feeds the optimizer's live view of a class: throughput, error rate,
+    and latency percentiles, all evicting samples older than the window.
+    """
+
+    def __init__(self, window_s: float = 30.0) -> None:
+        if window_s <= 0:
+            raise ValidationError(f"window must be > 0, got {window_s}")
+        self.window_s = window_s
+        self._samples: deque[_WindowSample] = deque()
+
+    def record(self, now: float, latency_s: float, ok: bool = True) -> None:
+        self._samples.append(_WindowSample(now, latency_s, ok))
+        self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window_s
+        while self._samples and self._samples[0].at < cutoff:
+            self._samples.popleft()
+
+    def throughput(self, now: float) -> float:
+        """Completions/second over the trailing window."""
+        self._evict(now)
+        if not self._samples:
+            return 0.0
+        span = min(self.window_s, max(now - self._samples[0].at, 1e-9))
+        return len(self._samples) / span
+
+    def error_rate(self, now: float) -> float:
+        self._evict(now)
+        if not self._samples:
+            return 0.0
+        return sum(1 for s in self._samples if not s.ok) / len(self._samples)
+
+    def latency_percentile(self, now: float, pct: float) -> float:
+        self._evict(now)
+        if not self._samples:
+            return 0.0
+        ordered = sorted(s.value for s in self._samples)
+        rank = max(0, min(len(ordered) - 1, math.ceil(pct / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def snapshot(self) -> dict[str, float]:
+        """A flat view of counters and gauges (histograms as mean/p99)."""
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[f"{name}.mean"] = histogram.mean
+            out[f"{name}.p99"] = histogram.percentile(99) if histogram.count else 0.0
+        return out

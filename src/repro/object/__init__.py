@@ -1,0 +1,5 @@
+"""Object instances and their durable representation."""
+
+from repro.object.obj import ObjectRecord, deterministic_object_ids, new_object_id
+
+__all__ = ["ObjectRecord", "new_object_id", "deterministic_object_ids"]

@@ -1,0 +1,20 @@
+"""Kubernetes-like container orchestrator substrate."""
+
+from repro.orchestrator.cluster import Cluster, Node
+from repro.orchestrator.deployment import Deployment
+from repro.orchestrator.hpa import HorizontalPodAutoscaler
+from repro.orchestrator.pod import Pod, PodPhase, PodSpec
+from repro.orchestrator.resources import ResourceSpec
+from repro.orchestrator.scheduler import Scheduler
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Deployment",
+    "HorizontalPodAutoscaler",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+    "ResourceSpec",
+    "Scheduler",
+]

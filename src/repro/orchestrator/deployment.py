@@ -1,0 +1,150 @@
+"""Deployments: replica-set management over the scheduler.
+
+A deployment keeps ``replicas`` pods of one spec alive, spreads or pins
+them per the scheduler policy, and offers least-loaded pod selection to
+the engines routing requests onto it.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import SchedulingError
+from repro.orchestrator.pod import Pod, PodPhase, PodSpec
+from repro.orchestrator.scheduler import Scheduler
+from repro.sim.kernel import Environment
+
+__all__ = ["Deployment"]
+
+
+class Deployment:
+    """Maintains a fleet of identical pods."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        spec: PodSpec,
+        scheduler: Scheduler,
+        replicas: int = 1,
+        node_hints: list[str] | None = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.spec = spec
+        self.scheduler = scheduler
+        self.node_hints = list(node_hints or [])
+        self._hint_cycle = itertools.cycle(self.node_hints) if self.node_hints else None
+        self._seq = itertools.count(1)
+        self.pods: list[Pod] = []
+        self.desired = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.replaced_pods = 0
+        self.scale(replicas)
+
+    @property
+    def replicas(self) -> int:
+        return len(self.pods)
+
+    @property
+    def ready_replicas(self) -> int:
+        return sum(1 for pod in self.pods if pod.is_ready)
+
+    def ready_pods(self) -> list[Pod]:
+        return [pod for pod in self.pods if pod.is_ready]
+
+    def total_in_flight(self) -> int:
+        """Requests executing or queued across all replicas."""
+        return sum(pod.in_flight for pod in self.pods)
+
+    def _next_hint(self) -> str | None:
+        """The next placement hint, skipping nodes that left the cluster."""
+        if not self._hint_cycle:
+            return None
+        live = set(self.scheduler.cluster.node_names)
+        for _ in range(len(self.node_hints)):
+            hint = next(self._hint_cycle)
+            if hint in live:
+                return hint
+        return None  # every hinted node is gone; fall back to the scheduler
+
+    def scale(self, replicas: int) -> None:
+        """Adjust the desired replica count and converge toward it.
+
+        Scale-up binds new pods (raising :class:`SchedulingError` if the
+        cluster is full — callers may catch and settle for fewer);
+        scale-down terminates the least-loaded pods first.
+        """
+        if replicas < 0:
+            raise SchedulingError(f"cannot scale to {replicas} replicas")
+        self.desired = replicas
+        self._converge()
+
+    def _converge(self) -> None:
+        while len(self.pods) < self.desired:
+            pod = self.scheduler.schedule(
+                self.spec, node_hint=self._next_hint(), name=f"{self.name}-{next(self._seq)}"
+            )
+            self.pods.append(pod)
+            self.scale_ups += 1
+        if len(self.pods) > self.desired:
+            victims = sorted(self.pods, key=lambda p: (p.in_flight, p.name))
+            for pod in victims[: len(self.pods) - self.desired]:
+                self.pods.remove(pod)
+                self.scheduler.cluster.terminate_pod(pod.name)
+                self.scale_downs += 1
+
+    def reconcile(self) -> int:
+        """Replace pods that died underneath us (node failures).
+
+        Prunes TERMINATED pods and re-converges to the desired count;
+        returns how many replacements were attempted.  A full cluster
+        leaves the deployment below desired — the next reconcile retries.
+        """
+        dead = [pod for pod in self.pods if pod.phase is PodPhase.TERMINATED]
+        for pod in dead:
+            self.pods.remove(pod)
+        self.replaced_pods += len(dead)
+        try:
+            self._converge()
+        except SchedulingError:
+            pass
+        return len(dead)
+
+    def least_loaded_pod(self, include_starting: bool = False) -> Pod | None:
+        """The pod with the fewest in-flight requests.
+
+        With ``include_starting`` a STARTING pod is eligible (requests
+        queue on it and run once it's ready) — the activator's behaviour
+        during a cold start.  Warm capacity is always preferred: a
+        request only queues on a booting pod when every ready pod is
+        already saturated past twice its concurrency, otherwise a burst
+        arriving mid-scale-up would pile onto idle-but-cold pods and
+        wait out their boot while warm slots sit free.
+        """
+        ready = [pod for pod in self.pods if pod.is_ready]
+        starting = (
+            [pod for pod in self.pods if pod.phase is PodPhase.STARTING]
+            if include_starting
+            else []
+        )
+        if ready:
+            best = min(ready, key=lambda p: (p.in_flight, p.name))
+            if not starting or best.in_flight < best.spec.concurrency * 2:
+                return best
+            spill = min(starting, key=lambda p: (p.in_flight, p.name))
+            return spill if spill.in_flight < best.in_flight else best
+        if starting:
+            return min(starting, key=lambda p: (p.in_flight, p.name))
+        return None
+
+    def pods_on_node(self, node: str) -> list[Pod]:
+        return [pod for pod in self.pods if pod.node == node]
+
+    def delete(self) -> None:
+        """Terminate every pod."""
+        self.desired = 0
+        for pod in self.pods:
+            self.scheduler.cluster.terminate_pod(pod.name)
+        self.pods.clear()

@@ -1,0 +1,93 @@
+"""Horizontal pod autoscaler.
+
+Periodically compares an observed metric (by default, in-flight
+requests per replica) against a target and resizes the deployment,
+with a stabilization window damping scale-down — the standard
+Kubernetes HPA shape.  The Knative engine has its own autoscaler with
+scale-to-zero; this one serves plain deployments (the ``oprc-bypass``
+configurations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import SchedulingError, ValidationError
+from repro.orchestrator.deployment import Deployment
+from repro.sim.kernel import Environment
+
+__all__ = ["HorizontalPodAutoscaler"]
+
+
+class HorizontalPodAutoscaler:
+    """Concurrency-targeting autoscaler for a deployment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        deployment: Deployment,
+        target_per_replica: float,
+        min_replicas: int = 1,
+        max_replicas: int = 64,
+        interval_s: float = 2.0,
+        scale_down_stabilization_s: float = 30.0,
+        metric_fn: Callable[[], float] | None = None,
+    ) -> None:
+        if target_per_replica <= 0:
+            raise ValidationError(f"target must be > 0, got {target_per_replica}")
+        if min_replicas < 1:
+            raise ValidationError(f"min_replicas must be >= 1, got {min_replicas}")
+        if max_replicas < min_replicas:
+            raise ValidationError("max_replicas must be >= min_replicas")
+        self.env = env
+        self.deployment = deployment
+        self.target = target_per_replica
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.interval_s = interval_s
+        self.stabilization_s = scale_down_stabilization_s
+        self.metric_fn = metric_fn or deployment.total_in_flight
+        self.decisions = 0
+        self._below_since: float | None = None
+        self._running = True
+        self._proc = env.process(self._run())
+
+    def stop(self) -> None:
+        """Stop ticking (the process exits at its next wake-up)."""
+        self._running = False
+
+    def desired_replicas(self) -> int:
+        """Pure scaling decision from the current metric."""
+        metric = max(0.0, float(self.metric_fn()))
+        desired = math.ceil(metric / self.target) if metric > 0 else self.min_replicas
+        return max(self.min_replicas, min(self.max_replicas, desired))
+
+    def _run(self):
+        while self._running:
+            yield self.env.timeout(self.interval_s)
+            if not self._running:
+                return
+            self.tick()
+
+    def tick(self) -> None:
+        """One scaling evaluation (exposed for deterministic tests)."""
+        self.deployment.reconcile()
+        desired = self.desired_replicas()
+        current = self.deployment.replicas
+        self.decisions += 1
+        if desired > current:
+            self._below_since = None
+            try:
+                self.deployment.scale(desired)
+            except SchedulingError:
+                # Cluster full: scale as far as it goes.
+                pass
+        elif desired < current:
+            if self._below_since is None:
+                self._below_since = self.env.now
+            if self.env.now - self._below_since >= self.stabilization_s:
+                self.deployment.scale(desired)
+                self._below_since = None
+        else:
+            self._below_since = None

@@ -1,0 +1,104 @@
+"""Pods: the orchestrator's unit of placement and execution.
+
+A pod carries a container image, resource requests, and a per-replica
+request-concurrency limit.  Once scheduled, its concurrency slots are a
+:class:`~repro.sim.resources.Resource` that the FaaS engines queue
+executions on; readiness is an event fired after the container's
+startup delay — the *cold start* measured by ABL-COLD.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.orchestrator.resources import ResourceSpec
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import Resource
+
+__all__ = ["PodPhase", "PodSpec", "Pod"]
+
+
+class PodPhase(str, enum.Enum):
+    PENDING = "PENDING"
+    STARTING = "STARTING"
+    RUNNING = "RUNNING"
+    TERMINATED = "TERMINATED"
+
+
+@dataclass(frozen=True)
+class PodSpec:
+    """Immutable template a deployment stamps pods from."""
+
+    image: str
+    resources: ResourceSpec = field(default_factory=lambda: ResourceSpec(500, 256))
+    concurrency: int = 8
+    startup_delay_s: float = 0.0
+    labels: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.image:
+            raise ValidationError("pod image must be non-empty")
+        if self.concurrency < 1:
+            raise ValidationError(f"pod concurrency must be >= 1, got {self.concurrency}")
+        if self.startup_delay_s < 0:
+            raise ValidationError(f"negative startup delay {self.startup_delay_s}")
+        object.__setattr__(self, "labels", dict(self.labels))
+
+
+class Pod:
+    """A scheduled (or pending) pod instance."""
+
+    def __init__(self, env: Environment, name: str, spec: PodSpec) -> None:
+        self.env = env
+        self.name = name
+        self.spec = spec
+        self.phase = PodPhase.PENDING
+        self.node: str | None = None
+        self.created_at = env.now
+        self.ready_at: float | None = None
+        self.slots = Resource(env, spec.concurrency)
+        self._ready = Event(env)
+
+    @property
+    def is_ready(self) -> bool:
+        return self.phase is PodPhase.RUNNING
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently executing or queued on this pod."""
+        return self.slots.in_use + self.slots.queue_length
+
+    def ready_event(self) -> Event:
+        """An event that fires when the pod becomes RUNNING.
+
+        Already-ready pods return an already-fired event.
+        """
+        return self._ready
+
+    def _start(self, node: str) -> None:
+        """Called by the cluster when the scheduler binds the pod."""
+        self.node = node
+        self.phase = PodPhase.STARTING
+        self.env.process(self._boot())
+
+    def _boot(self):
+        if self.spec.startup_delay_s:
+            yield self.env.timeout(self.spec.startup_delay_s)
+        else:
+            yield self.env.timeout(0)
+        if self.phase is PodPhase.STARTING:
+            self.phase = PodPhase.RUNNING
+            self.ready_at = self.env.now
+            if not self._ready.triggered:
+                self._ready.succeed(self)
+
+    def _terminate(self) -> None:
+        self.phase = PodPhase.TERMINATED
+        if not self._ready.triggered:
+            # Nothing should keep waiting on a dead pod.
+            self._ready.succeed(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Pod {self.name} {self.phase.value} on {self.node}>"

@@ -1,0 +1,52 @@
+"""Resource quantities for the container orchestrator.
+
+Kubernetes-style requests: CPU in millicores, memory in MiB.  Nodes
+have a capacity; pods carry requests; the scheduler packs requests into
+capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+__all__ = ["ResourceSpec"]
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """A (cpu, memory) quantity."""
+
+    cpu_millis: int = 0
+    memory_mb: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cpu_millis < 0 or self.memory_mb < 0:
+            raise ValidationError(f"negative resources: {self}")
+
+    def __add__(self, other: "ResourceSpec") -> "ResourceSpec":
+        return ResourceSpec(
+            self.cpu_millis + other.cpu_millis, self.memory_mb + other.memory_mb
+        )
+
+    def __sub__(self, other: "ResourceSpec") -> "ResourceSpec":
+        return ResourceSpec(
+            self.cpu_millis - other.cpu_millis, self.memory_mb - other.memory_mb
+        )
+
+    def fits_within(self, capacity: "ResourceSpec") -> bool:
+        """Whether this request fits in ``capacity``."""
+        return (
+            self.cpu_millis <= capacity.cpu_millis
+            and self.memory_mb <= capacity.memory_mb
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        return self.cpu_millis == 0 and self.memory_mb == 0
+
+    def scaled(self, factor: int) -> "ResourceSpec":
+        if factor < 0:
+            raise ValidationError(f"negative scale factor {factor}")
+        return ResourceSpec(self.cpu_millis * factor, self.memory_mb * factor)

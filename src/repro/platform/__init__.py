@@ -1,0 +1,6 @@
+"""The Oparaca platform facade, gateway, and CLI."""
+
+from repro.platform.gateway import Gateway, HttpRequest, HttpResponse
+from repro.platform.oparaca import Oparaca, PlatformConfig
+
+__all__ = ["Gateway", "HttpRequest", "HttpResponse", "Oparaca", "PlatformConfig"]

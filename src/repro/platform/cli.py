@@ -1,0 +1,206 @@
+"""``ocli`` — the Oparaca command-line interface (tutorial step 2).
+
+Commands:
+
+* ``ocli validate <package>``  — parse and resolve a package file.
+* ``ocli show <package> [--cls NAME]`` — print resolved class details.
+* ``ocli templates`` — list the provider's class-runtime templates.
+* ``ocli run <package> --new CLS [...]`` — deploy the package on an
+  ephemeral in-process platform, create an object, and invoke functions
+  on it.  Handlers come from ``--handlers module:callable`` (a callable
+  receiving the platform to register images) or ``--auto-handlers``,
+  which registers echoing stub handlers for every image in the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+
+from repro.crm.template import default_catalog
+from repro.errors import OaasError
+from repro.model.pkg import Package, load_package
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ocli", description="Oparaca platform CLI (OaaS reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="parse and resolve a package file")
+    validate.add_argument("package", help="path to a YAML/JSON package file")
+
+    show = sub.add_parser("show", help="print resolved class details")
+    show.add_argument("package")
+    show.add_argument("--cls", help="show only this class")
+
+    sub.add_parser("templates", help="list class-runtime templates")
+
+    run = sub.add_parser("run", help="deploy a package and invoke functions")
+    run.add_argument("package")
+    run.add_argument("--handlers", help="module:callable registering images")
+    run.add_argument(
+        "--auto-handlers",
+        action="store_true",
+        help="register stub handlers for every image in the package",
+    )
+    run.add_argument("--new", dest="new_cls", required=True, help="class to instantiate")
+    run.add_argument("--state", default="{}", help="initial state JSON")
+    run.add_argument(
+        "--invoke",
+        action="append",
+        default=[],
+        metavar="FN[:PAYLOAD_JSON]",
+        help="function to invoke on the new object (repeatable)",
+    )
+    run.add_argument("--nodes", type=int, default=3, help="worker VM count")
+    return parser
+
+
+def _load_pkg(path: str) -> Package:
+    return load_package(path)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    package = _load_pkg(args.package)
+    resolved = package.resolved_classes()
+    print(f"package {package.name!r}: OK")
+    print(f"  classes:   {len(package.classes)}")
+    print(f"  functions: {len(package.functions)}")
+    for name in sorted(resolved):
+        cls = resolved[name]
+        parent = cls.definition.parent or "-"
+        print(
+            f"    {name} (parent={parent}, state keys={len(cls.state)}, "
+            f"methods={len(cls.methods)})"
+        )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    package = _load_pkg(args.package)
+    resolved = package.resolved_classes()
+    names = [args.cls] if args.cls else sorted(resolved)
+    for name in names:
+        if name not in resolved:
+            print(f"error: no class {name!r} in package", file=sys.stderr)
+            return 1
+        cls = resolved[name]
+        print(f"class {cls.name}")
+        print(f"  ancestry: {' -> '.join(cls.ancestry)}")
+        print(f"  nfr: qos={cls.nfr.qos} constraint={cls.nfr.constraint}")
+        print("  state:")
+        for spec in cls.state:
+            print(f"    {spec.name}: {spec.dtype.value}")
+        print("  methods:")
+        for method in cls.method_names:
+            binding = cls.methods[method]
+            kind = binding.function.ftype.value
+            impl = binding.function.image or "(dataflow)"
+            print(f"    {method} [{kind}] {impl} access={binding.access.value}")
+    return 0
+
+
+def _cmd_templates(_args: argparse.Namespace) -> int:
+    catalog = default_catalog()
+    for template in sorted(catalog.templates, key=lambda t: -t.priority):
+        print(f"{template.name} (priority {template.priority})")
+        print(f"  engine={template.config.engine} "
+              f"placement={template.config.placement.value} "
+              f"replication={template.config.replication} "
+              f"persistent={template.config.persistent}")
+        if template.description:
+            print(f"  {template.description}")
+    return 0
+
+
+def _register_stub_handlers(platform, package: Package) -> None:
+    images = set()
+    for fn in package.functions:
+        if fn.image:
+            images.add(fn.image)
+    for cls in package.classes:
+        for binding in cls.bindings:
+            if binding.function.image:
+                images.add(binding.function.image)
+
+    def make_stub(image: str):
+        # Stubs must not touch state: the class schema is arbitrary and
+        # commit-time validation would reject unknown keys.
+        def stub(ctx):
+            return {"image": image, "payload": dict(ctx.payload)}
+
+        return stub
+
+    for image in sorted(images):
+        platform.register_image(image, make_stub(image), service_time_s=0.001)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.platform.oparaca import Oparaca, PlatformConfig
+
+    package = _load_pkg(args.package)
+    platform = Oparaca(PlatformConfig(nodes=args.nodes))
+    if args.handlers:
+        module_name, _, attr = args.handlers.partition(":")
+        if not attr:
+            print("error: --handlers must be module:callable", file=sys.stderr)
+            return 2
+        register = getattr(importlib.import_module(module_name), attr)
+        register(platform)
+    elif args.auto_handlers:
+        _register_stub_handlers(platform, package)
+    else:
+        print(
+            "error: provide --handlers module:callable or --auto-handlers",
+            file=sys.stderr,
+        )
+        return 2
+    platform.deploy(package)
+    for runtime in platform.describe():
+        print(
+            f"deployed {runtime['class']} via template {runtime['template']!r} "
+            f"on {runtime['engine']}"
+        )
+    object_id = platform.new_object(args.new_cls, state=json.loads(args.state))
+    print(f"created {object_id}")
+    for spec in args.invoke:
+        fn, _, payload_text = spec.partition(":")
+        payload = json.loads(payload_text) if payload_text else {}
+        result = platform.invoke(object_id, fn, payload, raise_on_error=False)
+        status = "ok" if result.ok else f"FAILED: {result.error}"
+        print(f"invoke {fn}: {status}")
+        if result.ok and result.output:
+            print(f"  output: {json.dumps(result.output, default=str)}")
+    record = platform.get_object(object_id)
+    print(f"final state: {json.dumps(record['state'], default=str)}")
+    platform.shutdown()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "validate": _cmd_validate,
+        "show": _cmd_show,
+        "templates": _cmd_templates,
+        "run": _cmd_run,
+    }
+    try:
+        return handlers[args.command](args)
+    except OaasError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

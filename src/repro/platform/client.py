@@ -1,0 +1,134 @@
+"""Object handles — the OOP developer experience over the platform.
+
+OaaS "borrows the notion of 'object' from object-oriented programming";
+this client makes that literal: a :class:`ObjectHandle` proxies one
+cloud object, and *method calls on the handle are function invocations
+on the object*::
+
+    image = platform.create("Image", width=640)
+    image.resize(width=128)           # invokes the 'resize' function
+    image.state["width"]              # -> 128
+    image.upload("image", png_bytes)  # presigned file upload
+
+Handles are thin: they hold only the object id, so they stay valid
+across state changes, node failures, and even process boundaries (ids
+are plain strings).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.errors import UnknownFunctionError
+from repro.invoker.engine import split_object_id
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.invoker.request import InvocationResult
+    from repro.platform.oparaca import Oparaca
+
+__all__ = ["ObjectHandle"]
+
+
+class ObjectHandle:
+    """A live reference to one cloud object."""
+
+    __slots__ = ("_platform", "id")
+
+    def __init__(self, platform: "Oparaca", object_id: str) -> None:
+        self._platform = platform
+        self.id = object_id
+
+    # -- core operations ----------------------------------------------------
+
+    @property
+    def cls(self) -> str:
+        """The object's class name (from its id prefix)."""
+        prefix, _ = split_object_id(self.id)
+        return prefix or self.record()["cls"]
+
+    def record(self) -> dict[str, Any]:
+        """The full record: id, cls, version, state, files."""
+        return self._platform.get_object(self.id)
+
+    @property
+    def state(self) -> dict[str, Any]:
+        """A snapshot of the structured state."""
+        return self.record()["state"]
+
+    @property
+    def version(self) -> int:
+        return int(self.record()["version"])
+
+    @property
+    def exists(self) -> bool:
+        """Whether the object is still resolvable."""
+        from repro.errors import OaasError
+
+        try:
+            self.record()
+            return True
+        except OaasError:
+            return False
+
+    def invoke(self, fn_name: str, /, **payload: Any) -> "InvocationResult":
+        """Invoke a function on this object (raises on failure)."""
+        return self._platform.invoke(self.id, fn_name, payload)
+
+    def update(self, **state: Any) -> int:
+        """Patch structured state; returns the new version."""
+        return self._platform.update_object(self.id, state)
+
+    def delete(self) -> None:
+        self._platform.delete_object(self.id)
+
+    # -- unstructured data ----------------------------------------------------
+
+    def upload(self, key: str, data: bytes, content_type: str = "application/octet-stream") -> str:
+        """Upload bytes for a FILE state key via a presigned URL."""
+        return self._platform.upload_file(self.id, key, data, content_type)
+
+    def download(self, key: str) -> bytes:
+        """Download a FILE state key via a presigned URL."""
+        return self._platform.download_file(self.id, key)
+
+    def file_url(self, key: str, method: str = "GET") -> str:
+        """A presigned URL for a FILE state key."""
+        result = self._platform.invoke(
+            self.id, "file-url", {"key": key, "method": method}
+        )
+        return result.output["url"]
+
+    # -- OOP sugar ---------------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        """Unknown attributes become function invocations: calling
+        ``handle.resize(width=5)`` invokes ``resize`` on the object.
+
+        Only methods actually bound to the object's class resolve, so
+        typos fail immediately with the class's method list.
+        """
+        if name.startswith("_"):
+            raise AttributeError(name)
+        resolved = self._platform.crm.resolved(self.cls)
+        from repro.invoker.engine import BUILTIN_METHODS
+
+        if resolved.binding(name) is None and name not in BUILTIN_METHODS:
+            raise UnknownFunctionError(
+                f"class {resolved.name!r} has no function {name!r}; "
+                f"available: {list(resolved.method_names)}"
+            )
+
+        def call(**payload: Any) -> "InvocationResult":
+            return self._platform.invoke(self.id, name, payload)
+
+        call.__name__ = name
+        return call
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ObjectHandle) and other.id == self.id
+
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+    def __repr__(self) -> str:
+        return f"<ObjectHandle {self.id}>"

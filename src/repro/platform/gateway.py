@@ -1,0 +1,148 @@
+"""REST-style gateway (tutorial step 5: "Developers can use CLI, REST
+API, or gRPC to interact with objects").
+
+Routes:
+
+========  =========================================  ==================
+method    path                                       action
+========  =========================================  ==================
+POST      /api/classes/{cls}                         create object
+GET       /api/classes/{cls}/objects                 list object ids
+GET       /api/objects/{oid}                         read object
+PATCH     /api/objects/{oid}                         update state
+DELETE    /api/objects/{oid}                         delete object
+POST      /api/objects/{oid}/invokes/{fn}            invoke function
+GET       /api/objects/{oid}/files/{key}             presigned GET URL
+PUT       /api/objects/{oid}/files/{key}             presigned PUT URL
+========  =========================================  ==================
+
+Responses carry HTTP-ish status codes mapped from the invocation
+result's error type, so clients behave as they would against the real
+platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Mapping
+
+from repro.invoker.engine import InvocationEngine
+from repro.invoker.request import InvocationRequest
+from repro.sim.kernel import Environment, Process
+
+__all__ = ["HttpRequest", "HttpResponse", "Gateway"]
+
+_STATUS_BY_ERROR = {
+    "UnknownObjectError": 404,
+    "UnknownClassError": 404,
+    "UnknownFunctionError": 404,
+    "ValidationError": 400,
+    "PackageError": 400,
+    "InvocationError": 403,
+    "DataflowError": 400,
+    "ConcurrentModificationError": 409,
+    "FunctionExecutionError": 500,
+}
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """A minimal HTTP request representation."""
+
+    method: str
+    path: str
+    body: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "method", self.method.upper())
+        object.__setattr__(self, "body", dict(self.body))
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """A minimal HTTP response representation."""
+
+    status: int
+    body: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", dict(self.body))
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class Gateway:
+    """Translates REST calls into invocation requests."""
+
+    def __init__(self, env: Environment, engine: InvocationEngine, overhead_s: float = 0.0002) -> None:
+        self.env = env
+        self.engine = engine
+        self.overhead_s = overhead_s
+        self.requests = 0
+
+    def handle(self, request: HttpRequest) -> Process:
+        """Process one HTTP request; resolves to an :class:`HttpResponse`."""
+        return self.env.process(self._handle(request))
+
+    def _handle(self, http: HttpRequest) -> Generator[Any, Any, HttpResponse]:
+        self.requests += 1
+        if self.overhead_s:
+            yield self.env.timeout(self.overhead_s)
+        invocation = self._route(http)
+        if invocation is None:
+            return HttpResponse(404, {"error": f"no route {http.method} {http.path}"})
+        if isinstance(invocation, HttpResponse):
+            return invocation
+        result = yield self.engine.invoke(invocation)
+        if result.ok:
+            status = 201 if invocation.fn_name == "new" else 200
+            body: dict[str, Any] = dict(result.output)
+            if result.created_object_id is not None:
+                body.setdefault("id", result.created_object_id)
+            return HttpResponse(status, body)
+        status = _STATUS_BY_ERROR.get(result.error_type or "", 500)
+        return HttpResponse(status, {"error": result.error, "type": result.error_type})
+
+    def _route(self, http: HttpRequest) -> InvocationRequest | HttpResponse | None:
+        parts = [p for p in http.path.split("/") if p]
+        if len(parts) < 2 or parts[0] != "api":
+            return None
+        if parts[1] == "classes" and len(parts) == 3 and http.method == "POST":
+            return InvocationRequest(object_id="", fn_name="new", cls=parts[2], payload=http.body)
+        if (
+            parts[1] == "classes"
+            and len(parts) == 4
+            and parts[3] == "objects"
+            and http.method == "GET"
+        ):
+            from repro.errors import UnknownClassError
+
+            try:
+                ids = self.engine.list_objects(parts[2])
+            except UnknownClassError as exc:
+                return HttpResponse(404, {"error": str(exc)})
+            return HttpResponse(200, {"objects": ids, "count": len(ids)})
+        if parts[1] != "objects" or len(parts) < 3:
+            return None
+        object_id = parts[2]
+        if len(parts) == 3:
+            if http.method == "GET":
+                return InvocationRequest(object_id=object_id, fn_name="get")
+            if http.method == "PATCH":
+                return InvocationRequest(object_id=object_id, fn_name="update", payload=http.body)
+            if http.method == "DELETE":
+                return InvocationRequest(object_id=object_id, fn_name="delete")
+            return HttpResponse(405, {"error": f"{http.method} not allowed on objects"})
+        if len(parts) == 5 and parts[3] == "invokes" and http.method == "POST":
+            return InvocationRequest(object_id=object_id, fn_name=parts[4], payload=http.body)
+        if len(parts) == 5 and parts[3] == "files":
+            if http.method in ("GET", "PUT"):
+                return InvocationRequest(
+                    object_id=object_id,
+                    fn_name="file-url",
+                    payload={"key": parts[4], "method": http.method},
+                )
+            return HttpResponse(405, {"error": f"{http.method} not allowed on files"})
+        return None

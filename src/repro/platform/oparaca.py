@@ -1,0 +1,420 @@
+"""The Oparaca platform facade — the library's main entry point.
+
+Wires every substrate together (cluster, scheduler, function registry,
+document store, object store, network, monitoring, class runtime
+manager, invocation engine, async queue, gateway) and exposes a
+synchronous developer API on top of the simulation kernel: each call
+advances simulated time just far enough to complete.
+
+Typical use::
+
+    from repro import Oparaca
+
+    oparaca = Oparaca()
+
+    @oparaca.function("img/resize", service_time_s=0.004)
+    def resize(ctx):
+        ctx.state["width"] = ctx.payload["width"]
+        return {"resized": True}
+
+    oparaca.deploy(PACKAGE_YAML)
+    obj = oparaca.new_object("Image")
+    result = oparaca.invoke(obj, "resize", {"width": 640})
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Generator, Mapping
+
+from repro.crm.manager import ClassRuntimeManager
+from repro.crm.optimizer import RequirementOptimizer
+from repro.crm.runtime import ClassRuntime
+from repro.crm.template import TemplateCatalog
+from repro import errors
+from repro.errors import FunctionExecutionError, OaasError
+from repro.faas.deployment_engine import DeploymentModel
+from repro.faas.knative import KnativeModel
+from repro.faas.registry import FunctionRegistry, Handler, ServiceTime
+from repro.invoker.engine import InvocationEngine
+from repro.invoker.queue import AsyncInvoker
+from repro.invoker.request import InvocationRequest, InvocationResult
+from repro.model.pkg import Package, load_package, loads_package
+from repro.monitoring.collector import MonitoringSystem
+from repro.monitoring.tracing import Tracer
+from repro.orchestrator.cluster import Cluster
+from repro.orchestrator.resources import ResourceSpec
+from repro.orchestrator.scheduler import Scheduler
+from repro.platform.gateway import Gateway, HttpRequest, HttpResponse
+from repro.sim.kernel import Environment, Event, Process, all_of
+from repro.sim.network import Network, NetworkModel
+from repro.sim.rng import RngStreams
+from repro.storage.kv import DbModel, DocumentStore
+from repro.storage.object_store import ObjectStore, ObjectStoreModel
+
+__all__ = ["PlatformConfig", "Oparaca"]
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Construction-time configuration for an Oparaca platform."""
+
+    nodes: int = 3
+    node_cpu_millis: int = 4000
+    node_memory_mb: int = 16384
+    #: Optional datacenter regions (the paper's §VI multi-DC future
+    #: work).  Nodes are distributed round-robin across the regions and
+    #: labelled; inter-region traffic pays ``network.inter_region_rtt_s``
+    #: and jurisdiction-constrained classes deploy only onto matching
+    #: regions.
+    regions: tuple[str, ...] = ()
+    seed: int = 0
+    db: DbModel = field(default_factory=DbModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    object_store: ObjectStoreModel = field(default_factory=ObjectStoreModel)
+    knative: KnativeModel = field(default_factory=KnativeModel)
+    deployment: DeploymentModel = field(default_factory=DeploymentModel)
+    catalog: TemplateCatalog | None = None
+    async_partitions: int = 8
+    scheduler_policy: str = "least-allocated"
+    optimizer_enabled: bool = False
+    optimizer_interval_s: float = 5.0
+    tracing_enabled: bool = False
+    dht_op_cost_s: float = 0.00002
+    gateway_overhead_s: float = 0.0002
+
+
+class Oparaca:
+    """An in-process Oparaca platform instance."""
+
+    def __init__(self, config: PlatformConfig | None = None) -> None:
+        self.config = config or PlatformConfig()
+        self.env = Environment()
+        self.rng = RngStreams(self.config.seed)
+        self.cluster = Cluster(self.env)
+        for index in range(self.config.nodes):
+            labels = {}
+            if self.config.regions:
+                labels["region"] = self.config.regions[index % len(self.config.regions)]
+            self.cluster.add_node(
+                f"vm-{index}",
+                ResourceSpec(self.config.node_cpu_millis, self.config.node_memory_mb),
+                labels=labels,
+            )
+        self.scheduler = Scheduler(self.cluster, policy=self.config.scheduler_policy)
+        self.registry = FunctionRegistry()
+        region_of = self.cluster.region_of if self.config.regions else None
+        self.network = Network(self.env, self.config.network, region_of=region_of)
+        self.store = DocumentStore(self.env, self.config.db)
+        self.object_store = ObjectStore(self.env, self.config.object_store)
+        self.monitoring = MonitoringSystem(self.env)
+        self.crm = ClassRuntimeManager(
+            self.env,
+            self.cluster,
+            self.scheduler,
+            self.registry,
+            self.store,
+            self.object_store,
+            self.network,
+            self.monitoring,
+            rng=self.rng,
+            catalog=self.config.catalog,
+            knative_model=self.config.knative,
+            deployment_model=self.config.deployment,
+            dht_op_cost_s=self.config.dht_op_cost_s,
+        )
+        self.tracer = Tracer(self.env, enabled=self.config.tracing_enabled)
+        self.engine = InvocationEngine(
+            self.env, self.crm, self.object_store, self.monitoring, tracer=self.tracer
+        )
+        self.queue = AsyncInvoker(
+            self.env, self.engine, partitions=self.config.async_partitions
+        )
+        self.gateway = Gateway(
+            self.env, self.engine, overhead_s=self.config.gateway_overhead_s
+        )
+        self.optimizer: RequirementOptimizer | None = None
+        if self.config.optimizer_enabled:
+            self.optimizer = RequirementOptimizer(
+                self.env,
+                self.crm,
+                self.monitoring,
+                interval_s=self.config.optimizer_interval_s,
+            )
+
+    # -- function images ----------------------------------------------------------
+
+    def register_image(
+        self,
+        image: str,
+        handler: Handler,
+        service_time_s: ServiceTime = 0.001,
+        output_bytes: int = 256,
+        description: str = "",
+    ) -> None:
+        """Register a Python handler as a container image."""
+        self.registry.register(image, handler, service_time_s, output_bytes, description)
+
+    def function(
+        self,
+        image: str,
+        service_time_s: ServiceTime = 0.001,
+        output_bytes: int = 256,
+        description: str = "",
+    ) -> Callable[[Handler], Handler]:
+        """Decorator form of :meth:`register_image`."""
+        return self.registry.function(image, service_time_s, output_bytes, description)
+
+    # -- deployment ----------------------------------------------------------------
+
+    def deploy(self, package: Package | str | Path) -> list[ClassRuntime]:
+        """Deploy a package (object, YAML/JSON text, or file path)."""
+        if isinstance(package, Path):
+            package = load_package(package)
+        elif isinstance(package, str):
+            candidate = Path(package)
+            if package.lstrip().startswith(("classes:", "name:", "{", "functions:")):
+                package = loads_package(package)
+            elif candidate.suffix.lower() in (".yml", ".yaml", ".json") and candidate.exists():
+                package = load_package(candidate)
+            else:
+                package = loads_package(package)
+        return self.crm.deploy_package(package)
+
+    # -- execution helpers ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.env.now
+
+    def run(self, awaitable: Process | Event | Generator) -> Any:
+        """Advance simulated time until ``awaitable`` completes."""
+        if inspect.isgenerator(awaitable):
+            awaitable = self.env.process(awaitable)
+        return self.env.run(until=awaitable)
+
+    def advance(self, seconds: float) -> None:
+        """Advance simulated time by ``seconds``."""
+        self.env.run(until=self.env.now + seconds)
+
+    def flush(self) -> None:
+        """Drain every class runtime's write-behind queue to the DB."""
+        drains = [
+            runtime.dht.flush_all() for runtime in self.crm.runtimes.values()
+        ]
+        if drains:
+            self.env.run(until=all_of(self.env, drains))
+
+    # -- synchronous object API ----------------------------------------------------------
+
+    def new_object(
+        self,
+        cls: str,
+        state: Mapping[str, Any] | None = None,
+        object_id: str | None = None,
+    ) -> str:
+        """Create an object; returns its platform id."""
+        payload: dict[str, Any] = {}
+        if state:
+            payload["state"] = dict(state)
+        if object_id:
+            payload["id"] = object_id
+        result = self.run(
+            self.engine.invoke(InvocationRequest(object_id="", fn_name="new", cls=cls, payload=payload))
+        )
+        self._raise_if_failed(result)
+        return result.object_id
+
+    def invoke(
+        self,
+        object_id: str,
+        fn_name: str,
+        payload: Mapping[str, Any] | None = None,
+        cls: str | None = None,
+        raise_on_error: bool = True,
+    ) -> InvocationResult:
+        """Invoke a function on an object, synchronously."""
+        result = self.run(
+            self.engine.invoke(
+                InvocationRequest(
+                    object_id=object_id,
+                    fn_name=fn_name,
+                    cls=cls,
+                    payload=dict(payload or {}),
+                )
+            )
+        )
+        if raise_on_error:
+            self._raise_if_failed(result)
+        return result
+
+    def invoke_async(
+        self,
+        object_id: str,
+        fn_name: str,
+        payload: Mapping[str, Any] | None = None,
+        cls: str | None = None,
+    ) -> Event:
+        """Fire-and-forget invocation; returns the completion event."""
+        return self.queue.submit(
+            InvocationRequest(
+                object_id=object_id, fn_name=fn_name, cls=cls, payload=dict(payload or {})
+            )
+        )
+
+    def list_objects(self, cls: str) -> list[str]:
+        """Ids of every live object of ``cls``."""
+        return self.engine.list_objects(cls)
+
+    def get_object(self, object_id: str) -> dict[str, Any]:
+        """Read an object's record (id, cls, version, state, files)."""
+        result = self.invoke(object_id, "get")
+        return dict(result.output)
+
+    def update_object(self, object_id: str, state: Mapping[str, Any]) -> int:
+        """Patch structured state; returns the new version."""
+        result = self.invoke(object_id, "update", {"state": dict(state)})
+        return int(result.output["version"])
+
+    def delete_object(self, object_id: str) -> None:
+        self.invoke(object_id, "delete")
+
+    # -- OOP handles ------------------------------------------------------------------
+
+    def create(self, cls: str, object_id: str | None = None, **state: Any):
+        """Create an object and return an :class:`ObjectHandle` for it::
+
+            image = platform.create("Image", width=640)
+            image.resize(width=128)
+        """
+        from repro.platform.client import ObjectHandle
+
+        return ObjectHandle(
+            self, self.new_object(cls, state=state or None, object_id=object_id)
+        )
+
+    def object(self, object_id: str):
+        """Wrap an existing object id in an :class:`ObjectHandle`."""
+        from repro.platform.client import ObjectHandle
+
+        return ObjectHandle(self, object_id)
+
+    # -- unstructured data ------------------------------------------------------------------
+
+    def upload_file(
+        self,
+        object_id: str,
+        key: str,
+        data: bytes,
+        content_type: str = "application/octet-stream",
+    ) -> str:
+        """Upload unstructured data for a FILE state key.
+
+        Follows the §III-D flow: obtain a presigned PUT URL, upload
+        through it (never holding the store's secret), then commit the
+        key mapping on the object record.  Returns the object-store key.
+        """
+        result = self.invoke(object_id, "file-url", {"key": key, "method": "PUT"})
+        url = result.output["url"]
+        object_key = result.output["object_key"]
+        self.run(self.object_store.presigned_put_timed(url, data, content_type))
+        self.run(self.engine.attach_file(object_id, key, object_key))
+        return object_key
+
+    def download_file(self, object_id: str, key: str) -> bytes:
+        """Fetch unstructured data through a presigned GET URL."""
+        result = self.invoke(object_id, "file-url", {"key": key, "method": "GET"})
+        return self.run(self.object_store.presigned_get_timed(result.output["url"])).data
+
+    # -- HTTP front door -----------------------------------------------------------------------
+
+    def http(self, method: str, path: str, body: Mapping[str, Any] | None = None) -> HttpResponse:
+        """Issue a REST request against the gateway, synchronously."""
+        return self.run(self.gateway.handle(HttpRequest(method, path, dict(body or {}))))
+
+    # -- cluster operations (elasticity + failure injection) ---------------------------
+
+    def fail_node(self, name: str) -> dict[str, dict[str, int]]:
+        """Crash a worker VM.
+
+        Pods on the node die (deployments replace them at their next
+        reconcile/autoscale tick), the node's DHT partitions fail over
+        per each class runtime's replication/persistence configuration,
+        and any unflushed write-behind buffer on the node is lost.
+        Returns per-class failover statistics.
+        """
+        self.cluster.remove_node(name)
+        stats: dict[str, dict[str, int]] = {}
+        for cls, runtime in self.crm.runtimes.items():
+            if name in runtime.dht.nodes:
+                stats[cls] = runtime.dht.fail_node(name)
+                runtime.router.refresh()
+            for svc in runtime.services.values():
+                svc.deployment.reconcile()
+        return stats
+
+    def add_node(self, name: str, region: str | None = None) -> None:
+        """Join a new worker VM; eligible class runtimes rebalance onto it."""
+        labels = {"region": region} if region else {}
+        self.cluster.add_node(
+            name,
+            ResourceSpec(self.config.node_cpu_millis, self.config.node_memory_mb),
+            labels=labels,
+        )
+        for runtime in self.crm.runtimes.values():
+            jurisdictions = runtime.resolved.nfr.constraint.jurisdictions
+            if jurisdictions and region not in jurisdictions:
+                continue
+            runtime.dht.add_node(name)
+            runtime.router.refresh()
+
+    # -- diagnostics -------------------------------------------------------------------------------
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Summaries of every deployed class runtime."""
+        return self.crm.describe()
+
+    def cost_report(self) -> list[dict[str, Any]]:
+        """Per-class accrued spend and projected monthly run rate."""
+        return self.crm.costs.report()
+
+    def snapshot(self) -> dict[str, float]:
+        """A flat metrics snapshot across the platform."""
+        snap = self.monitoring.snapshot()
+        snap["db.write_ops"] = float(self.store.write_ops)
+        snap["db.docs_written"] = float(self.store.docs_written)
+        snap["db.backlog_s"] = self.store.backlog_seconds
+        snap["gateway.requests"] = float(self.gateway.requests)
+        snap["engine.invocations"] = float(self.engine.invocations)
+        snap["engine.cas_conflicts"] = float(self.engine.cas_conflicts)
+        return snap
+
+    def shutdown(self) -> None:
+        """Stop background loops and flush durable state."""
+        if self.optimizer is not None:
+            self.optimizer.stop()
+        self.queue.stop()
+        for runtime in self.crm.runtimes.values():
+            for svc in runtime.services.values():
+                stop = getattr(svc, "stop", None)
+                if stop is not None:
+                    stop()
+        self.flush()
+
+    @staticmethod
+    def _raise_if_failed(result: InvocationResult) -> None:
+        if result.ok:
+            return
+        message = (
+            f"{result.cls or '?'}.{result.fn_name} on "
+            f"{result.object_id or '<new>'} failed: {result.error}"
+        )
+        exc_cls = getattr(errors, result.error_type or "", None)
+        if exc_cls is FunctionExecutionError or exc_cls is None:
+            raise FunctionExecutionError(message, detail=result.error or "")
+        if isinstance(exc_cls, type) and issubclass(exc_cls, OaasError):
+            raise exc_cls(message)
+        raise FunctionExecutionError(message, detail=result.error or "")

@@ -1,0 +1,105 @@
+"""Cluster network model.
+
+A datacenter fabric: a fixed per-hop round-trip latency plus a
+serialization delay from per-link bandwidth.  Transfers between
+co-located endpoints (same node) pay only a loopback latency, which is
+what makes data-locality optimizations measurable (experiment
+ABL-LOCALITY in DESIGN.md).
+
+Multi-datacenter support (the paper's §VI future work): when the
+network is given a ``region_of`` resolver, transfers between nodes in
+*different* regions pay the (much larger) inter-region round trip —
+which is what makes jurisdiction-constrained placement and
+latency-aware multi-DC deployment measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["NetworkModel", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth parameters of the fabric.
+
+    Attributes:
+        rtt_s: round-trip latency between two distinct nodes of the same
+            datacenter (seconds).
+        loopback_s: round-trip latency within one node (seconds).
+        inter_region_rtt_s: round-trip latency between nodes in
+            different datacenters/regions.
+        bandwidth_bps: per-transfer bandwidth in bytes/second; ``0``
+            disables the serialization term.
+    """
+
+    rtt_s: float = 0.0005
+    loopback_s: float = 0.00002
+    inter_region_rtt_s: float = 0.04
+    bandwidth_bps: float = 1.25e9  # ~10 Gbit/s
+
+    def transfer_time(
+        self,
+        src: str | None,
+        dst: str | None,
+        nbytes: int = 0,
+        cross_region: bool = False,
+    ) -> float:
+        """Time for a request/response exchange carrying ``nbytes``."""
+        if src is not None and src == dst:
+            base = self.loopback_s
+        elif cross_region:
+            base = self.inter_region_rtt_s
+        else:
+            base = self.rtt_s
+        if nbytes and self.bandwidth_bps:
+            base += nbytes / self.bandwidth_bps
+        return base
+
+
+#: A zero-cost model for interactive (non-benchmark) use.
+INSTANT = NetworkModel(rtt_s=0.0, loopback_s=0.0, inter_region_rtt_s=0.0, bandwidth_bps=0.0)
+
+
+class Network:
+    """Applies a :class:`NetworkModel` inside simulation processes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        model: NetworkModel | None = None,
+        region_of: Callable[[str], str | None] | None = None,
+    ) -> None:
+        self.env = env
+        self.model = model or INSTANT
+        self.region_of = region_of
+        self.total_transfers = 0
+        self.total_bytes = 0
+        self.remote_transfers = 0
+        self.cross_region_transfers = 0
+
+    def _cross_region(self, src: str | None, dst: str | None) -> bool:
+        if self.region_of is None or src is None or dst is None:
+            return False
+        src_region = self.region_of(src)
+        dst_region = self.region_of(dst)
+        return (
+            src_region is not None
+            and dst_region is not None
+            and src_region != dst_region
+        )
+
+    def transfer(self, src: str | None, dst: str | None, nbytes: int = 0) -> Event:
+        """Return an event firing when the exchange completes."""
+        self.total_transfers += 1
+        self.total_bytes += nbytes
+        if src is None or src != dst:
+            self.remote_transfers += 1
+        cross = self._cross_region(src, dst)
+        if cross:
+            self.cross_region_transfers += 1
+        return self.env.timeout(self.model.transfer_time(src, dst, nbytes, cross))

@@ -1,0 +1,22 @@
+"""Storage substrates: structured state (DHT + document store) and
+unstructured state (S3-style object store)."""
+
+from repro.storage.dht import Dht, DhtModel
+from repro.storage.hashring import HashRing
+from repro.storage.kv import DbModel, DocumentStore
+from repro.storage.object_store import ObjectStore, ObjectStoreModel, PresignedUrl, StoredObject
+from repro.storage.write_behind import WriteBehindConfig, WriteBehindQueue
+
+__all__ = [
+    "Dht",
+    "DhtModel",
+    "HashRing",
+    "DbModel",
+    "DocumentStore",
+    "ObjectStore",
+    "ObjectStoreModel",
+    "PresignedUrl",
+    "StoredObject",
+    "WriteBehindConfig",
+    "WriteBehindQueue",
+]

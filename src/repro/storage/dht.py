@@ -1,0 +1,388 @@
+"""Distributed in-memory hash table (the paper's structured-state tier).
+
+Object records are partitioned over the worker nodes with consistent
+hashing and held in memory on their owner (plus replicas).  Reads hit
+the owner's memory; on a miss the record is loaded from the document
+store and cached.  Writes update the owner (and replicas) in memory and
+— when the class is persistent — enqueue to a per-node write-behind
+queue that batches them into the document store (§V: "distributed
+in-memory hash table to consolidate data for batch write operations").
+
+The caller passes its node name so network locality is modelled: a
+caller co-located with the partition owner pays only loopback latency,
+which is what the locality-aware router (ABL-LOCALITY) exploits.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.errors import ConcurrentModificationError, StorageError
+from repro.sim.kernel import Environment, Process, all_of
+from repro.sim.network import Network
+from repro.storage.hashring import HashRing
+from repro.storage.kv import DocumentStore
+from repro.storage.write_behind import WriteBehindConfig, WriteBehindQueue
+
+__all__ = ["DhtModel", "Dht"]
+
+
+@dataclass(frozen=True)
+class DhtModel:
+    """Performance/replication parameters of the in-memory tier.
+
+    Attributes:
+        op_cost_s: CPU time on the owner node per get/put.
+        replication: total copies of each record (1 = no replicas).
+        persistent: write-behind updates to the document store.  With
+            ``False`` the tier is memory-only — Fig. 3's
+            ``oprc-bypass-nonpersist`` configuration.
+        write_behind: batching configuration when persistent.
+    """
+
+    op_cost_s: float = 0.00002
+    replication: int = 1
+    persistent: bool = True
+    write_behind: WriteBehindConfig = WriteBehindConfig()
+    #: Per-node resident-entry cap; ``None`` = unbounded.  Over the cap,
+    #: the least-recently-used entry is evicted.  For persistent caches
+    #: eviction is safe (misses reload from the document store); for
+    #: ephemeral caches an evicted entry is gone, like any cache.
+    max_entries_per_node: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise StorageError(f"replication must be >= 1, got {self.replication}")
+        if self.op_cost_s < 0:
+            raise StorageError(f"op_cost_s must be >= 0, got {self.op_cost_s}")
+        if self.max_entries_per_node is not None and self.max_entries_per_node < 1:
+            raise StorageError(
+                f"max_entries_per_node must be >= 1, got {self.max_entries_per_node}"
+            )
+
+
+def doc_size_bytes(doc: dict[str, Any]) -> int:
+    """Approximate wire size of a record (JSON encoding)."""
+    try:
+        return len(json.dumps(doc, separators=(",", ":"), default=str))
+    except (TypeError, ValueError):
+        return 512
+
+
+class Dht:
+    """The distributed hash table spanning the cluster's worker nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: list[str],
+        network: Network,
+        store: DocumentStore | None = None,
+        model: DhtModel | None = None,
+        collection: str = "objects",
+    ) -> None:
+        if not nodes:
+            raise StorageError("DHT requires at least one node")
+        self.env = env
+        self.network = network
+        self.store = store
+        self.model = model or DhtModel()
+        self.collection = collection
+        if self.model.persistent and store is None:
+            raise StorageError("persistent DHT requires a document store")
+        self.ring = HashRing(list(nodes))
+        self._mem: dict[str, dict[str, dict[str, Any]]] = {n: {} for n in nodes}
+        self._queues: dict[str, WriteBehindQueue] = {}
+        if self.model.persistent:
+            for node in nodes:
+                self._queues[node] = WriteBehindQueue(
+                    env, store, collection, self.model.write_behind, name=f"wb-{node}"
+                )
+        self.gets = 0
+        self.puts = 0
+        self.mem_hits = 0
+        self.mem_misses = 0
+        self.evictions = 0
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return self.ring.nodes
+
+    def owner(self, key: str) -> str:
+        """Primary owner node of an object key (used for locality routing)."""
+        return self.ring.owner(key)
+
+    def owners(self, key: str) -> list[str]:
+        return self.ring.owners(key, self.model.replication)
+
+    # -- data path -----------------------------------------------------------
+
+    def get(self, key: str, caller: str | None = None) -> Process:
+        """Fetch a record; the process resolves to the doc or ``None``."""
+        return self.env.process(self._get(key, caller))
+
+    def _get(self, key: str, caller: str | None) -> Generator:
+        self.gets += 1
+        owners = self.owners(key)
+        node = caller if caller in owners else owners[0]
+        yield self.network.transfer(caller, node, 128)
+        if self.model.op_cost_s:
+            yield self.env.timeout(self.model.op_cost_s)
+        doc = self._mem[node].get(key)
+        if doc is not None:
+            self.mem_hits += 1
+            self._touch(node, key)
+            self._trim(node, protect=key)
+            yield self.network.transfer(node, caller, doc_size_bytes(doc))
+            return copy.deepcopy(doc)
+        self.mem_misses += 1
+        if self.store is not None and self.model.persistent:
+            loaded = yield self.store.read(self.collection, key)
+            if loaded is not None:
+                for replica in owners:
+                    self._install(replica, key, copy.deepcopy(loaded))
+                yield self.network.transfer(node, caller, doc_size_bytes(loaded))
+                return copy.deepcopy(loaded)
+        return None
+
+    def put(self, doc: dict[str, Any], caller: str | None = None) -> Process:
+        """Store a record unconditionally; resolves to the stored doc."""
+        return self.env.process(self._put(doc, caller, expected_version=None))
+
+    def compare_and_put(
+        self, doc: dict[str, Any], expected_version: int, caller: str | None = None
+    ) -> Process:
+        """Store a record only if the current version matches.
+
+        The process fails with :class:`ConcurrentModificationError` when
+        another writer committed in between — the invoker's optimistic
+        concurrency control.
+        """
+        return self.env.process(self._put(doc, caller, expected_version=expected_version))
+
+    def _put(
+        self, doc: dict[str, Any], caller: str | None, expected_version: int | None
+    ) -> Generator:
+        key = doc.get("id")
+        if not key:
+            raise StorageError("DHT put of a document without 'id'")
+        self.puts += 1
+        owners = self.owners(key)
+        primary = owners[0]
+        size = doc_size_bytes(doc)
+        yield self.network.transfer(caller, primary, size)
+        if self.model.op_cost_s:
+            yield self.env.timeout(self.model.op_cost_s)
+        if expected_version is not None:
+            current = self._mem[primary].get(key)
+            current_version = current.get("version", 0) if current else 0
+            if current_version != expected_version:
+                raise ConcurrentModificationError(
+                    f"object {key!r}: expected version {expected_version}, "
+                    f"found {current_version}"
+                )
+        stored = copy.deepcopy(doc)
+        self._install(primary, key, stored)
+        replicas = owners[1:]
+        if replicas:
+            yield all_of(
+                self.env,
+                [self.network.transfer(primary, r, size) for r in replicas],
+            )
+            for replica in replicas:
+                self._install(replica, key, copy.deepcopy(stored))
+        queue = self._queues.get(primary)
+        if queue is not None:
+            yield from queue.enqueue_blocking(copy.deepcopy(stored))
+        return copy.deepcopy(stored)
+
+    def delete(self, key: str, caller: str | None = None) -> Process:
+        """Remove a record from memory (and, if persistent, the store)."""
+        return self.env.process(self._delete(key, caller))
+
+    def _delete(self, key: str, caller: str | None) -> Generator:
+        owners = self.owners(key)
+        yield self.network.transfer(caller, owners[0], 128)
+        if self.model.op_cost_s:
+            yield self.env.timeout(self.model.op_cost_s)
+        for node in owners:
+            self._mem[node].pop(key, None)
+        # A buffered (not yet flushed) update must not resurrect the
+        # object after the store delete lands.
+        queue = self._queues.get(owners[0])
+        if queue is not None:
+            queue.discard(key)
+        if self.store is not None and self.model.persistent:
+            yield self.store.delete(self.collection, key)
+
+    # -- residency helpers -------------------------------------------------------
+
+    def _touch(self, node: str, key: str) -> None:
+        """Move ``key`` to the recently-used end of the node's map."""
+        mem = self._mem[node]
+        mem[key] = mem.pop(key)
+
+    def _install(self, node: str, key: str, doc: dict[str, Any]) -> None:
+        """Insert/refresh an entry, evicting LRU entries over the cap.
+
+        Entries buffered for write-behind are never evicted: their only
+        up-to-date copy is the in-memory one until the flusher runs.
+        """
+        mem = self._mem[node]
+        mem.pop(key, None)
+        mem[key] = doc
+        self._trim(node, protect=key)
+
+    def _trim(self, node: str, protect: str) -> None:
+        """Evict LRU entries above the cap, sparing ``protect`` and any
+        entry still buffered for write-behind (its only up-to-date copy
+        is in memory until the flusher runs)."""
+        cap = self.model.max_entries_per_node
+        if cap is None:
+            return
+        mem = self._mem[node]
+        queue = self._queues.get(node)
+        pending = queue._buffer if queue is not None else {}
+        while len(mem) > cap:
+            victim = next(
+                (k for k in mem if k != protect and k not in pending), None
+            )
+            if victim is None:
+                return  # everything resident is pinned
+            del mem[victim]
+            self.evictions += 1
+
+    # -- membership (elasticity + failures) -----------------------------------
+
+    def add_node(self, node: str) -> dict[str, int]:
+        """Join a node and rebalance ownership onto it."""
+        self.ring.add_node(node)
+        self._mem[node] = {}
+        if self.model.persistent:
+            self._queues[node] = WriteBehindQueue(
+                self.env,
+                self.store,
+                self.collection,
+                self.model.write_behind,
+                name=f"wb-{node}",
+            )
+        return self.rebalance()
+
+    def fail_node(self, node: str) -> dict[str, int]:
+        """Crash a node: its memory and *unflushed write-behind buffer*
+        are lost; surviving replicas are re-spread over the new ring.
+
+        Returns ``{"lost_pending": n, "keys_moved": m, ...}``.  Whether
+        object state survives depends on the class runtime's
+        configuration: replicated entries live on in other nodes'
+        memory, persistent entries reload from the document store, and
+        non-replicated ephemeral entries are simply gone — exactly the
+        durability trade-off the templates encode.
+        """
+        if node not in self.ring:
+            raise StorageError(f"node {node!r} is not a DHT member")
+        if len(self.ring) == 1:
+            raise StorageError("cannot fail the last DHT node")
+        lost_pending = 0
+        queue = self._queues.pop(node, None)
+        if queue is not None:
+            lost_pending = queue.stop()["lost"]
+        self._mem.pop(node, None)
+        self.ring.remove_node(node)
+        stats = self.rebalance()
+        stats["lost_pending"] = lost_pending
+        return stats
+
+    def rebalance(self) -> dict[str, int]:
+        """Re-spread every surviving record per the current ring.
+
+        Surviving copies are merged newest-version-wins, then installed
+        on each key's current owner set.  Runs instantaneously — the
+        experiments measure the *durability* consequences of membership
+        change, not state-transfer bandwidth.
+        """
+        merged: dict[str, dict[str, Any]] = {}
+        for node_mem in self._mem.values():
+            for key, doc in node_mem.items():
+                current = merged.get(key)
+                if current is None or doc.get("version", 0) > current.get("version", 0):
+                    merged[key] = doc
+        moved = 0
+        for node in self._mem:
+            self._mem[node] = {}
+        for key, doc in merged.items():
+            for owner in self.owners(key):
+                moved += 1
+                self._mem[owner][key] = copy.deepcopy(doc)
+        return {"keys_moved": moved, "keys_resident": len(merged)}
+
+    # -- maintenance ---------------------------------------------------------
+
+    def flush_all(self) -> Process:
+        """Drain every node's write-behind queue; resolves when durable."""
+        return self.env.process(self._flush_all())
+
+    def _flush_all(self) -> Generator:
+        drains = [queue.drain() for queue in self._queues.values()]
+        if drains:
+            yield all_of(self.env, drains)
+
+    def seed(self, doc: dict[str, Any], persist: bool = True) -> None:
+        """Instantly install a record in memory (and, optionally, the
+        document store) — experiment/fixture setup, bypassing all cost
+        models.  Never use this on a measured code path."""
+        key = doc.get("id")
+        if not key:
+            raise StorageError("cannot seed a document without 'id'")
+        for node in self.owners(key):
+            self._mem[node][key] = copy.deepcopy(doc)
+        if persist and self.store is not None and self.model.persistent:
+            self.store.put_sync(self.collection, doc)
+
+    def peek(self, key: str) -> dict[str, Any] | None:
+        """Instant read of the primary's memory (tests/diagnostics)."""
+        doc = self._mem[self.owner(key)].get(key)
+        return copy.deepcopy(doc) if doc is not None else None
+
+    def scan_ids(self) -> list[str]:
+        """All object ids known to this cache: resident primaries plus
+        (for persistent caches) everything in the document store.
+        Instant — an admin/catalog operation, not a data-plane one."""
+        ids = {
+            key
+            for node, mem in self._mem.items()
+            for key in mem
+            if self.owner(key) == node
+        }
+        if self.store is not None and self.model.persistent:
+            ids.update(self.store.keys(self.collection))
+            for queue in self._queues.values():
+                ids.update(queue._buffer)
+        return sorted(ids)
+
+    def mem_count(self, node: str | None = None) -> int:
+        """Records resident in memory on ``node`` (or primary copies total)."""
+        if node is not None:
+            return len(self._mem[node])
+        return sum(1 for n in self._mem for k in self._mem[n] if self.owner(k) == n)
+
+    def pending_writes(self) -> int:
+        """Documents buffered but not yet flushed, across nodes."""
+        return sum(queue.pending for queue in self._queues.values())
+
+    @property
+    def write_behind_stats(self) -> dict[str, int]:
+        """Aggregated flusher statistics."""
+        return {
+            "enqueued": sum(q.enqueued for q in self._queues.values()),
+            "coalesced": sum(q.coalesced for q in self._queues.values()),
+            "flush_ops": sum(q.flush_ops for q in self._queues.values()),
+            "docs_flushed": sum(q.docs_flushed for q in self._queues.values()),
+            "blocked_enqueues": sum(q.blocked_enqueues for q in self._queues.values()),
+            "pending": sum(q.pending for q in self._queues.values()),
+        }

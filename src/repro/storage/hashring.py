@@ -1,0 +1,101 @@
+"""Consistent-hash ring.
+
+Partitions the object key space over the in-memory tier's member nodes
+(the paper's "distributed in-memory hash table", §V).  Virtual nodes
+smooth the load distribution; replica ownership walks the ring to the
+next distinct physical nodes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import StorageError
+
+__all__ = ["HashRing"]
+
+
+def _hash(value: str) -> int:
+    return int.from_bytes(hashlib.md5(value.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes."""
+
+    def __init__(self, nodes: list[str] | None = None, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise StorageError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        self._nodes: set[str] = set()
+        for node in nodes or []:
+            self.add_node(node)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: str) -> None:
+        """Add a physical node (its virtual points) to the ring."""
+        if node in self._nodes:
+            raise StorageError(f"node {node!r} already in ring")
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            point = _hash(f"{node}#{i}")
+            # Collisions across distinct nodes are astronomically rare
+            # with 64-bit points; skew one step if it happens.
+            while point in self._owners:
+                point += 1
+            self._owners[point] = node
+            bisect.insort(self._points, point)
+
+    def remove_node(self, node: str) -> None:
+        """Remove a physical node from the ring."""
+        if node not in self._nodes:
+            raise StorageError(f"node {node!r} not in ring")
+        self._nodes.remove(node)
+        dropped = [p for p, n in self._owners.items() if n == node]
+        for point in dropped:
+            del self._owners[point]
+        self._points = sorted(self._owners)
+
+    def owner(self, key: str) -> str:
+        """The primary owner node of ``key``."""
+        if not self._nodes:
+            raise StorageError("hash ring is empty")
+        point = _hash(key)
+        index = bisect.bisect_right(self._points, point) % len(self._points)
+        return self._owners[self._points[index]]
+
+    def owners(self, key: str, count: int) -> list[str]:
+        """Primary plus the next ``count - 1`` distinct replica nodes."""
+        if not self._nodes:
+            raise StorageError("hash ring is empty")
+        if count < 1:
+            raise StorageError(f"replica count must be >= 1, got {count}")
+        count = min(count, len(self._nodes))
+        point = _hash(key)
+        index = bisect.bisect_right(self._points, point)
+        found: list[str] = []
+        for offset in range(len(self._points)):
+            node = self._owners[self._points[(index + offset) % len(self._points)]]
+            if node not in found:
+                found.append(node)
+                if len(found) == count:
+                    break
+        return found
+
+    def distribution(self, keys: list[str]) -> dict[str, int]:
+        """Histogram of key ownership (diagnostics/tests)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

@@ -1,0 +1,151 @@
+"""Persistent document store — the shared database substrate.
+
+Models the external database every system in Fig. 3 ultimately writes
+to.  Capacity is expressed in abstract *work units* served at a fixed
+aggregate rate: a write of ``k`` documents costs ``op_cost + k *
+doc_cost`` units.  The fixed per-operation cost is what makes batched
+writes cheaper per document — the mechanism the paper credits for
+Oparaca's higher throughput ceiling ("consolidate data for batch write
+operations", §V).
+
+All mutations are applied when their simulated service completes, so a
+read issued after a write's completion event observes it.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Generator, Mapping
+
+from repro.errors import StorageError
+from repro.sim.kernel import Environment, Process
+from repro.sim.resources import RateLimiter
+
+__all__ = ["DbModel", "DocumentStore"]
+
+
+@dataclass(frozen=True)
+class DbModel:
+    """Service model of the document store.
+
+    Attributes:
+        capacity_units_per_s: aggregate work-unit service rate.  This is
+            the cluster-wide ceiling that produces the Knative plateau
+            in Fig. 3; it deliberately does *not* grow with worker VMs
+            (the DB is a separate, fixed-size service).
+        op_cost: fixed units per operation (round trip, commit, index).
+        doc_cost: units per document written.
+        read_cost: units per document read.
+    """
+
+    capacity_units_per_s: float = 5000.0
+    op_cost: float = 4.0
+    doc_cost: float = 1.0
+    read_cost: float = 1.0
+
+    def write_units(self, docs: int) -> float:
+        return self.op_cost + docs * self.doc_cost
+
+    def read_units(self, docs: int = 1) -> float:
+        return self.op_cost + docs * self.read_cost
+
+
+class DocumentStore:
+    """A collection-oriented document database with a throughput ceiling."""
+
+    def __init__(self, env: Environment, model: DbModel | None = None) -> None:
+        self.env = env
+        self.model = model or DbModel()
+        self._limiter = RateLimiter(env, self.model.capacity_units_per_s)
+        self._collections: dict[str, dict[str, dict[str, Any]]] = {}
+        self._units_by_collection: dict[str, float] = {}
+        self.write_ops = 0
+        self.docs_written = 0
+        self.read_ops = 0
+        self.docs_read = 0
+
+    # -- timed operations (data plane) ------------------------------------
+
+    def write(self, collection: str, docs: list[Mapping[str, Any]]) -> Process:
+        """Durably write ``docs`` (upsert by ``id``).  Returns a process
+        event that fires once the DB has committed the batch."""
+        for doc in docs:
+            if "id" not in doc:
+                raise StorageError(f"document without 'id' in write to {collection!r}")
+        return self.env.process(self._write(collection, [copy.deepcopy(dict(d)) for d in docs]))
+
+    def _write(self, collection: str, docs: list[dict[str, Any]]) -> Generator:
+        if docs:
+            units = self.model.write_units(len(docs))
+            self._units_by_collection[collection] = (
+                self._units_by_collection.get(collection, 0.0) + units
+            )
+            yield self._limiter.acquire(units)
+        table = self._collections.setdefault(collection, {})
+        for doc in docs:
+            table[doc["id"]] = doc
+        self.write_ops += 1
+        self.docs_written += len(docs)
+        return len(docs)
+
+    def read(self, collection: str, key: str) -> Process:
+        """Read one document; the process resolves to the doc or ``None``."""
+        return self.env.process(self._read(collection, key))
+
+    def _read(self, collection: str, key: str) -> Generator:
+        units = self.model.read_units(1)
+        self._units_by_collection[collection] = (
+            self._units_by_collection.get(collection, 0.0) + units
+        )
+        yield self._limiter.acquire(units)
+        self.read_ops += 1
+        doc = self._collections.get(collection, {}).get(key)
+        if doc is not None:
+            self.docs_read += 1
+            return copy.deepcopy(doc)
+        return None
+
+    def delete(self, collection: str, key: str) -> Process:
+        """Delete one document (no-op if absent)."""
+        return self.env.process(self._delete(collection, key))
+
+    def _delete(self, collection: str, key: str) -> Generator:
+        units = self.model.write_units(1)
+        self._units_by_collection[collection] = (
+            self._units_by_collection.get(collection, 0.0) + units
+        )
+        yield self._limiter.acquire(units)
+        self.write_ops += 1
+        self._collections.get(collection, {}).pop(key, None)
+
+    # -- instant inspection (control plane / tests) ------------------------
+
+    def get_sync(self, collection: str, key: str) -> dict[str, Any] | None:
+        """Read without consuming DB capacity (tests and bookkeeping)."""
+        doc = self._collections.get(collection, {}).get(key)
+        return copy.deepcopy(doc) if doc is not None else None
+
+    def put_sync(self, collection: str, doc: Mapping[str, Any]) -> None:
+        """Seed a document without consuming DB capacity."""
+        if "id" not in doc:
+            raise StorageError("document without 'id'")
+        self._collections.setdefault(collection, {})[doc["id"]] = dict(doc)
+
+    def units_for(self, collection: str) -> float:
+        """Cumulative work units this collection has consumed (billing)."""
+        return self._units_by_collection.get(collection, 0.0)
+
+    def count(self, collection: str) -> int:
+        return len(self._collections.get(collection, {}))
+
+    def keys(self, collection: str) -> list[str]:
+        return sorted(self._collections.get(collection, {}))
+
+    @property
+    def backlog_seconds(self) -> float:
+        """Current write-path backlog (queueing delay) in seconds."""
+        return self._limiter.backlog_seconds
+
+    def utilization(self, elapsed: float) -> float:
+        return self._limiter.utilization(elapsed)

@@ -1,0 +1,170 @@
+"""Write-behind batching from the in-memory tier to the document store.
+
+Updates enqueue instantly (the in-memory tier has already accepted
+them); a background flusher groups them into batches and writes each
+batch as a single DB operation.  Two effects raise the effective DB
+ceiling, both from the paper's §V explanation of Fig. 3:
+
+* **batching** — the DB's fixed per-operation cost is amortized over
+  ``batch_size`` documents;
+* **coalescing** — multiple updates to the same object within one flush
+  window collapse into the latest version (last-write-wins), so hot
+  objects cost one DB write per window regardless of update rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.errors import StorageError
+from repro.sim.kernel import Environment, Process
+from repro.sim.resources import Gate
+from repro.storage.kv import DocumentStore
+
+__all__ = ["WriteBehindConfig", "WriteBehindQueue"]
+
+
+@dataclass(frozen=True)
+class WriteBehindConfig:
+    """Tuning knobs for the flusher (the ABL-BATCH ablation sweeps these).
+
+    Attributes:
+        batch_size: maximum documents per DB write operation.
+        linger_s: how long the flusher waits after waking to let a batch
+            accumulate before writing.  Zero flushes eagerly.
+        max_pending: buffered-document bound per queue.  When the DB
+            cannot keep up, enqueues *block* until the flusher drains —
+            the backpressure that ties the in-memory tier's accept rate
+            to the database's sustainable write rate.  Updates that
+            coalesce into an already-buffered document never block.
+    """
+
+    batch_size: int = 100
+    linger_s: float = 0.02
+    max_pending: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise StorageError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.linger_s < 0:
+            raise StorageError(f"linger_s must be >= 0, got {self.linger_s}")
+        if self.max_pending < self.batch_size:
+            raise StorageError(
+                f"max_pending ({self.max_pending}) must be >= batch_size "
+                f"({self.batch_size})"
+            )
+
+
+class WriteBehindQueue:
+    """A coalescing buffer with a background flusher process."""
+
+    def __init__(
+        self,
+        env: Environment,
+        store: DocumentStore,
+        collection: str,
+        config: WriteBehindConfig | None = None,
+        name: str = "wb",
+    ) -> None:
+        self.env = env
+        self.store = store
+        self.collection = collection
+        self.config = config or WriteBehindConfig()
+        self.name = name
+        self._buffer: dict[str, dict[str, Any]] = {}
+        self._arrival = Gate(env)
+        self._space = Gate(env)
+        self.enqueued = 0
+        self.coalesced = 0
+        self.flush_ops = 0
+        self.docs_flushed = 0
+        self.blocked_enqueues = 0
+        self._running = True
+        self._flusher = env.process(self._run())
+
+    @property
+    def pending(self) -> int:
+        """Documents currently buffered (per distinct object)."""
+        return len(self._buffer)
+
+    def enqueue(self, doc: dict[str, Any]) -> None:
+        """Buffer one updated document for eventual persistence.
+
+        Non-blocking variant: use :meth:`enqueue_blocking` on hot write
+        paths so backpressure applies.
+        """
+        key = doc.get("id")
+        if not key:
+            raise StorageError("write-behind document without 'id'")
+        self.enqueued += 1
+        if key in self._buffer:
+            self.coalesced += 1
+        was_empty = not self._buffer
+        self._buffer[key] = doc
+        if was_empty:
+            self._arrival.fire()
+
+    def enqueue_blocking(self, doc: dict[str, Any]) -> Generator:
+        """Buffer a document, waiting while the buffer is at capacity.
+
+        A coalescing update (same id already buffered) never waits.
+        """
+        key = doc.get("id")
+        if not key:
+            raise StorageError("write-behind document without 'id'")
+        while key not in self._buffer and len(self._buffer) >= self.config.max_pending:
+            self.blocked_enqueues += 1
+            yield self._space.wait()
+        self.enqueue(doc)
+
+    def discard(self, key: str) -> bool:
+        """Drop a buffered update (object deletion); True if present."""
+        if key in self._buffer:
+            del self._buffer[key]
+            self._space.fire()
+            return True
+        return False
+
+    def _take_batch(self) -> list[dict[str, Any]]:
+        keys = list(self._buffer)[: self.config.batch_size]
+        return [self._buffer.pop(k) for k in keys]
+
+    def stop(self) -> dict[str, int]:
+        """Stop the flusher (node failure); buffered documents are LOST.
+
+        Returns ``{"lost": n}`` — the durability gap a crash opens when
+        write-behind batching is in play.
+        """
+        self._running = False
+        lost = len(self._buffer)
+        self._buffer.clear()
+        self._arrival.fire()
+        return {"lost": lost}
+
+    def _run(self) -> Generator:
+        while self._running:
+            if not self._buffer:
+                yield self._arrival.wait()
+                if not self._running:
+                    return
+            if len(self._buffer) < self.config.batch_size and self.config.linger_s > 0:
+                yield self.env.timeout(self.config.linger_s)
+            batch = self._take_batch()
+            if batch:
+                yield self.store.write(self.collection, batch)
+                self.flush_ops += 1
+                self.docs_flushed += len(batch)
+                self._space.fire()
+
+    def drain(self) -> Process:
+        """Flush everything currently buffered; resolves when durable."""
+        return self.env.process(self._drain())
+
+    def _drain(self) -> Generator:
+        while self._buffer:
+            batch = self._take_batch()
+            yield self.store.write(self.collection, batch)
+            self.flush_ops += 1
+            self.docs_flushed += len(batch)
+            self._space.fire()

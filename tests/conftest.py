@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.oparaca import Oparaca, PlatformConfig
+from repro.sim.kernel import Environment
+
+#: The paper's Listing 1, extended with structured keys and a macro so
+#: every feature has coverage.
+LISTING1_YAML = """
+name: image-app
+classes:
+  - name: Image
+    qos:
+      throughput: 100
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: image
+        type: FILE
+      - name: width
+        type: INT
+        default: 1024
+      - name: format
+        type: STR
+        default: png
+    functions:
+      - name: resize
+        image: img/resize
+      - name: changeFormat
+        image: img/change-format
+      - name: thumbnail
+        type: MACRO
+        dataflow:
+          steps:
+            - id: r
+              function: resize
+              args: { width: "${input.width}" }
+            - id: f
+              function: changeFormat
+              inputs: [r]
+              args: { format: webp }
+          output: f
+  - name: LabelledImage
+    parent: Image
+    keySpecs:
+      - name: labels
+        type: JSON
+        default: []
+    functions:
+      - name: detectObject
+        image: img/detect-object
+"""
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+def register_image_handlers(platform: Oparaca) -> None:
+    """The handlers backing LISTING1_YAML."""
+
+    @platform.function("img/resize", service_time_s=0.004)
+    def resize(ctx):
+        ctx.state["width"] = int(ctx.payload["width"])
+        return {"width": ctx.state["width"]}
+
+    @platform.function("img/change-format", service_time_s=0.002)
+    def change_format(ctx):
+        ctx.state["format"] = str(ctx.payload["format"])
+        return {"format": ctx.state["format"]}
+
+    @platform.function("img/detect-object", service_time_s=0.02)
+    def detect(ctx):
+        labels = ["cat"] if ctx.state.get("width", 0) < 512 else ["cat", "laptop"]
+        ctx.state["labels"] = labels
+        return {"labels": labels}
+
+
+@pytest.fixture
+def platform() -> Oparaca:
+    """A 3-node platform with Listing 1 deployed."""
+    instance = Oparaca(PlatformConfig(nodes=3))
+    register_image_handlers(instance)
+    instance.deploy(LISTING1_YAML)
+    return instance
+
+
+@pytest.fixture
+def bare_platform() -> Oparaca:
+    """A 3-node platform with nothing deployed."""
+    return Oparaca(PlatformConfig(nodes=3))

@@ -1,0 +1,105 @@
+"""Tests for the ocli command-line interface."""
+
+import pytest
+
+from repro.platform.cli import main
+
+from tests.conftest import LISTING1_YAML
+
+
+@pytest.fixture
+def pkg_file(tmp_path):
+    path = tmp_path / "pkg.yml"
+    path.write_text(LISTING1_YAML)
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_package(self, pkg_file, capsys):
+        assert main(["validate", pkg_file]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "LabelledImage" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "ghost.yml")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_broken_package(self, tmp_path, capsys):
+        path = tmp_path / "bad.yml"
+        path.write_text("classes:\n  - name: A\n    parent: Missing\n")
+        assert main(["validate", str(path)]) == 1
+
+
+class TestShow:
+    def test_show_all(self, pkg_file, capsys):
+        assert main(["show", pkg_file]) == 0
+        out = capsys.readouterr().out
+        assert "class Image" in out
+        assert "ancestry: LabelledImage -> Image" in out
+
+    def test_show_single_class(self, pkg_file, capsys):
+        assert main(["show", pkg_file, "--cls", "Image"]) == 0
+        out = capsys.readouterr().out
+        assert "class Image" in out
+        assert "class LabelledImage" not in out
+
+    def test_show_unknown_class(self, pkg_file, capsys):
+        assert main(["show", pkg_file, "--cls", "Ghost"]) == 1
+
+
+class TestTemplates:
+    def test_lists_catalog(self, capsys):
+        assert main(["templates"]) == 0
+        out = capsys.readouterr().out
+        for name in ("default", "low-latency", "in-memory-ephemeral"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_with_auto_handlers(self, pkg_file, capsys):
+        code = main(
+            [
+                "run",
+                pkg_file,
+                "--auto-handlers",
+                "--new",
+                "Image",
+                "--invoke",
+                'resize:{"width": 10}',
+                "--invoke",
+                "changeFormat",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "created Image~" in out
+        assert "invoke resize: ok" in out
+        assert "invoke changeFormat: ok" in out
+
+    def test_run_requires_handlers(self, pkg_file, capsys):
+        assert main(["run", pkg_file, "--new", "Image"]) == 2
+        assert "handlers" in capsys.readouterr().err
+
+    def test_run_reports_failures(self, pkg_file, capsys):
+        code = main(
+            ["run", pkg_file, "--auto-handlers", "--new", "Image", "--invoke", "ghost"]
+        )
+        assert code == 0
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_run_with_handlers_module(self, pkg_file, tmp_path, capsys, monkeypatch):
+        module = tmp_path / "my_handlers.py"
+        module.write_text(
+            "def register(platform):\n"
+            "    for image in ('img/resize', 'img/change-format', 'img/detect-object'):\n"
+            "        platform.register_image(image, lambda ctx: {'ok': True})\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        code = main(
+            ["run", pkg_file, "--handlers", "my_handlers:register", "--new", "Image"]
+        )
+        assert code == 0
+
+    def test_run_bad_handlers_spec(self, pkg_file, capsys):
+        assert main(["run", pkg_file, "--handlers", "nocolon", "--new", "Image"]) == 2

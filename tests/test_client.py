@@ -1,0 +1,85 @@
+"""Tests for the OOP object-handle client."""
+
+import pytest
+
+from repro.errors import UnknownFunctionError, UnknownObjectError
+from repro.platform.client import ObjectHandle
+
+
+class TestHandleLifecycle:
+    def test_create_returns_handle(self, platform):
+        image = platform.create("Image", width=640)
+        assert isinstance(image, ObjectHandle)
+        assert image.cls == "Image"
+        assert image.state["width"] == 640
+        assert image.version == 1
+
+    def test_object_wraps_existing_id(self, platform):
+        object_id = platform.new_object("Image")
+        handle = platform.object(object_id)
+        assert handle.id == object_id
+        assert handle.exists
+
+    def test_dynamic_method_invocation(self, platform):
+        image = platform.create("Image")
+        result = image.resize(width=256)
+        assert result.ok
+        assert image.state["width"] == 256
+
+    def test_chainable_through_state(self, platform):
+        image = platform.create("Image")
+        image.resize(width=64)
+        image.changeFormat(format="webp")
+        assert image.state == {"width": 64, "format": "webp"}
+
+    def test_macro_invocation(self, platform):
+        image = platform.create("Image")
+        result = image.thumbnail(width=32)
+        assert result.ok
+        assert image.state["width"] == 32
+
+    def test_unknown_method_fails_fast(self, platform):
+        image = platform.create("Image")
+        with pytest.raises(UnknownFunctionError, match="sharpen"):
+            image.sharpen(amount=2)
+
+    def test_update_and_delete(self, platform):
+        image = platform.create("Image")
+        version = image.update(width=7)
+        assert version == 2
+        image.delete()
+        assert not image.exists
+
+    def test_files_via_handle(self, platform):
+        image = platform.create("Image")
+        image.upload("image", b"JPEG...")
+        assert image.download("image") == b"JPEG..."
+        assert image.file_url("image").startswith("s3://")
+
+    def test_inherited_methods_on_subclass_handle(self, platform):
+        labelled = platform.create("LabelledImage", width=600)
+        labelled.resize(width=700)          # inherited from Image
+        result = labelled.detectObject()    # own method
+        assert result.output["labels"] == ["cat", "laptop"]
+
+    def test_equality_and_hash(self, platform):
+        object_id = platform.new_object("Image")
+        a = platform.object(object_id)
+        b = platform.object(object_id)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_repr(self, platform):
+        handle = platform.create("Image")
+        assert handle.id in repr(handle)
+
+    def test_stale_handle_raises_on_access(self, platform):
+        handle = platform.object("Image~never-created")
+        assert not handle.exists
+        with pytest.raises(UnknownObjectError):
+            handle.record()
+
+    def test_private_attrs_not_proxied(self, platform):
+        handle = platform.create("Image")
+        with pytest.raises(AttributeError):
+            handle._internal_thing

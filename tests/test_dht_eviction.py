@@ -1,0 +1,143 @@
+"""Tests for bounded DHT memory (LRU eviction)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sim.network import Network
+from repro.storage.dht import Dht, DhtModel
+from repro.storage.kv import DocumentStore
+from repro.storage.write_behind import WriteBehindConfig
+
+
+def make_dht(env, cap, persistent=True, nodes=1, linger=0.0):
+    network = Network(env)
+    store = DocumentStore(env) if persistent else None
+    dht = Dht(
+        env,
+        [f"n{i}" for i in range(nodes)],
+        network,
+        store,
+        DhtModel(
+            persistent=persistent,
+            max_entries_per_node=cap,
+            write_behind=WriteBehindConfig(batch_size=10, linger_s=linger),
+        ),
+    )
+    return dht, store
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def doc(key, **state):
+    return {"id": key, "cls": "T", "version": 1, "state": state}
+
+
+class TestEviction:
+    def test_cap_validation(self, env):
+        with pytest.raises(StorageError):
+            DhtModel(max_entries_per_node=0)
+
+    def test_unbounded_by_default(self, env):
+        dht, _ = make_dht(env, cap=None)
+        for i in range(500):
+            dht.seed(doc(f"k{i}"))
+        assert dht.mem_count("n0") == 500
+        assert dht.evictions == 0
+
+    def test_cap_enforced_on_put(self, env):
+        dht, _ = make_dht(env, cap=10)
+
+        def scenario(env):
+            for i in range(30):
+                yield dht.put(doc(f"k{i}"), caller="n0")
+            yield dht.flush_all()
+            # Entries buffered for write-behind are pinned; the next
+            # access trims the cache back under the cap.
+            yield dht.get("k29", caller="n0")
+
+        run(env, scenario(env))
+        env.run()
+        assert dht.mem_count("n0") <= 10
+        assert dht.evictions >= 20
+
+    def test_lru_order_respected(self, env):
+        dht, _ = make_dht(env, cap=3, linger=0.0)
+
+        def scenario(env):
+            for key in ("a", "b", "c"):
+                yield dht.put(doc(key), caller="n0")
+            yield dht.flush_all()
+            # Touch 'a' so 'b' becomes the least recently used.
+            yield dht.get("a", caller="n0")
+            yield dht.put(doc("d"), caller="n0")
+            yield dht.flush_all()
+
+        run(env, scenario(env))
+        env.run()
+        assert dht.peek("a") is not None
+        assert dht.peek("b") is None  # evicted
+        assert dht.peek("d") is not None
+
+    def test_persistent_evicted_entries_reload(self, env):
+        dht, store = make_dht(env, cap=5)
+
+        def scenario(env):
+            for i in range(20):
+                yield dht.put(doc(f"k{i}", v=i), caller="n0")
+            yield dht.flush_all()
+            loaded = yield dht.get("k0", caller="n0")  # long evicted
+            return loaded
+
+        loaded = run(env, scenario(env))
+        assert loaded is not None
+        assert loaded["state"]["v"] == 0
+        assert dht.mem_misses >= 1
+
+    def test_pending_write_behind_entries_not_evicted(self, env):
+        # Huge linger: everything stays buffered; eviction must spare
+        # buffered entries or durability would be lost.
+        dht, store = make_dht(env, cap=3, linger=1000.0)
+
+        def scenario(env):
+            for i in range(10):
+                yield dht.put(doc(f"k{i}"), caller="n0")
+
+        run(env, scenario(env))
+        # All ten are pinned by the write-behind buffer despite cap=3.
+        assert dht.mem_count("n0") == 10
+
+        def drain(env):
+            yield dht.flush_all()
+
+        run(env, drain(env))
+        assert store.count("objects") == 10
+
+    def test_ephemeral_eviction_is_loss(self, env):
+        dht, _ = make_dht(env, cap=5, persistent=False)
+
+        def scenario(env):
+            for i in range(20):
+                yield dht.put(doc(f"k{i}"), caller="n0")
+            loaded = yield dht.get("k0", caller="n0")
+            return loaded
+
+        assert run(env, scenario(env)) is None
+
+    def test_template_knob_wires_through(self):
+        from repro.crm.template import ClassRuntimeTemplate, RuntimeConfig, TemplateCatalog
+        from repro.platform.oparaca import Oparaca, PlatformConfig
+
+        catalog = TemplateCatalog(
+            [
+                ClassRuntimeTemplate(
+                    name="small-cache",
+                    config=RuntimeConfig(dht_max_entries=7),
+                )
+            ]
+        )
+        platform = Oparaca(PlatformConfig(nodes=2, catalog=catalog))
+        platform.register_image("x/f", lambda ctx: {})
+        platform.deploy("classes:\n  - name: T\n")
+        assert platform.crm.dht_for("T").model.max_entries_per_node == 7

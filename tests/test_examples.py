@@ -1,0 +1,54 @@
+"""Smoke tests: every example script must run clean end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "quickstart complete." in result.stdout
+        assert "LabelledImage.detectObject" in result.stdout
+
+    def test_multimedia_pipeline(self):
+        result = run_example("multimedia_pipeline.py")
+        assert result.returncode == 0, result.stderr
+        assert "pipeline complete." in result.stdout
+        assert "'status': 'published'" in result.stdout
+
+    def test_iot_fleet(self):
+        result = run_example("iot_fleet.py")
+        assert result.returncode == 0, result.stderr
+        assert "in-memory-ephemeral" in result.stdout
+        assert "Sensor=0 (ephemeral)" in result.stdout
+        assert "cost report" in result.stdout
+
+    def test_multi_datacenter(self):
+        result = run_example("multi_datacenter.py")
+        assert result.returncode == 0, result.stderr
+        assert "multi-datacenter demo complete." in result.stdout
+        assert "regions: ['eu-west']" in result.stdout
+
+    @pytest.mark.slow
+    def test_fig3_scalability_quick_subset(self):
+        result = run_example(
+            "fig3_scalability.py", "--systems", "knative,oprc-bypass-nonpersist"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "throughput" in result.stdout
+        assert "knative" in result.stdout

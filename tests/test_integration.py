@@ -1,0 +1,185 @@
+"""End-to-end scenarios exercising the whole platform stack."""
+
+import pytest
+
+from repro.platform.oparaca import Oparaca, PlatformConfig
+from repro.sim.kernel import all_of
+
+from tests.conftest import LISTING1_YAML, register_image_handlers
+
+
+class TestTutorialFlow:
+    """The six tutorial steps (paper §IV) as one scenario."""
+
+    def test_full_walkthrough(self):
+        # 1. Install the platform.
+        oparaca = Oparaca(PlatformConfig(nodes=3))
+        # 3. Create functions.
+        register_image_handlers(oparaca)
+        # 4-5. Define and deploy the class definition.
+        runtimes = oparaca.deploy(LISTING1_YAML)
+        assert {r.cls for r in runtimes} == {"Image", "LabelledImage"}
+        # 5. Interact with objects (CLI/REST equivalent calls).
+        obj = oparaca.new_object("Image", {"width": 640})
+        result = oparaca.invoke(obj, "resize", {"width": 64})
+        assert result.ok
+        # 6. Optimize the deployment via NFRs: the class declared
+        # throughput 100, which the catalog maps to the default template.
+        assert runtimes[0].template.name == "default"
+        oparaca.shutdown()
+
+    def test_durability_across_memory_loss(self):
+        """State survives the in-memory tier via write-behind."""
+        oparaca = Oparaca(PlatformConfig(nodes=3))
+        register_image_handlers(oparaca)
+        oparaca.deploy(LISTING1_YAML)
+        obj = oparaca.new_object("Image")
+        oparaca.invoke(obj, "resize", {"width": 555})
+        oparaca.flush()
+        # Simulate losing every node's memory.
+        dht = oparaca.crm.dht_for("Image")
+        for node_mem in dht._mem.values():
+            node_mem.clear()
+        record = oparaca.get_object(obj)  # reloaded from the document store
+        assert record["state"]["width"] == 555
+
+    def test_ephemeral_class_loses_state_on_memory_loss(self):
+        oparaca = Oparaca(PlatformConfig(nodes=3))
+        oparaca.register_image("img/noop", lambda ctx: {})
+        oparaca.deploy(
+            """
+classes:
+  - name: Cache
+    constraint: { persistent: false }
+    keySpecs:
+      - { name: value, type: STR }
+"""
+        )
+        obj = oparaca.new_object("Cache", {"value": "volatile"})
+        dht = oparaca.crm.dht_for("Cache")
+        for node_mem in dht._mem.values():
+            node_mem.clear()
+        from repro.errors import UnknownObjectError
+
+        with pytest.raises(UnknownObjectError):
+            oparaca.get_object(obj)
+
+
+class TestMixedWorkload:
+    def test_many_objects_many_classes_under_load(self):
+        oparaca = Oparaca(PlatformConfig(nodes=4))
+        register_image_handlers(oparaca)
+        oparaca.deploy(LISTING1_YAML)
+        images = [oparaca.new_object("Image") for _ in range(20)]
+        labelled = [oparaca.new_object("LabelledImage") for _ in range(10)]
+
+        def drive(object_id, width):
+            from repro.invoker.request import InvocationRequest
+
+            result = yield oparaca.engine.invoke(
+                InvocationRequest(
+                    object_id=object_id, fn_name="resize", payload={"width": width}
+                )
+            )
+            assert result.ok
+            return result
+
+        procs = [
+            oparaca.env.process(drive(obj, i + 1))
+            for i, obj in enumerate(images + labelled)
+        ]
+        oparaca.run(all_of(oparaca.env, procs))
+        for i, obj in enumerate(images + labelled):
+            assert oparaca.get_object(obj)["state"]["width"] == i + 1
+        oparaca.shutdown()
+        # Everything durable after shutdown.
+        total_docs = oparaca.store.count("objects.Image") + oparaca.store.count(
+            "objects.LabelledImage"
+        )
+        assert total_docs == 30
+
+    def test_files_isolated_per_object(self, platform):
+        a = platform.new_object("Image")
+        b = platform.new_object("Image")
+        platform.upload_file(a, "image", b"AAA")
+        platform.upload_file(b, "image", b"BBB")
+        assert platform.download_file(a, "image") == b"AAA"
+        assert platform.download_file(b, "image") == b"BBB"
+
+    def test_upload_versions_do_not_collide(self, platform):
+        obj = platform.new_object("Image")
+        first_key = platform.upload_file(obj, "image", b"v1")
+        second_key = platform.upload_file(obj, "image", b"v2")
+        assert first_key != second_key
+        assert platform.download_file(obj, "image") == b"v2"
+
+
+class TestCrossClassDataflow:
+    def test_pipeline_spanning_classes(self, bare_platform):
+        platform = bare_platform
+
+        @platform.function("x/summarize", service_time_s=0.01)
+        def summarize(ctx):
+            return {"total": sum(ctx.payload.get("values", []))}
+
+        @platform.function("x/emit", service_time_s=0.01)
+        def emit(ctx):
+            return {"values": [1, 2, 3]}
+
+        @platform.function("x/store", service_time_s=0.01)
+        def store(ctx):
+            ctx.state["total"] = int(ctx.payload["total"])
+            return {"stored": ctx.state["total"]}
+
+        platform.deploy(
+            """
+classes:
+  - name: Report
+    keySpecs:
+      - { name: total, type: INT, default: 0 }
+    functions:
+      - { name: store, image: x/store }
+  - name: Collector
+    functions:
+      - { name: emit, image: x/emit, mutable: false }
+      - { name: summarize, image: x/summarize, mutable: false }
+      - name: rollup
+        type: MACRO
+        dataflow:
+          steps:
+            - { id: e, function: emit }
+            - id: s
+              function: summarize
+              args: { values: "${e.values}" }
+          output: s
+"""
+        )
+        collector = platform.new_object("Collector")
+        report = platform.new_object("Report")
+        rollup = platform.invoke(collector, "rollup")
+        assert rollup.output == {"total": 6}
+        platform.invoke(report, "store", {"total": rollup.output["total"]})
+        assert platform.get_object(report)["state"]["total"] == 6
+
+
+class TestScaleToZeroLifecycle:
+    def test_idle_service_scales_to_zero_then_recovers(self):
+        from repro.faas.knative import KnativeModel
+
+        oparaca = Oparaca(
+            PlatformConfig(
+                nodes=3,
+                knative=KnativeModel(cold_start_s=0.5, scale_to_zero_grace_s=10.0),
+            )
+        )
+        register_image_handlers(oparaca)
+        oparaca.deploy(LISTING1_YAML)
+        obj = oparaca.new_object("Image")
+        oparaca.invoke(obj, "resize", {"width": 1})
+        service = oparaca.crm.runtime("Image").services["resize"]
+        oparaca.advance(30.0)  # idle beyond grace; autoscaler ticks run
+        assert service.replicas == 0
+        result = oparaca.invoke(obj, "resize", {"width": 2})
+        assert result.ok
+        assert result.latency_s >= 0.5  # cold start paid
+        assert service.cold_starts >= 1

@@ -1,0 +1,81 @@
+"""Tests for object listing and the delete/write-behind interaction."""
+
+import pytest
+
+from repro.errors import UnknownClassError
+
+
+class TestListObjects:
+    def test_lists_created_objects(self, platform):
+        ids = {platform.new_object("Image") for _ in range(5)}
+        assert set(platform.list_objects("Image")) == ids
+
+    def test_listing_is_per_class(self, platform):
+        image = platform.new_object("Image")
+        labelled = platform.new_object("LabelledImage")
+        assert platform.list_objects("Image") == [image]
+        assert platform.list_objects("LabelledImage") == [labelled]
+
+    def test_deleted_objects_disappear(self, platform):
+        keep = platform.new_object("Image")
+        drop = platform.new_object("Image")
+        platform.delete_object(drop)
+        assert platform.list_objects("Image") == [keep]
+
+    def test_unknown_class_raises(self, platform):
+        with pytest.raises(UnknownClassError):
+            platform.list_objects("Ghost")
+
+    def test_gateway_route(self, platform):
+        ids = sorted(platform.new_object("Image") for _ in range(3))
+        response = platform.http("GET", "/api/classes/Image/objects")
+        assert response.status == 200
+        assert response.body["count"] == 3
+        assert response.body["objects"] == ids
+
+    def test_gateway_unknown_class_404(self, platform):
+        assert platform.http("GET", "/api/classes/Ghost/objects").status == 404
+
+    def test_evicted_objects_still_listed_when_persistent(self):
+        from repro.crm.template import ClassRuntimeTemplate, RuntimeConfig, TemplateCatalog
+        from repro.platform.oparaca import Oparaca, PlatformConfig
+
+        catalog = TemplateCatalog(
+            [ClassRuntimeTemplate(name="tiny", config=RuntimeConfig(dht_max_entries=2))]
+        )
+        platform = Oparaca(PlatformConfig(nodes=2, catalog=catalog))
+        platform.deploy("classes:\n  - name: T\n")
+        ids = {platform.new_object("T") for _ in range(10)}
+        platform.flush()
+        assert set(platform.list_objects("T")) == ids
+
+
+class TestDeleteWriteBehindRace:
+    def test_buffered_update_does_not_resurrect_deleted_object(self):
+        """An unflushed update must not be re-written after delete."""
+        from repro.crm.template import ClassRuntimeTemplate, RuntimeConfig, TemplateCatalog
+        from repro.platform.oparaca import Oparaca, PlatformConfig
+        from repro.storage.write_behind import WriteBehindConfig
+
+        catalog = TemplateCatalog(
+            [
+                ClassRuntimeTemplate(
+                    name="slow-flush",
+                    config=RuntimeConfig(
+                        write_behind=WriteBehindConfig(batch_size=100, linger_s=100.0)
+                    ),
+                )
+            ]
+        )
+        platform = Oparaca(PlatformConfig(nodes=2, catalog=catalog))
+        platform.register_image("t/set", lambda ctx: None)
+        platform.deploy(
+            "classes:\n  - name: T\n    keySpecs: [{name: v, type: INT}]\n"
+            "    functions: [{name: set, image: t/set}]\n"
+        )
+        obj = platform.new_object("T", {"v": 1})
+        platform.update_object(obj, {"v": 2})  # buffered, not yet flushed
+        platform.delete_object(obj)
+        platform.advance(200.0)  # well past the linger window
+        assert platform.store.get_sync("objects.T", obj) is None
+        assert obj not in platform.list_objects("T")

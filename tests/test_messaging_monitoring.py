@@ -1,0 +1,200 @@
+"""Unit tests for messaging (topic log) and monitoring."""
+
+import pytest
+
+from repro.errors import MessagingError, ValidationError
+from repro.messaging.topic import ConsumerGroup, Topic
+from repro.monitoring.collector import MonitoringSystem
+from repro.monitoring.metrics import Counter, Gauge, Histogram, MetricsRegistry, SlidingWindow
+
+
+class TestTopic:
+    def test_partition_count_validation(self, env):
+        with pytest.raises(MessagingError):
+            Topic(env, "t", partitions=0)
+
+    def test_publish_assigns_offsets_per_partition(self, env):
+        topic = Topic(env, "t", partitions=1)
+        first = topic.publish("a", 1)
+        second = topic.publish("b", 2)
+        assert (first.offset, second.offset) == (0, 1)
+
+    def test_same_key_same_partition(self, env):
+        topic = Topic(env, "t", partitions=8)
+        partitions = {topic.publish("hot", i).partition for i in range(10)}
+        assert len(partitions) == 1
+
+    def test_empty_key_rejected(self, env):
+        with pytest.raises(MessagingError):
+            Topic(env, "t").publish("", 1)
+
+    def test_get_out_of_range_partition(self, env):
+        with pytest.raises(MessagingError):
+            Topic(env, "t", partitions=2).get(5)
+
+    def test_depth_and_history(self, env):
+        topic = Topic(env, "t", partitions=1)
+        topic.publish("a", 1)
+        topic.publish("a", 2)
+        assert topic.depth() == 2
+        assert [m.value for m in topic.history(0)] == [1, 2]
+
+    def test_consume_blocks_until_publish(self, env):
+        topic = Topic(env, "t", partitions=1)
+        got = []
+
+        def consumer(env):
+            message = yield topic.get(0)
+            got.append((message.value, env.now))
+
+        def producer(env):
+            yield env.timeout(2.0)
+            topic.publish("k", "data")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [("data", 2.0)]
+
+
+class TestConsumerGroup:
+    def test_processes_all_messages(self, env):
+        topic = Topic(env, "t", partitions=4)
+        seen = []
+
+        def handler(message):
+            yield env.timeout(0.01)
+            seen.append(message.value)
+
+        group = ConsumerGroup(env, topic, handler)
+        for i in range(20):
+            topic.publish(f"key-{i}", i)
+        env.run(until=5.0)
+        assert sorted(seen) == list(range(20))
+        assert group.consumed == 20
+        group.stop()
+
+    def test_per_key_ordering(self, env):
+        topic = Topic(env, "t", partitions=4)
+        seen = []
+
+        def handler(message):
+            yield env.timeout(0.05)
+            seen.append(message.value)
+
+        ConsumerGroup(env, topic, handler)
+        for i in range(10):
+            topic.publish("same-key", i)
+        env.run(until=5.0)
+        assert seen == list(range(10))
+
+    def test_fewer_workers_than_partitions(self, env):
+        topic = Topic(env, "t", partitions=4)
+        seen = []
+
+        def handler(message):
+            yield env.timeout(0.01)
+            seen.append(message.value)
+
+        ConsumerGroup(env, topic, handler, workers=2)
+        for i in range(8):
+            topic.publish(f"k{i}", i)
+        env.run(until=5.0)
+        assert len(seen) == 8
+
+
+class TestMetrics:
+    def test_counter(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+        with pytest.raises(ValidationError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+
+    def test_histogram_percentiles(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.record(value)
+        assert histogram.percentile(50) == 50
+        assert histogram.percentile(99) == 99
+        assert histogram.mean == pytest.approx(50.5)
+        assert histogram.max == 100
+
+    def test_histogram_empty(self):
+        histogram = Histogram("h")
+        assert histogram.percentile(99) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_histogram_percentile_bounds(self):
+        with pytest.raises(ValidationError):
+            Histogram("h").percentile(0)
+
+    def test_registry_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(5)
+        registry.gauge("b").set(2)
+        registry.histogram("lat").record(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["a"] == 5
+        assert snapshot["b"] == 2
+        assert snapshot["lat.mean"] == 0.5
+
+    def test_registry_reuses_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestSlidingWindow:
+    def test_throughput_over_window(self):
+        window = SlidingWindow(window_s=10.0)
+        for t in range(10):
+            window.record(float(t), 0.01)
+        assert window.throughput(10.0) == pytest.approx(1.0, rel=0.15)
+
+    def test_old_samples_evicted(self):
+        window = SlidingWindow(window_s=5.0)
+        window.record(0.0, 0.01)
+        window.record(10.0, 0.01)
+        assert len(window) == 1
+
+    def test_error_rate(self):
+        window = SlidingWindow(window_s=100.0)
+        window.record(1.0, 0.01, ok=True)
+        window.record(2.0, 0.01, ok=False)
+        assert window.error_rate(3.0) == 0.5
+
+    def test_latency_percentile(self):
+        window = SlidingWindow(window_s=100.0)
+        for latency in (0.1, 0.2, 0.9):
+            window.record(1.0, latency)
+        assert window.latency_percentile(1.0, 99) == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SlidingWindow(0)
+
+
+class TestMonitoringSystem:
+    def test_per_class_observations(self, env):
+        monitoring = MonitoringSystem(env)
+        obs = monitoring.for_class("Image")
+        obs.record_invocation(0.05, ok=True)
+        obs.record_invocation(0.10, ok=False)
+        assert obs.completed == 1
+        assert obs.failed == 1
+        assert monitoring.for_class("Image") is obs
+        assert monitoring.observed_classes == ("Image",)
+
+    def test_snapshot_includes_class_metrics(self, env):
+        monitoring = MonitoringSystem(env)
+        monitoring.for_class("A").record_invocation(0.01, ok=True)
+        snapshot = monitoring.snapshot()
+        assert "class.A.throughput_rps" in snapshot
+        assert "class.A.latency_p99_ms" in snapshot

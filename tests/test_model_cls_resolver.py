@@ -1,0 +1,206 @@
+"""Unit tests for class definitions, inheritance, and polymorphism."""
+
+import pytest
+
+from repro.errors import ClassResolutionError, ValidationError
+from repro.model.cls import AccessModifier, ClassDefinition, FunctionBinding
+from repro.model.dataflow import DataflowSpec, DataflowStep
+from repro.model.function import FunctionDefinition, FunctionType
+from repro.model.nfr import Constraint, NonFunctionalRequirements, QosRequirement
+from repro.model.resolver import ClassResolver
+from repro.model.types import DataType, KeySpec, StateSpec
+
+
+def task(name, image=None):
+    return FunctionDefinition(name=name, image=image or f"img/{name}")
+
+
+def binding(name, **kwargs):
+    return FunctionBinding(name=name, function=task(name), **kwargs)
+
+
+def cls(name, parent=None, keys=(), bindings=(), nfr=None):
+    return ClassDefinition(
+        name=name,
+        parent=parent,
+        state=StateSpec(tuple(keys)),
+        bindings=tuple(bindings),
+        nfr=nfr or NonFunctionalRequirements.none(),
+    )
+
+
+class TestClassDefinition:
+    def test_invalid_name(self):
+        with pytest.raises(ValidationError):
+            cls("1bad")
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValidationError):
+            cls("A", parent="A")
+
+    def test_duplicate_methods_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            cls("A", bindings=[binding("f"), binding("f")])
+
+    def test_macro_self_invocation_rejected(self):
+        macro = FunctionBinding(
+            name="loop",
+            function=FunctionDefinition(
+                name="loop",
+                ftype=FunctionType.MACRO,
+                dataflow=DataflowSpec(
+                    steps=(DataflowStep(id="s", function="loop"),)
+                ),
+            ),
+        )
+        with pytest.raises(ValidationError, match="invokes itself"):
+            cls("A", bindings=[macro])
+
+    def test_binding_lookup(self):
+        definition = cls("A", bindings=[binding("f")])
+        assert definition.binding("f").name == "f"
+        assert definition.binding("g") is None
+
+
+class TestResolver:
+    def _resolver(self, *definitions):
+        return ClassResolver({d.name: d for d in definitions})
+
+    def test_flat_class(self):
+        resolver = self._resolver(cls("A", keys=[KeySpec("x", DataType.INT)], bindings=[binding("f")]))
+        resolved = resolver.resolve("A")
+        assert resolved.ancestry == ("A",)
+        assert resolved.state.names == ("x",)
+        assert resolved.method_names == ("f",)
+
+    def test_unknown_class(self):
+        with pytest.raises(ClassResolutionError, match="unknown class"):
+            self._resolver().resolve("Ghost")
+
+    def test_unknown_parent(self):
+        resolver = self._resolver(cls("B", parent="A"))
+        with pytest.raises(ClassResolutionError, match="unknown class 'A'"):
+            resolver.resolve("B")
+
+    def test_inheritance_chain(self):
+        resolver = self._resolver(
+            cls("A", keys=[KeySpec("a", DataType.INT)], bindings=[binding("fa")]),
+            cls("B", parent="A", keys=[KeySpec("b", DataType.INT)], bindings=[binding("fb")]),
+            cls("C", parent="B", keys=[KeySpec("c", DataType.INT)], bindings=[binding("fc")]),
+        )
+        resolved = resolver.resolve("C")
+        assert resolved.ancestry == ("C", "B", "A")
+        assert resolved.state.names == ("a", "b", "c")  # parent-first
+        assert resolved.method_names == ("fa", "fb", "fc")
+
+    def test_cycle_detected(self):
+        resolver = self._resolver(cls("A", parent="B"), cls("B", parent="A"))
+        with pytest.raises(ClassResolutionError, match="cycle"):
+            resolver.resolve("A")
+
+    def test_override_replaces_parent_binding(self):
+        child_fn = FunctionBinding(
+            name="f", function=FunctionDefinition(name="f", image="img/f-v2")
+        )
+        resolver = self._resolver(
+            cls("A", bindings=[binding("f")]),
+            ClassDefinition(name="B", parent="A", bindings=(child_fn,)),
+        )
+        assert resolver.resolve("B").methods["f"].function.image == "img/f-v2"
+        # The parent still resolves to its own implementation.
+        assert resolver.resolve("A").methods["f"].function.image == "img/f"
+
+    def test_override_changing_mutability_rejected(self):
+        resolver = self._resolver(
+            cls("A", bindings=[binding("f", mutable=True)]),
+            cls("B", parent="A", bindings=[binding("f", mutable=False)]),
+        )
+        with pytest.raises(ClassResolutionError, match="mutability"):
+            resolver.resolve("B")
+
+    def test_is_subclass(self):
+        resolver = self._resolver(cls("A"), cls("B", parent="A"), cls("C"))
+        assert resolver.is_subclass("B", "A")
+        assert resolver.is_subclass("A", "A")
+        assert not resolver.is_subclass("A", "B")
+        assert not resolver.is_subclass("C", "A")
+
+    def test_is_subclass_unknown_class(self):
+        with pytest.raises(ClassResolutionError):
+            self._resolver(cls("A")).is_subclass("X", "A")
+
+    def test_nfr_inherited_and_overridden(self):
+        parent_nfr = NonFunctionalRequirements(
+            qos=QosRequirement(throughput_rps=100, latency_ms=50)
+        )
+        child_nfr = NonFunctionalRequirements(qos=QosRequirement(throughput_rps=500))
+        resolver = self._resolver(
+            cls("A", nfr=parent_nfr), cls("B", parent="A", nfr=child_nfr)
+        )
+        resolved = resolver.resolve("B")
+        assert resolved.nfr.qos.throughput_rps == 500
+        assert resolved.nfr.qos.latency_ms == 50
+
+    def test_constraint_inherited(self):
+        parent_nfr = NonFunctionalRequirements(constraint=Constraint(persistent=False))
+        resolver = self._resolver(cls("A", nfr=parent_nfr), cls("B", parent="A"))
+        assert resolver.resolve("B").nfr.constraint.persistent is False
+
+    def test_macro_referencing_missing_method_rejected(self):
+        macro = FunctionBinding(
+            name="m",
+            function=FunctionDefinition(
+                name="m",
+                ftype=FunctionType.MACRO,
+                dataflow=DataflowSpec(steps=(DataflowStep(id="s", function="ghost"),)),
+            ),
+        )
+        resolver = self._resolver(ClassDefinition(name="A", bindings=(macro,)))
+        with pytest.raises(ClassResolutionError, match="unknown method"):
+            resolver.resolve("A")
+
+    def test_macro_using_inherited_method_ok(self):
+        macro = FunctionBinding(
+            name="m",
+            function=FunctionDefinition(
+                name="m",
+                ftype=FunctionType.MACRO,
+                dataflow=DataflowSpec(steps=(DataflowStep(id="s", function="f"),)),
+            ),
+        )
+        resolver = self._resolver(
+            cls("A", bindings=[binding("f")]),
+            ClassDefinition(name="B", parent="A", bindings=(macro,)),
+        )
+        assert "m" in resolver.resolve("B").methods
+
+    def test_effective_nfr_per_method(self):
+        method_nfr = NonFunctionalRequirements(qos=QosRequirement(latency_ms=10))
+        class_nfr = NonFunctionalRequirements(qos=QosRequirement(throughput_rps=100))
+        definition = ClassDefinition(
+            name="A",
+            bindings=(
+                FunctionBinding(name="fast", function=task("fast"), nfr=method_nfr),
+                FunctionBinding(name="plain", function=task("plain")),
+            ),
+            nfr=class_nfr,
+        )
+        resolved = self._resolver(definition).resolve("A")
+        assert resolved.effective_nfr("fast").qos.latency_ms == 10
+        assert resolved.effective_nfr("fast").qos.throughput_rps == 100
+        assert resolved.effective_nfr("plain").qos.latency_ms is None
+
+    def test_resolve_all(self):
+        resolver = self._resolver(cls("A"), cls("B", parent="A"))
+        resolved = resolver.resolve_all()
+        assert set(resolved) == {"A", "B"}
+
+    def test_cache_returns_same_object(self):
+        resolver = self._resolver(cls("A"))
+        assert resolver.resolve("A") is resolver.resolve("A")
+
+    def test_access_modifier_preserved(self):
+        resolver = self._resolver(
+            cls("A", bindings=[binding("f", access=AccessModifier.INTERNAL)])
+        )
+        assert resolver.resolve("A").methods["f"].access is AccessModifier.INTERNAL

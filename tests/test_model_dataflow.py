@@ -1,0 +1,146 @@
+"""Unit tests for the dataflow abstraction."""
+
+import pytest
+
+from repro.errors import DataflowError
+from repro.model.dataflow import (
+    DataflowSpec,
+    DataflowStep,
+    resolve_path,
+    resolve_template,
+)
+
+
+def spec_of(*steps, output=None):
+    return DataflowSpec(steps=tuple(steps), output=output)
+
+
+class TestReferences:
+    def test_resolve_path_dict(self):
+        assert resolve_path("input.a.b", {"input": {"a": {"b": 7}}}) == 7
+
+    def test_resolve_path_list_index(self):
+        assert resolve_path("s.items.1", {"s": {"items": [10, 20]}}) == 20
+
+    def test_resolve_path_unknown_root(self):
+        with pytest.raises(DataflowError, match="unknown reference root"):
+            resolve_path("nope.x", {"input": {}})
+
+    def test_resolve_path_missing_field(self):
+        with pytest.raises(DataflowError, match="missing field"):
+            resolve_path("input.x", {"input": {}})
+
+    def test_resolve_path_bad_index(self):
+        with pytest.raises(DataflowError):
+            resolve_path("s.5", {"s": [1]})
+
+    def test_resolve_path_scalar_descend(self):
+        with pytest.raises(DataflowError, match="cannot descend"):
+            resolve_path("input.a.b", {"input": {"a": 3}})
+
+    def test_whole_reference_preserves_type(self):
+        assert resolve_template("${input.n}", {"input": {"n": 42}}) == 42
+
+    def test_interpolation_stringifies(self):
+        out = resolve_template("w=${input.w},h=${input.h}", {"input": {"w": 1, "h": 2}})
+        assert out == "w=1,h=2"
+
+    def test_plain_string_passthrough(self):
+        assert resolve_template("constant", {}) == "constant"
+
+
+class TestDataflowStep:
+    def test_invalid_id(self):
+        with pytest.raises(DataflowError):
+            DataflowStep(id="bad id", function="f")
+
+    def test_missing_function(self):
+        with pytest.raises(DataflowError):
+            DataflowStep(id="a", function="")
+
+    def test_dependencies_from_inputs(self):
+        step = DataflowStep(id="c", function="f", inputs=("a", "$", "b"))
+        assert step.dependencies() == {"a", "b"}
+
+    def test_dependencies_from_target(self):
+        step = DataflowStep(id="c", function="f", target="@maker")
+        assert "maker" in step.dependencies()
+
+    def test_dependencies_from_args(self):
+        step = DataflowStep(id="c", function="f", args={"x": "${a.out}", "y": "${input.z}"})
+        assert step.dependencies() == {"a"}
+
+
+class TestDataflowSpec:
+    def test_empty_rejected(self):
+        with pytest.raises(DataflowError, match="no steps"):
+            spec_of()
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DataflowError, match="duplicate"):
+            spec_of(
+                DataflowStep(id="a", function="f"),
+                DataflowStep(id="a", function="g"),
+            )
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(DataflowError, match="unknown step"):
+            spec_of(DataflowStep(id="a", function="f", inputs=("ghost",)))
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(DataflowError, match="target"):
+            spec_of(DataflowStep(id="a", function="f", target="other"))
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(DataflowError, match="output"):
+            spec_of(DataflowStep(id="a", function="f"), output="ghost")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(DataflowError, match="cycle"):
+            spec_of(
+                DataflowStep(id="a", function="f", inputs=("b",)),
+                DataflowStep(id="b", function="g", inputs=("a",)),
+            )
+
+    def test_self_cycle_rejected(self):
+        with pytest.raises(DataflowError, match="cycle"):
+            spec_of(DataflowStep(id="a", function="f", inputs=("a",)))
+
+    def test_waves_linear_chain(self):
+        spec = spec_of(
+            DataflowStep(id="a", function="f"),
+            DataflowStep(id="b", function="g", inputs=("a",)),
+            DataflowStep(id="c", function="h", inputs=("b",)),
+        )
+        assert [[s.id for s in wave] for wave in spec.waves()] == [["a"], ["b"], ["c"]]
+
+    def test_waves_diamond_parallelism(self):
+        spec = spec_of(
+            DataflowStep(id="src", function="f"),
+            DataflowStep(id="left", function="g", inputs=("src",)),
+            DataflowStep(id="right", function="h", inputs=("src",)),
+            DataflowStep(id="sink", function="k", inputs=("left", "right")),
+        )
+        waves = [[s.id for s in wave] for wave in spec.waves()]
+        assert waves == [["src"], ["left", "right"], ["sink"]]
+
+    def test_independent_steps_one_wave(self):
+        spec = spec_of(
+            DataflowStep(id="a", function="f"),
+            DataflowStep(id="b", function="g"),
+        )
+        assert [[s.id for s in wave] for wave in spec.waves()] == [["a", "b"]]
+
+    def test_step_lookup(self):
+        spec = spec_of(DataflowStep(id="a", function="f"))
+        assert spec.step("a").function == "f"
+        with pytest.raises(DataflowError):
+            spec.step("missing")
+
+    def test_referenced_functions(self):
+        spec = spec_of(
+            DataflowStep(id="a", function="resize"),
+            DataflowStep(id="b", function="resize", inputs=("a",)),
+            DataflowStep(id="c", function="label", inputs=("b",)),
+        )
+        assert spec.referenced_functions() == {"resize", "label"}

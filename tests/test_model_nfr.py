@@ -1,0 +1,86 @@
+"""Unit tests for the non-functional requirements interface."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.nfr import Constraint, NonFunctionalRequirements, QosRequirement
+
+
+class TestQosRequirement:
+    def test_empty_by_default(self):
+        assert QosRequirement().is_empty
+
+    def test_set_fields(self):
+        qos = QosRequirement(throughput_rps=100, availability=0.999, latency_ms=50)
+        assert not qos.is_empty
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_throughput_must_be_positive(self, value):
+        with pytest.raises(ValidationError):
+            QosRequirement(throughput_rps=value)
+
+    @pytest.mark.parametrize("value", [0, 1.1, -0.5])
+    def test_availability_bounds(self, value):
+        with pytest.raises(ValidationError):
+            QosRequirement(availability=value)
+
+    def test_availability_one_allowed(self):
+        QosRequirement(availability=1.0)
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            QosRequirement(latency_ms=0)
+
+
+class TestConstraint:
+    def test_default_is_persistent(self):
+        constraint = Constraint()
+        assert constraint.persistent
+        assert constraint.is_default
+
+    def test_non_persistent_not_default(self):
+        assert not Constraint(persistent=False).is_default
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            Constraint(budget_usd_per_month=0)
+
+    def test_jurisdictions(self):
+        constraint = Constraint(jurisdictions=("eu-west", "eu-central"))
+        assert not constraint.is_default
+
+
+class TestMerging:
+    def test_child_overrides_set_fields(self):
+        parent = NonFunctionalRequirements(qos=QosRequirement(throughput_rps=100))
+        child = NonFunctionalRequirements(qos=QosRequirement(throughput_rps=500))
+        merged = child.merged_over(parent)
+        assert merged.qos.throughput_rps == 500
+
+    def test_child_inherits_unset_fields(self):
+        parent = NonFunctionalRequirements(
+            qos=QosRequirement(throughput_rps=100, latency_ms=50)
+        )
+        child = NonFunctionalRequirements(qos=QosRequirement(availability=0.99))
+        merged = child.merged_over(parent)
+        assert merged.qos.throughput_rps == 100
+        assert merged.qos.latency_ms == 50
+        assert merged.qos.availability == 0.99
+
+    def test_child_constraint_wins_when_set(self):
+        parent = NonFunctionalRequirements(constraint=Constraint(persistent=False))
+        child = NonFunctionalRequirements(
+            constraint=Constraint(budget_usd_per_month=10.0)
+        )
+        merged = child.merged_over(parent)
+        assert merged.constraint.budget_usd_per_month == 10.0
+        assert merged.constraint.persistent
+
+    def test_default_child_constraint_inherits_parent(self):
+        parent = NonFunctionalRequirements(constraint=Constraint(persistent=False))
+        child = NonFunctionalRequirements()
+        merged = child.merged_over(parent)
+        assert not merged.constraint.persistent
+
+    def test_none_factory(self):
+        assert NonFunctionalRequirements.none().is_default

@@ -1,0 +1,265 @@
+"""Unit tests for package parsing (YAML/JSON class definitions)."""
+
+import json
+
+import pytest
+
+from repro.errors import PackageError, ValidationError
+from repro.model.cls import AccessModifier
+from repro.model.function import FunctionType
+from repro.model.pkg import Package, load_package, loads_package, parse_package
+from repro.model.types import DataType
+
+from tests.conftest import LISTING1_YAML
+
+
+class TestListing1:
+    def test_parses(self):
+        package = loads_package(LISTING1_YAML)
+        assert package.name == "image-app"
+        assert [c.name for c in package.classes] == ["Image", "LabelledImage"]
+
+    def test_nfr_parsed(self):
+        package = loads_package(LISTING1_YAML)
+        image = package.cls("Image")
+        assert image.nfr.qos.throughput_rps == 100
+        assert image.nfr.constraint.persistent is True
+
+    def test_key_specs_parsed(self):
+        image = loads_package(LISTING1_YAML).cls("Image")
+        assert image.state.get("image").dtype is DataType.FILE
+        assert image.state.get("width").default == 1024
+
+    def test_inheritance_declared(self):
+        labelled = loads_package(LISTING1_YAML).cls("LabelledImage")
+        assert labelled.parent == "Image"
+
+    def test_macro_parsed(self):
+        image = loads_package(LISTING1_YAML).cls("Image")
+        macro = image.binding("thumbnail")
+        assert macro.function.ftype is FunctionType.MACRO
+        assert [s.id for s in macro.function.dataflow.steps] == ["r", "f"]
+
+    def test_resolution_succeeds(self):
+        resolved = loads_package(LISTING1_YAML).resolved_classes()
+        assert resolved["LabelledImage"].is_subclass_of("Image")
+
+
+class TestStrictness:
+    def test_unknown_class_key_rejected(self):
+        with pytest.raises(PackageError, match="unknown key"):
+            parse_package({"classes": [{"name": "A", "color": "red"}]})
+
+    def test_unknown_qos_key_rejected(self):
+        with pytest.raises(PackageError, match="unknown key"):
+            parse_package({"classes": [{"name": "A", "qos": {"speed": 1}}]})
+
+    def test_class_missing_name(self):
+        with pytest.raises(PackageError, match="missing 'name'"):
+            parse_package({"classes": [{"parent": "X"}]})
+
+    def test_function_needs_image_or_reference(self):
+        with pytest.raises(PackageError, match="neither defines"):
+            parse_package({"classes": [{"name": "A", "functions": [{"name": "f"}]}]})
+
+    def test_bad_access_modifier(self):
+        with pytest.raises(PackageError, match="access"):
+            parse_package(
+                {
+                    "classes": [
+                        {
+                            "name": "A",
+                            "functions": [
+                                {"name": "f", "image": "img/f", "access": "SECRET"}
+                            ],
+                        }
+                    ]
+                }
+            )
+
+    def test_bad_function_type(self):
+        with pytest.raises(PackageError, match="unknown function type"):
+            parse_package(
+                {
+                    "classes": [
+                        {"name": "A", "functions": [{"name": "f", "type": "WEIRD"}]}
+                    ]
+                }
+            )
+
+    def test_invalid_nfr_value(self):
+        with pytest.raises(PackageError, match="invalid NFR"):
+            parse_package({"classes": [{"name": "A", "qos": {"throughput": -5}}]})
+
+    def test_non_mapping_document(self):
+        with pytest.raises(PackageError, match="mapping"):
+            parse_package([1, 2, 3])
+
+    def test_classes_must_be_list(self):
+        with pytest.raises(PackageError):
+            parse_package({"classes": {"name": "A"}})
+
+    def test_broken_hierarchy_rejected_at_parse(self):
+        with pytest.raises(Exception):
+            parse_package({"classes": [{"name": "B", "parent": "Missing"}]})
+
+    def test_invalid_yaml_text(self):
+        with pytest.raises(PackageError, match="invalid YAML"):
+            loads_package("classes: [unclosed")
+
+    def test_invalid_json_text(self):
+        with pytest.raises(PackageError, match="invalid JSON"):
+            loads_package("{broken", fmt="json")
+
+    def test_unknown_format(self):
+        with pytest.raises(PackageError, match="unknown package format"):
+            loads_package("{}", fmt="toml")
+
+
+class TestFeatures:
+    def test_package_level_function_reference(self):
+        package = parse_package(
+            {
+                "name": "p",
+                "functions": [{"name": "shared", "image": "img/shared"}],
+                "classes": [
+                    {"name": "A", "functions": [{"name": "shared"}]},
+                    {"name": "B", "functions": [{"name": "shared"}]},
+                ],
+            }
+        )
+        a = package.cls("A").binding("shared")
+        b = package.cls("B").binding("shared")
+        assert a.function is b.function  # software reuse across classes
+
+    def test_binding_level_overrides(self):
+        package = parse_package(
+            {
+                "classes": [
+                    {
+                        "name": "A",
+                        "functions": [
+                            {
+                                "name": "f",
+                                "image": "img/f",
+                                "access": "internal",
+                                "mutable": False,
+                                "outputClass": "B",
+                            }
+                        ],
+                    },
+                    {"name": "B"},
+                ]
+            }
+        )
+        bound = package.cls("A").binding("f")
+        assert bound.access is AccessModifier.INTERNAL
+        assert bound.mutable is False
+        assert bound.output_class == "B"
+
+    def test_provision_parsed_camel_and_snake(self):
+        package = parse_package(
+            {
+                "classes": [
+                    {
+                        "name": "A",
+                        "functions": [
+                            {
+                                "name": "f",
+                                "image": "img/f",
+                                "provision": {
+                                    "concurrency": 16,
+                                    "minScale": 2,
+                                    "max_scale": 20,
+                                    "cpu": 750,
+                                },
+                            }
+                        ],
+                    }
+                ]
+            }
+        )
+        provision = package.cls("A").binding("f").function.provision
+        assert provision.concurrency == 16
+        assert provision.min_scale == 2
+        assert provision.max_scale == 20
+        assert provision.cpu_millis == 750
+
+    def test_json_format(self):
+        doc = {
+            "name": "json-pkg",
+            "classes": [{"name": "A", "functions": [{"name": "f", "image": "i"}]}],
+        }
+        package = loads_package(json.dumps(doc), fmt="json")
+        assert package.name == "json-pkg"
+
+    def test_load_package_from_file(self, tmp_path):
+        path = tmp_path / "pkg.yml"
+        path.write_text(LISTING1_YAML)
+        assert load_package(path).name == "image-app"
+
+    def test_load_package_json_file(self, tmp_path):
+        path = tmp_path / "pkg.json"
+        path.write_text(json.dumps({"name": "j", "classes": []}))
+        assert load_package(path).name == "j"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(PackageError, match="cannot read"):
+            load_package(tmp_path / "ghost.yml")
+
+    def test_duplicate_classes_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            Package(
+                classes=tuple(
+                    parse_package({"classes": [{"name": "A"}]}).classes
+                    + parse_package({"classes": [{"name": "A"}]}).classes
+                )
+            )
+
+    def test_single_jurisdiction_string(self):
+        package = parse_package(
+            {"classes": [{"name": "A", "constraint": {"jurisdiction": "eu"}}]}
+        )
+        assert package.cls("A").nfr.constraint.jurisdictions == ("eu",)
+
+    def test_inline_dataflow_default_macro_type(self):
+        package = parse_package(
+            {
+                "classes": [
+                    {
+                        "name": "A",
+                        "functions": [
+                            {"name": "f", "image": "img/f"},
+                            {
+                                "name": "m",
+                                "dataflow": {
+                                    "steps": [{"id": "s", "function": "f"}],
+                                    "output": "s",
+                                },
+                            },
+                        ],
+                    }
+                ]
+            }
+        )
+        assert package.cls("A").binding("m").function.ftype is FunctionType.MACRO
+
+    def test_step_name_alias_for_id(self):
+        package = parse_package(
+            {
+                "classes": [
+                    {
+                        "name": "A",
+                        "functions": [
+                            {"name": "f", "image": "img/f"},
+                            {
+                                "name": "m",
+                                "dataflow": {"steps": [{"name": "s", "function": "f"}]},
+                            },
+                        ],
+                    }
+                ]
+            }
+        )
+        steps = package.cls("A").binding("m").function.dataflow.steps
+        assert steps[0].id == "s"

@@ -1,0 +1,139 @@
+"""Unit tests for state typing (DataType, KeySpec, StateSpec)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.types import DataType, KeySpec, StateSpec
+
+
+class TestDataType:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("INT", DataType.INT),
+            ("int", DataType.INT),
+            ("File Image", DataType.FILE),  # the paper's comment style
+            ("json", DataType.JSON),
+            ("Bool", DataType.BOOL),
+        ],
+    )
+    def test_parse(self, raw, expected):
+        assert DataType.parse(raw) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValidationError, match="unknown data type"):
+            DataType.parse("BLOB")
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(ValidationError):
+            DataType.parse("")
+
+    @pytest.mark.parametrize(
+        "dtype,value,ok",
+        [
+            (DataType.INT, 5, True),
+            (DataType.INT, True, False),  # bool is not an INT
+            (DataType.INT, 5.5, False),
+            (DataType.FLOAT, 5, True),
+            (DataType.FLOAT, 5.5, True),
+            (DataType.FLOAT, True, False),
+            (DataType.STR, "x", True),
+            (DataType.STR, 5, False),
+            (DataType.BOOL, True, True),
+            (DataType.BOOL, 1, False),
+            (DataType.JSON, {"a": [1]}, True),
+            (DataType.JSON, "text", True),
+            (DataType.FILE, "bucket-key", True),
+            (DataType.FILE, b"bytes", False),
+        ],
+    )
+    def test_accepts(self, dtype, value, ok):
+        assert dtype.accepts(value) is ok
+
+    def test_none_always_accepted(self):
+        for dtype in DataType:
+            assert dtype.accepts(None)
+
+
+class TestKeySpec:
+    def test_valid(self):
+        spec = KeySpec("width", DataType.INT, default=10)
+        assert spec.name == "width"
+        assert not spec.is_file
+
+    def test_invalid_name(self):
+        with pytest.raises(ValidationError):
+            KeySpec("9bad", DataType.INT)
+
+    def test_default_type_checked(self):
+        with pytest.raises(ValidationError):
+            KeySpec("width", DataType.INT, default="ten")
+
+    def test_file_key(self):
+        assert KeySpec("image", DataType.FILE).is_file
+
+
+class TestStateSpec:
+    def _spec(self):
+        return StateSpec(
+            (
+                KeySpec("image", DataType.FILE),
+                KeySpec("width", DataType.INT, default=100),
+                KeySpec("format", DataType.STR),
+            )
+        )
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            StateSpec((KeySpec("a"), KeySpec("a")))
+
+    def test_partitions_file_and_data_keys(self):
+        spec = self._spec()
+        assert spec.file_keys == ("image",)
+        assert spec.data_keys == ("width", "format")
+
+    def test_defaults_excludes_files_and_unset(self):
+        assert self._spec().defaults() == {"width": 100}
+
+    def test_get(self):
+        spec = self._spec()
+        assert spec.get("width").dtype is DataType.INT
+        assert spec.get("missing") is None
+
+    def test_validate_state_accepts_valid(self):
+        self._spec().validate_state({"width": 5, "format": "png"})
+
+    def test_validate_state_rejects_unknown_key(self):
+        with pytest.raises(ValidationError, match="unknown state key"):
+            self._spec().validate_state({"height": 5})
+
+    def test_validate_state_rejects_wrong_type(self):
+        with pytest.raises(ValidationError):
+            self._spec().validate_state({"width": "five"})
+
+    def test_validate_state_rejects_file_writes(self):
+        with pytest.raises(ValidationError, match="FILE"):
+            self._spec().validate_state({"image": "some-key"})
+
+    def test_merge_adds_child_keys(self):
+        parent = StateSpec((KeySpec("a", DataType.INT),))
+        child = StateSpec((KeySpec("b", DataType.STR),))
+        merged = parent.merged_with(child)
+        assert merged.names == ("a", "b")
+
+    def test_merge_same_type_redeclaration_allowed(self):
+        parent = StateSpec((KeySpec("a", DataType.INT, default=1),))
+        child = StateSpec((KeySpec("a", DataType.INT, default=2),))
+        merged = parent.merged_with(child)
+        assert merged.get("a").default == 2
+
+    def test_merge_type_conflict_rejected(self):
+        parent = StateSpec((KeySpec("a", DataType.INT),))
+        child = StateSpec((KeySpec("a", DataType.STR),))
+        with pytest.raises(ValidationError, match="redeclared"):
+            parent.merged_with(child)
+
+    def test_iteration_and_len(self):
+        spec = self._spec()
+        assert len(spec) == 3
+        assert [k.name for k in spec] == ["image", "width", "format"]

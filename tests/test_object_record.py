@@ -1,0 +1,71 @@
+"""Unit tests for object records."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.object.obj import ObjectRecord, deterministic_object_ids, new_object_id
+
+
+class TestObjectRecord:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ObjectRecord(id="", cls="C")
+        with pytest.raises(ValidationError):
+            ObjectRecord(id="x", cls="")
+        with pytest.raises(ValidationError):
+            ObjectRecord(id="x", cls="C", version=-1)
+
+    def test_with_updates_bumps_version(self):
+        record = ObjectRecord(id="x", cls="C", version=1, state={"a": 1})
+        updated = record.with_updates({"a": 2, "b": 3})
+        assert updated.version == 2
+        assert updated.state == {"a": 2, "b": 3}
+        assert record.state == {"a": 1}  # original untouched
+
+    def test_with_updates_noop_returns_self(self):
+        record = ObjectRecord(id="x", cls="C")
+        assert record.with_updates() is record
+        assert record.with_updates({}, {}) is record
+
+    def test_file_updates(self):
+        record = ObjectRecord(id="x", cls="C", version=1)
+        updated = record.with_updates(file_updates={"image": "bucket/key"})
+        assert updated.files == {"image": "bucket/key"}
+        assert updated.version == 2
+
+    def test_doc_roundtrip(self):
+        record = ObjectRecord(
+            id="x", cls="C", version=3, state={"a": [1, 2]}, files={"f": "k"}
+        )
+        assert ObjectRecord.from_doc(record.to_doc()) == record
+
+    def test_from_doc_missing_field(self):
+        with pytest.raises(ValidationError, match="missing field"):
+            ObjectRecord.from_doc({"id": "x"})
+
+    def test_get_with_default(self):
+        record = ObjectRecord(id="x", cls="C", state={"a": 1})
+        assert record.get("a") == 1
+        assert record.get("zzz", "fallback") == "fallback"
+
+    def test_state_defensively_copied(self):
+        source = {"a": 1}
+        record = ObjectRecord(id="x", cls="C", state=source)
+        source["a"] = 999
+        assert record.state["a"] == 1
+
+
+class TestIdFactories:
+    def test_new_object_id_unique(self):
+        ids = {new_object_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_deterministic_ids(self):
+        make = deterministic_object_ids("obj")
+        assert [make() for _ in range(3)] == ["obj-1", "obj-2", "obj-3"]
+
+    def test_deterministic_factories_independent(self):
+        a = deterministic_object_ids("a")
+        b = deterministic_object_ids("b")
+        a()
+        assert b() == "b-1"

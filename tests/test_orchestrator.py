@@ -1,0 +1,291 @@
+"""Unit tests for the Kubernetes-like orchestrator substrate."""
+
+import pytest
+
+from repro.errors import SchedulingError, ValidationError
+from repro.orchestrator.cluster import Cluster
+from repro.orchestrator.deployment import Deployment
+from repro.orchestrator.hpa import HorizontalPodAutoscaler
+from repro.orchestrator.pod import PodPhase, PodSpec
+from repro.orchestrator.resources import ResourceSpec
+from repro.orchestrator.scheduler import Scheduler
+
+
+def make_cluster(env, nodes=3, cpu=4000, mem=16384):
+    cluster = Cluster(env)
+    for index in range(nodes):
+        cluster.add_node(f"vm-{index}", ResourceSpec(cpu, mem))
+    return cluster
+
+
+SPEC = PodSpec(image="img/x", resources=ResourceSpec(1000, 512), concurrency=4)
+
+
+class TestResources:
+    def test_arithmetic(self):
+        a = ResourceSpec(1000, 512)
+        b = ResourceSpec(500, 256)
+        assert a + b == ResourceSpec(1500, 768)
+        assert a - b == ResourceSpec(500, 256)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            ResourceSpec(-1, 0)
+
+    def test_fits_within(self):
+        assert ResourceSpec(500, 100).fits_within(ResourceSpec(1000, 200))
+        assert not ResourceSpec(1001, 100).fits_within(ResourceSpec(1000, 200))
+
+    def test_scaled(self):
+        assert ResourceSpec(100, 50).scaled(3) == ResourceSpec(300, 150)
+
+
+class TestCluster:
+    def test_add_duplicate_node_rejected(self, env):
+        cluster = make_cluster(env)
+        with pytest.raises(ValidationError):
+            cluster.add_node("vm-0")
+
+    def test_bind_pod_allocates(self, env):
+        cluster = make_cluster(env)
+        pod = cluster.bind_pod(SPEC, "vm-0")
+        assert pod.node == "vm-0"
+        assert cluster.node("vm-0").allocated == ResourceSpec(1000, 512)
+
+    def test_bind_pod_over_capacity_rejected(self, env):
+        cluster = make_cluster(env, cpu=1500)
+        cluster.bind_pod(SPEC, "vm-0")
+        with pytest.raises(SchedulingError):
+            cluster.bind_pod(SPEC, "vm-0")
+
+    def test_terminate_pod_frees_capacity(self, env):
+        cluster = make_cluster(env)
+        pod = cluster.bind_pod(SPEC, "vm-0")
+        cluster.terminate_pod(pod.name)
+        assert cluster.node("vm-0").allocated.is_zero
+        assert pod.phase is PodPhase.TERMINATED
+
+    def test_remove_node_terminates_pods(self, env):
+        cluster = make_cluster(env)
+        pod = cluster.bind_pod(SPEC, "vm-0")
+        cluster.remove_node("vm-0")
+        assert pod.phase is PodPhase.TERMINATED
+        assert "vm-0" not in cluster.node_names
+
+    def test_pods_with_label(self, env):
+        cluster = make_cluster(env)
+        spec = PodSpec(image="i", labels={"app": "x"})
+        cluster.bind_pod(spec, "vm-0")
+        cluster.bind_pod(PodSpec(image="i", labels={"app": "y"}), "vm-1")
+        assert len(cluster.pods_with_label("app", "x")) == 1
+
+
+class TestPodLifecycle:
+    def test_pod_becomes_ready_after_startup(self, env):
+        cluster = make_cluster(env)
+        spec = PodSpec(image="i", startup_delay_s=2.0)
+        pod = cluster.bind_pod(spec, "vm-0")
+        assert pod.phase is PodPhase.STARTING
+        env.run(until=1.0)
+        assert not pod.is_ready
+        env.run(until=2.5)
+        assert pod.is_ready
+        assert pod.ready_at == 2.0
+
+    def test_ready_event_fires(self, env):
+        cluster = make_cluster(env)
+        pod = cluster.bind_pod(PodSpec(image="i", startup_delay_s=1.0), "vm-0")
+
+        def waiter(env):
+            yield pod.ready_event()
+            return env.now
+
+        assert env.run(until=env.process(waiter(env))) == 1.0
+
+    def test_terminated_while_starting_never_ready(self, env):
+        cluster = make_cluster(env)
+        pod = cluster.bind_pod(PodSpec(image="i", startup_delay_s=5.0), "vm-0")
+        cluster.terminate_pod(pod.name)
+        env.run(until=10.0)
+        assert pod.phase is PodPhase.TERMINATED
+        assert not pod.is_ready
+
+    def test_in_flight_counts_queue(self, env):
+        cluster = make_cluster(env)
+        pod = cluster.bind_pod(PodSpec(image="i", concurrency=1), "vm-0")
+
+        def hold(env):
+            req = pod.slots.request()
+            yield req
+            yield env.timeout(10)
+            pod.slots.release()
+
+        env.process(hold(env))
+        env.process(hold(env))
+        env.run(until=1.0)
+        assert pod.in_flight == 2
+
+
+class TestScheduler:
+    def test_unknown_policy(self, env):
+        with pytest.raises(SchedulingError):
+            Scheduler(make_cluster(env), policy="chaotic")
+
+    def test_least_allocated_spreads(self, env):
+        cluster = make_cluster(env)
+        scheduler = Scheduler(cluster)
+        nodes = [scheduler.schedule(SPEC).node for _ in range(3)]
+        assert sorted(nodes) == ["vm-0", "vm-1", "vm-2"]
+
+    def test_bin_pack_fills_first(self, env):
+        cluster = make_cluster(env)
+        scheduler = Scheduler(cluster, policy="bin-pack")
+        nodes = [scheduler.schedule(SPEC).node for _ in range(3)]
+        assert nodes == ["vm-0", "vm-0", "vm-0"]
+
+    def test_no_feasible_node_raises(self, env):
+        cluster = make_cluster(env, cpu=500)
+        with pytest.raises(SchedulingError, match="no node can fit"):
+            Scheduler(cluster).schedule(SPEC)
+
+    def test_node_hint_respected(self, env):
+        scheduler = Scheduler(make_cluster(env))
+        assert scheduler.schedule(SPEC, node_hint="vm-2").node == "vm-2"
+
+    def test_infeasible_hint_raises(self, env):
+        cluster = make_cluster(env, cpu=1500)
+        scheduler = Scheduler(cluster)
+        scheduler.schedule(SPEC, node_hint="vm-1")
+        with pytest.raises(SchedulingError, match="hinted node"):
+            scheduler.schedule(SPEC, node_hint="vm-1")
+
+
+class TestDeployment:
+    def _deployment(self, env, replicas=2, **spec_kwargs):
+        cluster = make_cluster(env)
+        scheduler = Scheduler(cluster)
+        spec = PodSpec(image="img/x", resources=ResourceSpec(500, 128), **spec_kwargs)
+        return Deployment(env, "web", spec, scheduler, replicas=replicas), cluster
+
+    def test_initial_replicas(self, env):
+        deployment, _ = self._deployment(env, replicas=3)
+        assert deployment.replicas == 3
+
+    def test_scale_up_and_down(self, env):
+        deployment, cluster = self._deployment(env, replicas=1)
+        deployment.scale(4)
+        assert deployment.replicas == 4
+        deployment.scale(2)
+        assert deployment.replicas == 2
+        assert cluster.pod_count == 2
+
+    def test_scale_negative_rejected(self, env):
+        deployment, _ = self._deployment(env)
+        with pytest.raises(SchedulingError):
+            deployment.scale(-1)
+
+    def test_scale_to_zero_allowed(self, env):
+        deployment, _ = self._deployment(env)
+        deployment.scale(0)
+        assert deployment.replicas == 0
+        assert deployment.least_loaded_pod(include_starting=True) is None
+
+    def test_least_loaded_selection(self, env):
+        deployment, _ = self._deployment(env, replicas=2, concurrency=4)
+        env.run(until=0.1)  # pods ready (no startup delay)
+        first = deployment.least_loaded_pod()
+        req = first.slots.request()
+        env.run(until=0.2)
+        second = deployment.least_loaded_pod()
+        assert second is not first
+
+    def test_scale_down_prefers_idle_pods(self, env):
+        deployment, _ = self._deployment(env, replicas=2)
+        env.run(until=0.1)
+        busy = deployment.pods[0]
+        busy.slots.request()
+        env.run(until=0.2)
+        deployment.scale(1)
+        assert deployment.pods == [busy]
+
+    def test_delete_terminates_all(self, env):
+        deployment, cluster = self._deployment(env, replicas=3)
+        deployment.delete()
+        assert deployment.replicas == 0
+        assert all(n.allocated.is_zero for n in cluster.nodes)
+
+    def test_node_hints_cycle(self, env):
+        cluster = make_cluster(env)
+        scheduler = Scheduler(cluster)
+        deployment = Deployment(
+            env,
+            "pinned",
+            PodSpec(image="i", resources=ResourceSpec(100, 64)),
+            scheduler,
+            replicas=4,
+            node_hints=["vm-0", "vm-1"],
+        )
+        nodes = sorted(pod.node for pod in deployment.pods)
+        assert nodes == ["vm-0", "vm-0", "vm-1", "vm-1"]
+
+
+class TestHpa:
+    def _setup(self, env, target=4.0, **kwargs):
+        cluster = make_cluster(env)
+        scheduler = Scheduler(cluster)
+        deployment = Deployment(
+            env,
+            "web",
+            PodSpec(image="i", resources=ResourceSpec(200, 64), concurrency=8),
+            scheduler,
+            replicas=1,
+        )
+        hpa = HorizontalPodAutoscaler(env, deployment, target_per_replica=target, **kwargs)
+        return deployment, hpa
+
+    def test_validation(self, env):
+        deployment, _ = self._setup(env)
+        with pytest.raises(ValidationError):
+            HorizontalPodAutoscaler(env, deployment, target_per_replica=0)
+        with pytest.raises(ValidationError):
+            HorizontalPodAutoscaler(env, deployment, 4.0, min_replicas=0)
+        with pytest.raises(ValidationError):
+            HorizontalPodAutoscaler(env, deployment, 4.0, min_replicas=5, max_replicas=2)
+
+    def test_scales_up_on_load(self, env):
+        deployment, hpa = self._setup(env, metric_fn=lambda: 20.0)
+        hpa.tick()
+        assert deployment.replicas == 5  # ceil(20/4)
+
+    def test_respects_max(self, env):
+        deployment, hpa = self._setup(env, max_replicas=3, metric_fn=lambda: 100.0)
+        hpa.tick()
+        assert deployment.replicas == 3
+
+    def test_scale_down_needs_stabilization(self, env):
+        metric = {"value": 20.0}
+        deployment, hpa = self._setup(
+            env, metric_fn=lambda: metric["value"], scale_down_stabilization_s=30.0
+        )
+        hpa.tick()
+        assert deployment.replicas == 5
+        metric["value"] = 0.0
+        hpa.tick()
+        assert deployment.replicas == 5  # damped
+        env.run(until=31.0)
+        hpa.tick()
+        assert deployment.replicas == 1
+
+    def test_periodic_ticks_run(self, env):
+        _, hpa = self._setup(env, interval_s=1.0, metric_fn=lambda: 0.0)
+        env.run(until=5.5)
+        assert hpa.decisions >= 5
+        hpa.stop()
+
+    def test_stop_halts_loop(self, env):
+        _, hpa = self._setup(env, interval_s=1.0, metric_fn=lambda: 0.0)
+        env.run(until=2.5)
+        hpa.stop()
+        decisions = hpa.decisions
+        env.run(until=10.0)
+        assert hpa.decisions == decisions

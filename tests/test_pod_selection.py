@@ -1,0 +1,80 @@
+"""Tests for warm-capacity-first pod selection during scale-up.
+
+Regression suite for a burst meltdown: requests arriving mid-scale-up
+must prefer warm pods over idle-but-cold STARTING pods, spilling onto
+booting pods only when every warm pod is saturated.
+"""
+
+from repro.orchestrator.cluster import Cluster
+from repro.orchestrator.deployment import Deployment
+from repro.orchestrator.pod import PodSpec
+from repro.orchestrator.resources import ResourceSpec
+from repro.orchestrator.scheduler import Scheduler
+
+
+def make_deployment(env, replicas=1, concurrency=4, startup_delay_s=5.0):
+    cluster = Cluster(env)
+    for index in range(4):
+        cluster.add_node(f"vm-{index}", ResourceSpec(8000, 16384))
+    spec = PodSpec(
+        image="i",
+        resources=ResourceSpec(500, 128),
+        concurrency=concurrency,
+        startup_delay_s=startup_delay_s,
+    )
+    return Deployment(env, "web", spec, Scheduler(cluster), replicas=replicas)
+
+
+def occupy(pod, count):
+    for _ in range(count):
+        pod.slots.request()
+
+
+class TestWarmFirstSelection:
+    def test_ready_pod_preferred_over_idle_starting(self, env):
+        deployment = make_deployment(env, replicas=1, startup_delay_s=5.0)
+        env.run(until=6.0)  # first pod warm
+        warm = deployment.pods[0]
+        deployment.scale(2)  # second pod cold for 5s
+        occupy(warm, 3)  # warm but lightly loaded
+        chosen = deployment.least_loaded_pod(include_starting=True)
+        assert chosen is warm
+
+    def test_spill_to_starting_when_warm_saturated(self, env):
+        deployment = make_deployment(env, replicas=1, concurrency=4, startup_delay_s=5.0)
+        env.run(until=6.0)
+        warm = deployment.pods[0]
+        deployment.scale(2)
+        cold = [p for p in deployment.pods if p is not warm][0]
+        occupy(warm, 9)  # > 2x concurrency: deeply backlogged
+        chosen = deployment.least_loaded_pod(include_starting=True)
+        assert chosen is cold
+
+    def test_no_spill_when_starting_also_loaded(self, env):
+        deployment = make_deployment(env, replicas=1, concurrency=4, startup_delay_s=5.0)
+        env.run(until=6.0)
+        warm = deployment.pods[0]
+        deployment.scale(2)
+        cold = [p for p in deployment.pods if p is not warm][0]
+        occupy(warm, 9)
+        occupy(cold, 12)  # the cold pod is even worse
+        chosen = deployment.least_loaded_pod(include_starting=True)
+        assert chosen is warm
+
+    def test_starting_only_when_no_ready(self, env):
+        deployment = make_deployment(env, replicas=2, startup_delay_s=5.0)
+        # Nothing ready yet.
+        chosen = deployment.least_loaded_pod(include_starting=True)
+        assert chosen is not None
+        assert not chosen.is_ready
+
+    def test_exclude_starting_returns_none_when_cold(self, env):
+        deployment = make_deployment(env, replicas=2, startup_delay_s=5.0)
+        assert deployment.least_loaded_pod(include_starting=False) is None
+
+    def test_ready_tie_breaks_deterministic(self, env):
+        deployment = make_deployment(env, replicas=3, startup_delay_s=0.0)
+        env.run(until=0.1)
+        first = deployment.least_loaded_pod()
+        second = deployment.least_loaded_pod()
+        assert first is second

@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.dataflow import DataflowSpec, DataflowStep
+from repro.model.types import DataType, KeySpec, StateSpec
+from repro.object.obj import ObjectRecord
+from repro.sim.kernel import Environment
+from repro.sim.resources import RateLimiter
+from repro.storage.hashring import HashRing
+from repro.storage.object_store import ObjectStore, PresignedUrl
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+keys = st.text(alphabet=string.ascii_letters + string.digits + "-_/.", min_size=1, max_size=24)
+node_sets = st.lists(names, min_size=1, max_size=8, unique=True)
+
+
+class TestHashRingProperties:
+    @given(nodes=node_sets, lookup=keys)
+    def test_owner_always_a_member(self, nodes, lookup):
+        ring = HashRing(nodes, vnodes=16)
+        assert ring.owner(lookup) in nodes
+
+    @given(nodes=node_sets, lookup=keys, count=st.integers(1, 10))
+    def test_owners_distinct_and_led_by_primary(self, nodes, lookup, count):
+        ring = HashRing(nodes, vnodes=16)
+        owners = ring.owners(lookup, count)
+        assert len(owners) == len(set(owners)) == min(count, len(nodes))
+        assert owners[0] == ring.owner(lookup)
+
+    @given(nodes=st.lists(names, min_size=2, max_size=8, unique=True), lookup=keys)
+    def test_removal_only_moves_keys_of_removed_node(self, nodes, lookup):
+        ring = HashRing(nodes, vnodes=16)
+        owner_before = ring.owner(lookup)
+        victim = sorted(set(nodes) - {owner_before})[0]
+        ring.remove_node(victim)
+        assert ring.owner(lookup) == owner_before
+
+    @given(nodes=node_sets, new_node=names, lookup=keys)
+    def test_addition_moves_keys_only_to_new_node(self, nodes, new_node, lookup):
+        if new_node in nodes:
+            return
+        ring = HashRing(nodes, vnodes=16)
+        owner_before = ring.owner(lookup)
+        ring.add_node(new_node)
+        assert ring.owner(lookup) in (owner_before, new_node)
+
+
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-1000, 1000) | st.text(max_size=10),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(string.ascii_lowercase, min_size=1, max_size=4), children, max_size=3),
+    max_leaves=8,
+)
+
+
+class TestObjectRecordProperties:
+    @given(
+        state=st.dictionaries(names, json_values, max_size=5),
+        updates=st.dictionaries(names, json_values, max_size=5),
+    )
+    def test_with_updates_semantics(self, state, updates):
+        record = ObjectRecord(id="x", cls="C", version=1, state=state)
+        updated = record.with_updates(updates)
+        if updates:
+            assert updated.version == 2
+        for key, value in updates.items():
+            assert updated.state[key] == value
+        for key in state:
+            if key not in updates:
+                assert updated.state[key] == state[key]
+
+    @given(
+        state=st.dictionaries(names, json_values, max_size=5),
+        files=st.dictionaries(names, keys, max_size=3),
+        version=st.integers(0, 10_000),
+    )
+    def test_doc_roundtrip(self, state, files, version):
+        record = ObjectRecord(id="x", cls="C", version=version, state=state, files=files)
+        assert ObjectRecord.from_doc(record.to_doc()) == record
+
+
+class TestStateSpecProperties:
+    @given(names=st.lists(names, min_size=1, max_size=8, unique=True))
+    def test_merge_with_self_is_idempotent(self, names):
+        spec = StateSpec(tuple(KeySpec(n, DataType.JSON) for n in names))
+        assert spec.merged_with(spec).names == spec.names
+
+    @given(
+        parent_names=st.lists(names, min_size=1, max_size=5, unique=True),
+        child_names=st.lists(names, min_size=1, max_size=5, unique=True),
+    )
+    def test_merge_preserves_all_keys(self, parent_names, child_names):
+        parent = StateSpec(tuple(KeySpec(n, DataType.JSON) for n in parent_names))
+        child = StateSpec(tuple(KeySpec(n, DataType.JSON) for n in child_names))
+        merged = parent.merged_with(child)
+        assert set(merged.names) == set(parent_names) | set(child_names)
+        # Parent keys keep their relative order at the front.
+        assert list(merged.names)[: len(parent_names)] == parent_names
+
+
+class TestDataflowProperties:
+    @given(chain=st.integers(1, 12))
+    def test_linear_chain_waves(self, chain):
+        steps = [DataflowStep(id="s0", function="f")]
+        for index in range(1, chain):
+            steps.append(
+                DataflowStep(id=f"s{index}", function="f", inputs=(f"s{index - 1}",))
+            )
+        waves = DataflowSpec(steps=tuple(steps)).waves()
+        assert len(waves) == chain
+        assert all(len(wave) == 1 for wave in waves)
+
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(lambda e: e[0] < e[1]),
+            max_size=20,
+        )
+    )
+    def test_random_dag_waves_respect_dependencies(self, edges):
+        inputs = {i: set() for i in range(10)}
+        for src, dst in edges:
+            inputs[dst].add(src)
+        steps = tuple(
+            DataflowStep(
+                id=f"s{i}", function="f", inputs=tuple(f"s{j}" for j in sorted(inputs[i]))
+            )
+            for i in range(10)
+        )
+        waves = DataflowSpec(steps=steps).waves()
+        position = {}
+        for index, wave in enumerate(waves):
+            for step in wave:
+                position[step.id] = index
+        assert len(position) == 10
+        for src, dst in edges:
+            assert position[f"s{src}"] < position[f"s{dst}"]
+
+
+class TestPresignedUrlProperties:
+    @given(key=keys, method=st.sampled_from(["GET", "PUT"]), expires=st.floats(1, 1e6))
+    def test_parse_render_roundtrip(self, key, method, expires):
+        url = PresignedUrl("bucket", key, method, expires, "ab" * 32)
+        parsed = PresignedUrl.parse(url.render())
+        assert parsed.bucket == "bucket"
+        assert parsed.key == key
+        assert parsed.method == method
+        assert parsed.expires_at == expires
+
+    @given(key=keys, data=st.binary(max_size=256))
+    @settings(max_examples=25)
+    def test_presign_use_roundtrip(self, key, data):
+        env = Environment()
+        store = ObjectStore(env)
+        store.create_bucket("b")
+        store.put_object("b", key, data)
+        url = store.presign("b", key, "GET")
+        assert store.presigned_get(url).data == data
+
+
+class TestRateLimiterProperties:
+    @given(units=st.lists(st.floats(0.01, 10), min_size=1, max_size=20), rate=st.floats(0.5, 100))
+    @settings(max_examples=50)
+    def test_total_service_time_is_work_over_rate(self, units, rate):
+        env = Environment()
+        limiter = RateLimiter(env, rate)
+
+        def work(env):
+            for amount in units:
+                yield limiter.acquire(amount)
+            return env.now
+
+        finish = env.run(until=env.process(work(env)))
+        assert abs(finish - sum(units) / rate) < 1e-6 * max(1.0, finish)
+
+
+class TestKernelProperties:
+    @given(delays=st.lists(st.floats(0, 10), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_completion_order_matches_delay_order(self, delays):
+        env = Environment()
+        completed = []
+
+        def worker(env, index, delay):
+            yield env.timeout(delay)
+            completed.append(index)
+
+        for index, delay in enumerate(delays):
+            env.process(worker(env, index, delay))
+        env.run()
+        assert len(completed) == len(delays)
+        finished_delays = [delays[i] for i in completed]
+        assert finished_delays == sorted(finished_delays)

@@ -1,0 +1,132 @@
+"""Property-based tests at the platform level (hypothesis)."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crm.template import default_catalog
+from repro.model.nfr import Constraint, NonFunctionalRequirements, QosRequirement
+from repro.platform.oparaca import Oparaca, PlatformConfig
+
+state_keys = st.sampled_from(["width", "format"])
+widths = st.integers(-10_000, 10_000)
+
+
+def build_platform():
+    platform = Oparaca(PlatformConfig(nodes=3))
+
+    @platform.function("p/set-width")
+    def set_width(ctx):
+        ctx.state["width"] = int(ctx.payload["width"])
+        return {}
+
+    platform.deploy(
+        """
+classes:
+  - name: T
+    keySpecs:
+      - { name: width, type: INT, default: 0 }
+      - { name: format, type: STR, default: png }
+    functions:
+      - { name: setWidth, image: p/set-width }
+"""
+    )
+    return platform
+
+
+class TestVersionMonotonicity:
+    @given(
+        operations=st.lists(
+            st.one_of(
+                st.tuples(st.just("invoke"), widths),
+                st.tuples(st.just("update"), widths),
+                st.tuples(st.just("get"), st.just(0)),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_version_strictly_increases_on_writes(self, operations):
+        platform = build_platform()
+        obj = platform.new_object("T")
+        last_version = platform.get_object(obj)["version"]
+        last_width = platform.get_object(obj)["state"]["width"]
+        for op, value in operations:
+            if op == "invoke":
+                platform.invoke(obj, "setWidth", {"width": value})
+            elif op == "update":
+                platform.update_object(obj, {"width": value})
+            record = platform.get_object(obj)
+            version = record["version"]
+            if op == "get":
+                assert version == last_version
+            elif op == "invoke" and value == last_width:
+                # A handler writing the identical value produces no state
+                # diff, so the platform skips the commit entirely.
+                assert version == last_version
+            else:
+                assert version > last_version
+            last_version = version
+            last_width = record["state"]["width"]
+
+    @given(final=widths)
+    @settings(max_examples=20, deadline=None)
+    def test_last_write_wins(self, final):
+        platform = build_platform()
+        obj = platform.new_object("T")
+        platform.invoke(obj, "setWidth", {"width": 1})
+        platform.invoke(obj, "setWidth", {"width": final})
+        assert platform.get_object(obj)["state"]["width"] == final
+        platform.flush()
+        durable = platform.store.get_sync("objects.T", obj)
+        assert durable["state"]["width"] == final
+
+
+nfr_strategy = st.builds(
+    NonFunctionalRequirements,
+    qos=st.builds(
+        QosRequirement,
+        throughput_rps=st.none() | st.floats(1, 1e5),
+        availability=st.none() | st.floats(0.5, 1.0, exclude_min=True),
+        latency_ms=st.none() | st.floats(1, 1e4),
+    ),
+    constraint=st.builds(
+        Constraint,
+        persistent=st.booleans(),
+        budget_usd_per_month=st.none() | st.floats(1, 1e6),
+    ),
+)
+
+
+class TestCatalogProperties:
+    @given(nfr=nfr_strategy)
+    @settings(max_examples=100)
+    def test_default_catalog_always_selects_something(self, nfr):
+        template = default_catalog().select(nfr)
+        assert template.selector.matches(nfr)
+
+    @given(nfr=nfr_strategy)
+    @settings(max_examples=100)
+    def test_selection_is_deterministic(self, nfr):
+        assert default_catalog().select(nfr).name == default_catalog().select(nfr).name
+
+    @given(nfr=nfr_strategy)
+    @settings(max_examples=100)
+    def test_selection_is_highest_priority_match(self, nfr):
+        catalog = default_catalog()
+        chosen = catalog.select(nfr)
+        for template in catalog.templates:
+            if template.selector.matches(nfr):
+                assert template.priority <= chosen.priority
+
+
+class TestIdempotentReads:
+    @given(repeats=st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_get_never_changes_state(self, repeats):
+        platform = build_platform()
+        obj = platform.new_object("T", {"width": 7})
+        snapshots = [platform.get_object(obj) for _ in range(repeats)]
+        assert all(s == snapshots[0] for s in snapshots)

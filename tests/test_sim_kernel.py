@@ -1,0 +1,270 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment, all_of, any_of
+
+
+def run_process(env, generator):
+    return env.run(until=env.process(generator))
+
+
+class TestTimeAdvance:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self, env):
+        def proc(env):
+            yield env.timeout(2.5)
+            return env.now
+
+        assert run_process(env, proc(env)) == 2.5
+
+    def test_sequential_timeouts_accumulate(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            yield env.timeout(0.5)
+            return env.now
+
+        assert run_process(env, proc(env)) == 1.5
+
+    def test_zero_timeout_allowed(self, env):
+        def proc(env):
+            yield env.timeout(0)
+            return env.now
+
+        assert run_process(env, proc(env)) == 0.0
+
+    def test_negative_timeout_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_sleep_is_timeout_alias(self, env):
+        def proc(env):
+            yield env.sleep(3.0)
+            return env.now
+
+        assert run_process(env, proc(env)) == 3.0
+
+    def test_run_until_time_sets_now(self, env):
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_raises(self, env):
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+
+class TestEvents:
+    def test_event_succeed_delivers_value(self, env):
+        ev = env.event()
+
+        def trigger(env):
+            yield env.timeout(1.0)
+            ev.succeed("payload")
+
+        def waiter(env):
+            value = yield ev
+            return value, env.now
+
+        env.process(trigger(env))
+        assert run_process(env, waiter(env)) == ("payload", 1.0)
+
+    def test_event_double_trigger_rejected(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_failed_event_raises_in_waiter(self, env):
+        ev = env.event()
+
+        def trigger(env):
+            yield env.timeout(0.1)
+            ev.fail(ValueError("boom"))
+
+        def waiter(env):
+            try:
+                yield ev
+            except ValueError as exc:
+                return str(exc)
+            return "no error"
+
+        env.process(trigger(env))
+        assert run_process(env, waiter(env)) == "boom"
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_waiting_on_processed_event_returns_immediately(self, env):
+        ev = env.event()
+        ev.succeed(7)
+        env.run()  # process the event
+
+        def late(env):
+            value = yield ev
+            return value
+
+        assert run_process(env, late(env)) == 7
+
+
+class TestProcesses:
+    def test_process_return_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return 42
+
+        assert run_process(env, proc(env)) == 42
+
+    def test_process_requires_generator(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_process_waits_on_process(self, env):
+        def inner(env):
+            yield env.timeout(2)
+            return "inner-done"
+
+        def outer(env):
+            result = yield env.process(inner(env))
+            return result, env.now
+
+        assert run_process(env, outer(env)) == ("inner-done", 2.0)
+
+    def test_yielding_non_event_fails_process(self, env):
+        def bad(env):
+            yield 42
+
+        with pytest.raises(SimulationError):
+            env.run(until=env.process(bad(env)))
+
+    def test_unhandled_crash_surfaces_at_run(self, env):
+        def crash(env):
+            yield env.timeout(1)
+            raise RuntimeError("unexpected")
+
+        env.process(crash(env))
+        with pytest.raises(SimulationError, match="unhandled failure"):
+            env.run()
+
+    def test_watched_crash_propagates_to_waiter(self, env):
+        def crash(env):
+            yield env.timeout(1)
+            raise RuntimeError("boom")
+
+        def waiter(env):
+            try:
+                yield env.process(crash(env))
+            except RuntimeError:
+                return "caught"
+            return "missed"
+
+        assert run_process(env, waiter(env)) == "caught"
+
+    def test_is_alive(self, env):
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_same_time_events_fire_in_fifo_order(self, env):
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_deadlock_detected_for_run_until_event(self, env):
+        never = env.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=never)
+
+
+class TestConditions:
+    def test_all_of_waits_for_slowest(self, env):
+        def worker(env, delay):
+            yield env.timeout(delay)
+            return delay
+
+        def waiter(env):
+            procs = [env.process(worker(env, d)) for d in (3, 1, 2)]
+            values = yield all_of(env, procs)
+            return values, env.now
+
+        values, now = run_process(env, waiter(env))
+        assert values == [3, 1, 2]
+        assert now == 3.0
+
+    def test_all_of_empty_fires_immediately(self, env):
+        def waiter(env):
+            values = yield all_of(env, [])
+            return values
+
+        assert run_process(env, waiter(env)) == []
+
+    def test_all_of_fails_if_any_child_fails(self, env):
+        def ok(env):
+            yield env.timeout(1)
+
+        def bad(env):
+            yield env.timeout(0.5)
+            raise ValueError("child failed")
+
+        def waiter(env):
+            try:
+                yield all_of(env, [env.process(ok(env)), env.process(bad(env))])
+            except ValueError:
+                return "caught"
+            return "missed"
+
+        assert run_process(env, waiter(env)) == "caught"
+
+    def test_any_of_returns_first(self, env):
+        def worker(env, delay, tag):
+            yield env.timeout(delay)
+            return tag
+
+        def waiter(env):
+            procs = [
+                env.process(worker(env, 2, "slow")),
+                env.process(worker(env, 1, "fast")),
+            ]
+            index, value = yield any_of(env, procs)
+            return index, value, env.now
+
+        assert run_process(env, waiter(env)) == (1, "fast", 1.0)
+
+    def test_any_of_empty_rejected(self, env):
+        with pytest.raises(SimulationError):
+            any_of(env, [])
+
+
+class TestStep:
+    def test_step_empty_schedule_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek_reports_next_event_time(self, env):
+        env.timeout(4.0)
+        assert env.peek() == 4.0
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")

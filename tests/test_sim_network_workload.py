@@ -1,0 +1,175 @@
+"""Unit tests for the network model, RNG streams, and load generators."""
+
+import pytest
+
+from repro.sim.kernel import Environment
+from repro.sim.network import Network, NetworkModel
+from repro.sim.rng import RngStreams
+from repro.sim.workload import ClosedLoopGenerator, LoadStats, OpenLoopGenerator
+
+
+class TestNetworkModel:
+    def test_remote_transfer_pays_rtt(self):
+        model = NetworkModel(rtt_s=0.001, loopback_s=0.0001, bandwidth_bps=0)
+        assert model.transfer_time("a", "b") == 0.001
+
+    def test_local_transfer_pays_loopback(self):
+        model = NetworkModel(rtt_s=0.001, loopback_s=0.0001, bandwidth_bps=0)
+        assert model.transfer_time("a", "a") == 0.0001
+
+    def test_unknown_endpoint_treated_remote(self):
+        model = NetworkModel(rtt_s=0.001, loopback_s=0.0001, bandwidth_bps=0)
+        assert model.transfer_time(None, "a") == 0.001
+
+    def test_bandwidth_term(self):
+        model = NetworkModel(rtt_s=0.001, loopback_s=0.0, bandwidth_bps=1e6)
+        assert model.transfer_time("a", "b", 1000) == pytest.approx(0.002)
+
+    def test_network_counts_transfers(self, env):
+        net = Network(env, NetworkModel())
+
+        def proc(env):
+            yield net.transfer("a", "b", 100)
+            yield net.transfer("a", "a", 100)
+
+        env.run(until=env.process(proc(env)))
+        assert net.total_transfers == 2
+        assert net.remote_transfers == 1
+        assert net.total_bytes == 200
+
+
+class TestRngStreams:
+    def test_same_name_same_stream(self):
+        streams = RngStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_deterministic_across_instances(self):
+        a = RngStreams(7).stream("arrivals").random()
+        b = RngStreams(7).stream("arrivals").random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        streams = RngStreams(7)
+        first = streams.stream("a").random()
+        # Drawing from another stream must not perturb "a".
+        streams2 = RngStreams(7)
+        streams2.stream("b").random()
+        assert streams2.stream("a").random() == first
+
+    def test_different_seeds_differ(self):
+        assert RngStreams(1).stream("x").random() != RngStreams(2).stream("x").random()
+
+    def test_fork_is_deterministic(self):
+        a = RngStreams(3).fork("node-1").stream("x").random()
+        b = RngStreams(3).fork("node-1").stream("x").random()
+        assert a == b
+
+
+class TestLoadStats:
+    def test_throughput_over_window(self):
+        stats = LoadStats(warmup_s=5.0)
+        for start in (6.0, 7.0, 8.0):
+            stats.record(start, start + 0.1, ok=True)
+        assert stats.throughput(15.0) == pytest.approx(0.3)
+
+    def test_warmup_requests_excluded(self):
+        stats = LoadStats(warmup_s=5.0)
+        stats.record(1.0, 1.5, ok=True)
+        stats.record(6.0, 6.5, ok=True)
+        assert stats.measured_completed == 1
+        assert stats.completed == 2
+
+    def test_failed_counted(self):
+        stats = LoadStats()
+        stats.record(0.0, 1.0, ok=False)
+        assert stats.failed == 1
+
+    def test_percentile(self):
+        stats = LoadStats()
+        for latency in (0.1, 0.2, 0.3, 0.4, 1.0):
+            stats.record(0.0, latency, ok=True)
+        assert stats.latency_percentile(50) == pytest.approx(0.3)
+        assert stats.latency_percentile(100) == pytest.approx(1.0)
+
+    def test_empty_stats(self):
+        stats = LoadStats()
+        assert stats.throughput(10.0) == 0.0
+        assert stats.mean_latency == 0.0
+        assert stats.latency_percentile(99) == 0.0
+
+
+class TestGenerators:
+    def test_closed_loop_self_throttles(self):
+        env = Environment()
+
+        def request(index):
+            yield env.timeout(0.1)
+
+        generator = ClosedLoopGenerator(env, request, clients=2, horizon_s=1.0)
+        env.run(until=1.0)
+        # Two clients at 0.1 s per request over 1 s -> ~20 completions.
+        assert generator.stats.completed == pytest.approx(20, abs=2)
+
+    def test_closed_loop_think_time(self):
+        env = Environment()
+
+        def request(index):
+            yield env.timeout(0.1)
+
+        generator = ClosedLoopGenerator(
+            env, request, clients=1, horizon_s=1.0, think_time_s=0.1
+        )
+        env.run(until=1.0)
+        assert generator.stats.completed == pytest.approx(5, abs=1)
+
+    def test_open_loop_issues_at_rate(self):
+        env = Environment()
+
+        def request(index):
+            yield env.timeout(0.001)
+
+        generator = OpenLoopGenerator(
+            env, request, rate=100.0, horizon_s=2.0, poisson=False
+        )
+        env.run(until=3.0)
+        assert generator.stats.issued == pytest.approx(200, abs=2)
+
+    def test_open_loop_poisson_deterministic_by_seed(self):
+        from repro.sim.rng import RngStreams
+
+        def run_once():
+            env = Environment()
+
+            def request(index):
+                yield env.timeout(0.001)
+
+            generator = OpenLoopGenerator(
+                env, request, rate=50.0, horizon_s=1.0, rng=RngStreams(9)
+            )
+            env.run(until=2.0)
+            return generator.stats.issued
+
+        assert run_once() == run_once()
+
+    def test_open_loop_failures_recorded(self):
+        env = Environment()
+
+        def request(index):
+            yield env.timeout(0.001)
+            raise RuntimeError("app error")
+
+        generator = OpenLoopGenerator(env, request, rate=10, horizon_s=1.0, poisson=False)
+        env.run(until=2.0)
+        assert generator.stats.failed == generator.stats.completed > 0
+
+    def test_closed_loop_client_indices_disjoint(self):
+        env = Environment()
+        seen = []
+
+        def request(index):
+            seen.append(index)
+            yield env.timeout(0.1)
+
+        ClosedLoopGenerator(env, request, clients=3, horizon_s=0.5)
+        env.run(until=0.5)
+        assert len(seen) == len(set(seen))

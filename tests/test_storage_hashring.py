@@ -1,0 +1,88 @@
+"""Unit tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.hashring import HashRing
+
+
+class TestHashRing:
+    def test_empty_ring_raises(self):
+        with pytest.raises(StorageError, match="empty"):
+            HashRing().owner("key")
+
+    def test_vnodes_validation(self):
+        with pytest.raises(StorageError):
+            HashRing(vnodes=0)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.owner(f"k{i}") == "only" for i in range(50))
+
+    def test_owner_is_deterministic(self):
+        ring = HashRing(["a", "b", "c"])
+        assert ring.owner("some-key") == ring.owner("some-key")
+
+    def test_duplicate_node_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(StorageError, match="already"):
+            ring.add_node("a")
+
+    def test_remove_unknown_node_rejected(self):
+        with pytest.raises(StorageError, match="not in ring"):
+            HashRing(["a"]).remove_node("b")
+
+    def test_membership(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring
+        assert "z" not in ring
+        assert len(ring) == 2
+        assert ring.nodes == ("a", "b")
+
+    def test_distribution_roughly_balanced(self):
+        ring = HashRing([f"node-{i}" for i in range(4)], vnodes=128)
+        keys = [f"key-{i}" for i in range(4000)]
+        counts = ring.distribution(keys)
+        for node, count in counts.items():
+            assert 500 < count < 1700, f"{node} owns {count} of 4000"
+
+    def test_minimal_disruption_on_node_add(self):
+        ring = HashRing(["a", "b", "c"], vnodes=128)
+        keys = [f"key-{i}" for i in range(2000)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.add_node("d")
+        moved = sum(1 for k in keys if ring.owner(k) != before[k])
+        # Consistent hashing moves ~1/N of the keys, not most of them.
+        assert moved < len(keys) * 0.45
+
+    def test_keys_not_owned_by_removed_node(self):
+        ring = HashRing(["a", "b", "c"])
+        ring.remove_node("b")
+        assert all(ring.owner(f"k{i}") != "b" for i in range(200))
+
+    def test_owners_distinct_replicas(self):
+        ring = HashRing(["a", "b", "c"], vnodes=64)
+        owners = ring.owners("some-key", 2)
+        assert len(owners) == 2
+        assert len(set(owners)) == 2
+
+    def test_owners_capped_at_node_count(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring.owners("k", 5)) == 2
+
+    def test_owners_first_is_primary(self):
+        ring = HashRing(["a", "b", "c"])
+        assert ring.owners("k", 3)[0] == ring.owner("k")
+
+    def test_owners_count_validation(self):
+        with pytest.raises(StorageError):
+            HashRing(["a"]).owners("k", 0)
+
+    def test_surviving_keys_stable_after_removal(self):
+        ring = HashRing(["a", "b", "c"], vnodes=128)
+        keys = [f"key-{i}" for i in range(1000)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.remove_node("c")
+        for key in keys:
+            if before[key] != "c":
+                assert ring.owner(key) == before[key]

@@ -1,0 +1,151 @@
+"""Unit tests for the document store and its throughput model."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.kv import DbModel, DocumentStore
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+class TestDbModel:
+    def test_write_units(self):
+        model = DbModel(op_cost=4, doc_cost=1)
+        assert model.write_units(1) == 5
+        assert model.write_units(100) == 104
+
+    def test_read_units(self):
+        model = DbModel(op_cost=4, read_cost=1)
+        assert model.read_units() == 5
+
+
+class TestDocumentStore:
+    def test_write_then_read(self, env):
+        store = DocumentStore(env)
+
+        def scenario(env):
+            yield store.write("c", [{"id": "x", "value": 1}])
+            doc = yield store.read("c", "x")
+            return doc
+
+        assert run(env, scenario(env))["value"] == 1
+
+    def test_read_missing_returns_none(self, env):
+        store = DocumentStore(env)
+
+        def scenario(env):
+            doc = yield store.read("c", "ghost")
+            return doc
+
+        assert run(env, scenario(env)) is None
+
+    def test_write_requires_id(self, env):
+        store = DocumentStore(env)
+        with pytest.raises(StorageError, match="'id'"):
+            store.write("c", [{"value": 1}])
+
+    def test_upsert_by_id(self, env):
+        store = DocumentStore(env)
+
+        def scenario(env):
+            yield store.write("c", [{"id": "x", "v": 1}])
+            yield store.write("c", [{"id": "x", "v": 2}])
+            doc = yield store.read("c", "x")
+            return doc
+
+        assert run(env, scenario(env))["v"] == 2
+        assert store.count("c") == 1
+
+    def test_batch_write_cheaper_than_singles(self, env):
+        model = DbModel(capacity_units_per_s=100, op_cost=4, doc_cost=1)
+        store = DocumentStore(env, model)
+        docs = [{"id": f"k{i}"} for i in range(10)]
+
+        def singles(env):
+            for doc in docs:
+                yield store.write("a", [doc])
+            return env.now
+
+        t_singles = run(env, singles(env))
+
+        env2_store = DocumentStore(env, model)
+
+        def batch(env):
+            start = env.now
+            yield env2_store.write("a", docs)
+            return env.now - start
+
+        t_batch = run(env, batch(env))
+        # 10 ops x 5 units vs 1 op x 14 units.
+        assert t_singles == pytest.approx(0.5)
+        assert t_batch == pytest.approx(0.14)
+
+    def test_capacity_is_shared_backlog(self, env):
+        store = DocumentStore(env, DbModel(capacity_units_per_s=10, op_cost=0, doc_cost=1))
+
+        def scenario(env):
+            first = store.write("c", [{"id": "a"}] * 5)   # 0.5s
+            second = store.write("c", [{"id": "b"}] * 5)  # queues behind
+            yield first
+            t_first = env.now
+            yield second
+            return t_first, env.now
+
+        t_first, t_second = run(env, scenario(env))
+        assert t_first == pytest.approx(0.5)
+        assert t_second == pytest.approx(1.0)
+
+    def test_mutation_applied_only_after_completion(self, env):
+        store = DocumentStore(env, DbModel(capacity_units_per_s=1))
+        store.write("c", [{"id": "x"}])
+        assert store.get_sync("c", "x") is None  # still in flight
+        env.run()
+        assert store.get_sync("c", "x") is not None
+
+    def test_delete(self, env):
+        store = DocumentStore(env)
+        store.put_sync("c", {"id": "x"})
+
+        def scenario(env):
+            yield store.delete("c", "x")
+
+        run(env, scenario(env))
+        assert store.get_sync("c", "x") is None
+
+    def test_stats_counters(self, env):
+        store = DocumentStore(env)
+
+        def scenario(env):
+            yield store.write("c", [{"id": "a"}, {"id": "b"}])
+            yield store.read("c", "a")
+            yield store.read("c", "ghost")
+
+        run(env, scenario(env))
+        assert store.write_ops == 1
+        assert store.docs_written == 2
+        assert store.read_ops == 2
+        assert store.docs_read == 1
+
+    def test_put_sync_requires_id(self, env):
+        with pytest.raises(StorageError):
+            DocumentStore(env).put_sync("c", {"x": 1})
+
+    def test_keys_sorted(self, env):
+        store = DocumentStore(env)
+        for key in ("b", "a", "c"):
+            store.put_sync("c", {"id": key})
+        assert store.keys("c") == ["a", "b", "c"]
+
+    def test_read_returns_copy(self, env):
+        store = DocumentStore(env)
+        store.put_sync("c", {"id": "x", "nested": 1})
+
+        def scenario(env):
+            doc = yield store.read("c", "x")
+            doc["nested"] = 999
+            fresh = yield store.read("c", "x")
+            return fresh
+
+        assert run(env, scenario(env))["nested"] == 1

@@ -1,0 +1,186 @@
+"""Unit tests for the S3-style object store and presigned URLs."""
+
+import pytest
+
+from repro.errors import BucketNotFoundError, KeyNotFoundError, PresignedUrlError, StorageError
+from repro.storage.object_store import ObjectStore, ObjectStoreModel, PresignedUrl
+
+
+@pytest.fixture
+def store(env):
+    s = ObjectStore(env)
+    s.create_bucket("media")
+    return s
+
+
+class TestBuckets:
+    def test_create_and_exists(self, store):
+        assert store.bucket_exists("media")
+        assert not store.bucket_exists("ghost")
+
+    def test_empty_name_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.create_bucket("")
+
+    def test_missing_bucket_raises(self, store):
+        with pytest.raises(BucketNotFoundError):
+            store.get_object("ghost", "k")
+
+    def test_create_idempotent(self, store):
+        store.put_object("media", "k", b"data")
+        store.create_bucket("media")  # must not wipe contents
+        assert store.get_object("media", "k").data == b"data"
+
+
+class TestObjects:
+    def test_put_get_roundtrip(self, store):
+        store.put_object("media", "a/b.png", b"bytes", "image/png")
+        obj = store.get_object("media", "a/b.png")
+        assert obj.data == b"bytes"
+        assert obj.content_type == "image/png"
+        assert obj.size == 5
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.get_object("media", "ghost")
+
+    def test_head_returns_none_for_missing(self, store):
+        assert store.head_object("media", "ghost") is None
+
+    def test_etag_content_addressed(self, store):
+        a = store.put_object("media", "x", b"same")
+        b = store.put_object("media", "y", b"same")
+        c = store.put_object("media", "z", b"different")
+        assert a.etag == b.etag != c.etag
+
+    def test_delete_object(self, store):
+        store.put_object("media", "x", b"1")
+        store.delete_object("media", "x")
+        with pytest.raises(KeyNotFoundError):
+            store.get_object("media", "x")
+
+    def test_list_with_prefix(self, store):
+        for key in ("img/1", "img/2", "vid/1"):
+            store.put_object("media", key, b"")
+        assert store.list_objects("media", "img/") == ["img/1", "img/2"]
+        assert store.list_objects("media") == ["img/1", "img/2", "vid/1"]
+
+    def test_rejects_non_bytes(self, store):
+        with pytest.raises(StorageError):
+            store.put_object("media", "x", "a string")
+
+    def test_empty_key_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put_object("media", "", b"")
+
+
+class TestPresignedUrls:
+    def test_get_roundtrip(self, store):
+        store.put_object("media", "file", b"payload")
+        url = store.presign("media", "file", "GET", expires_in_s=60)
+        assert store.presigned_get(url).data == b"payload"
+        assert store.presigned_used == 1
+
+    def test_put_roundtrip(self, store):
+        url = store.presign("media", "upload", "PUT", expires_in_s=60)
+        store.presigned_put(url, b"uploaded")
+        assert store.get_object("media", "upload").data == b"uploaded"
+
+    def test_signature_tamper_rejected(self, store):
+        store.put_object("media", "file", b"x")
+        url = store.presign("media", "file", "GET")
+        bad = url.replace("signature=", "signature=00")
+        with pytest.raises(PresignedUrlError, match="signature"):
+            store.presigned_get(bad)
+
+    def test_key_substitution_rejected(self, store):
+        store.put_object("media", "public", b"x")
+        store.put_object("media", "secret", b"y")
+        url = store.presign("media", "public", "GET")
+        forged = url.replace("public", "secret")
+        with pytest.raises(PresignedUrlError):
+            store.presigned_get(forged)
+
+    def test_method_mismatch_rejected(self, store):
+        url = store.presign("media", "file", "PUT")
+        with pytest.raises(PresignedUrlError, match="allows PUT"):
+            store.presigned_get(url)
+
+    def test_expiry_enforced(self, env, store):
+        store.put_object("media", "file", b"x")
+        url = store.presign("media", "file", "GET", expires_in_s=10)
+        env.run(until=11.0)
+        with pytest.raises(PresignedUrlError, match="expired"):
+            store.presigned_get(url)
+
+    def test_valid_until_expiry(self, env, store):
+        store.put_object("media", "file", b"x")
+        url = store.presign("media", "file", "GET", expires_in_s=10)
+        env.run(until=9.0)
+        assert store.presigned_get(url).data == b"x"
+
+    def test_unknown_method_rejected(self, store):
+        with pytest.raises(PresignedUrlError):
+            store.presign("media", "k", "DELETE")
+
+    def test_nonpositive_expiry_rejected(self, store):
+        with pytest.raises(PresignedUrlError):
+            store.presign("media", "k", "GET", expires_in_s=0)
+
+    def test_presign_requires_bucket(self, store):
+        with pytest.raises(BucketNotFoundError):
+            store.presign("ghost", "k", "GET")
+
+    def test_malformed_url_rejected(self, store):
+        for bad in ("http://x/y", "s3://", "s3://b/k?method=GET"):
+            with pytest.raises(PresignedUrlError):
+                store.presigned_get(bad)
+
+    def test_url_parse_roundtrip(self, store):
+        url = store.presign("media", "dir/file with space.png", "GET")
+        parsed = PresignedUrl.parse(url)
+        assert parsed.bucket == "media"
+        assert parsed.key == "dir/file with space.png"
+        assert parsed.method == "GET"
+
+    def test_stores_with_different_secrets_reject_each_other(self, env):
+        a = ObjectStore(env, secret_key=b"secret-a")
+        b = ObjectStore(env, secret_key=b"secret-b")
+        for s in (a, b):
+            s.create_bucket("m")
+        a.put_object("m", "k", b"x")
+        b.put_object("m", "k", b"x")
+        url = a.presign("m", "k", "GET")
+        with pytest.raises(PresignedUrlError):
+            b.presigned_get(url)
+
+
+class TestTimedPaths:
+    def test_timed_put_and_get_advance_clock(self, env):
+        store = ObjectStore(env, ObjectStoreModel(op_latency_s=0.001, bandwidth_bps=1e6))
+        store.create_bucket("m")
+
+        def scenario(env):
+            yield store.put_timed("m", "k", b"x" * 1000)
+            put_done = env.now
+            obj = yield store.get_timed("m", "k")
+            return put_done, env.now, obj
+
+        put_done, get_done, obj = env.run(until=env.process(scenario(env)))
+        assert put_done == pytest.approx(0.002)
+        assert get_done == pytest.approx(0.004)
+        assert obj.size == 1000
+
+    def test_timed_presigned_paths(self, env):
+        store = ObjectStore(env, ObjectStoreModel(op_latency_s=0.001, bandwidth_bps=1e6))
+        store.create_bucket("m")
+
+        def scenario(env):
+            put_url = store.presign("m", "k", "PUT")
+            yield store.presigned_put_timed(put_url, b"y" * 2000)
+            get_url = store.presign("m", "k", "GET")
+            obj = yield store.presigned_get_timed(get_url)
+            return obj.data
+
+        assert env.run(until=env.process(scenario(env))) == b"y" * 2000
+        assert env.now > 0

@@ -1,0 +1,113 @@
+"""Tests for invocation tracing."""
+
+import pytest
+
+from repro.monitoring.tracing import Tracer
+from repro.platform.oparaca import Oparaca, PlatformConfig
+from repro.sim.kernel import Environment
+
+from tests.conftest import LISTING1_YAML, register_image_handlers
+
+
+@pytest.fixture
+def traced_platform():
+    platform = Oparaca(PlatformConfig(nodes=3, tracing_enabled=True))
+    register_image_handlers(platform)
+    platform.deploy(LISTING1_YAML)
+    return platform
+
+
+class TestTracerUnit:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(Environment(), enabled=False)
+        assert tracer.start("t", "x") is None
+        tracer.finish(None)  # must be a no-op
+        assert len(tracer) == 0
+
+    def test_span_timing(self):
+        env = Environment()
+        tracer = Tracer(env, enabled=True)
+        span = tracer.start("t", "op")
+        env.run(until=2.5)
+        tracer.finish(span, ok=True)
+        assert span.duration_s == 2.5
+        assert span.attrs["ok"] is True
+
+    def test_parent_by_span_and_id(self):
+        tracer = Tracer(Environment(), enabled=True)
+        parent = tracer.start("t", "parent")
+        by_span = tracer.start("t", "a", parent=parent)
+        by_id = tracer.start("t", "b", parent=parent.span_id)
+        assert by_span.parent_id == parent.span_id
+        assert by_id.parent_id == parent.span_id
+
+    def test_capacity_bounded(self):
+        tracer = Tracer(Environment(), enabled=True, capacity=10)
+        for i in range(50):
+            tracer.start("t", f"s{i}")
+        assert len(tracer) == 10
+
+    def test_engine_respects_injected_empty_tracer(self):
+        """Regression: an empty Tracer is falsy (__len__); the engine
+        must keep the injected instance anyway."""
+        platform = Oparaca(PlatformConfig(nodes=2, tracing_enabled=True))
+        assert platform.engine.tracer is platform.tracer
+
+
+class TestInvocationTraces:
+    def test_task_invocation_spans(self, traced_platform):
+        platform = traced_platform
+        obj = platform.new_object("Image")
+        result = platform.invoke(obj, "resize", {"width": 10})
+        spans = platform.tracer.trace(result.request_id)
+        names = [s.name for s in spans]
+        assert names[0] == "invoke resize"
+        assert "state.load" in names
+        assert any(n.startswith("task.offload") for n in names)
+        assert "state.commit" in names
+        assert all(s.end is not None for s in spans)
+
+    def test_macro_trace_spans_sub_invocations(self, traced_platform):
+        platform = traced_platform
+        obj = platform.new_object("Image")
+        result = platform.invoke(obj, "thumbnail", {"width": 10})
+        spans = platform.tracer.trace(result.request_id)
+        names = [s.name for s in spans]
+        # One trace covers the macro and both step invocations.
+        assert "invoke thumbnail" in names
+        assert "step r" in names and "step f" in names
+        assert "invoke resize" in names and "invoke changeFormat" in names
+
+    def test_step_spans_parented_to_macro(self, traced_platform):
+        platform = traced_platform
+        obj = platform.new_object("Image")
+        result = platform.invoke(obj, "thumbnail", {"width": 10})
+        spans = platform.tracer.trace(result.request_id)
+        by_name = {s.name: s for s in spans}
+        macro = by_name["invoke thumbnail"]
+        assert by_name["step r"].parent_id == macro.span_id
+        sub = by_name["invoke resize"]
+        assert sub.parent_id == by_name["step r"].span_id
+
+    def test_immutable_invocation_has_no_commit_span(self, traced_platform):
+        platform = traced_platform
+        obj = platform.new_object("Image")
+        result = platform.invoke(obj, "get")
+        names = [s.name for s in platform.tracer.trace(result.request_id)]
+        assert "state.commit" not in names
+
+    def test_render_tree(self, traced_platform):
+        platform = traced_platform
+        obj = platform.new_object("Image")
+        result = platform.invoke(obj, "resize", {"width": 5})
+        text = platform.tracer.render(result.request_id)
+        assert "invoke resize" in text
+        assert "ms" in text
+
+    def test_render_unknown_trace(self, traced_platform):
+        assert "no spans" in traced_platform.tracer.render("ghost")
+
+    def test_tracing_off_by_default(self, platform):
+        obj = platform.new_object("Image")
+        result = platform.invoke(obj, "resize", {"width": 5})
+        assert len(platform.tracer.trace(result.request_id)) == 0
