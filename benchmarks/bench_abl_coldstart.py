@@ -22,10 +22,15 @@ def test_abl_coldstart(benchmark, min_scale):
 
     row = benchmark.pedantic(run, rounds=1, iterations=1)
     _ROWS.append(row)
+    # The observability layer must agree with the engine's own counter:
+    # every cold start yields exactly one faas.cold_start span and event.
+    assert row.traced_cold_starts == row.cold_starts
+    assert row.event_cold_starts == row.cold_starts
     benchmark.extra_info["min_scale"] = min_scale
     benchmark.extra_info["first_latency_ms"] = round(row.first_latency_ms, 1)
     benchmark.extra_info["burst_p99_ms"] = round(row.burst_p99_ms, 1)
     benchmark.extra_info["idle_replicas"] = row.idle_replicas
+    benchmark.extra_info["cold_starts"] = row.cold_starts
 
 
 def teardown_module(module):

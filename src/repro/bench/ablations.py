@@ -138,6 +138,11 @@ class ColdStartResult:
     burst_p99_ms: float
     cold_starts: int
     idle_replicas: int
+    #: Observability cross-checks: cold starts as seen by the tracer's
+    #: ``faas.cold_start`` spans and the event log — all three counters
+    #: must agree with ``KnativeService.cold_starts``.
+    traced_cold_starts: int = 0
+    event_cold_starts: int = 0
 
 
 def run_coldstart_ablation(
@@ -162,12 +167,18 @@ def run_coldstart_ablation(
         registry = FunctionRegistry()
         registry.register("abl/echo", lambda ctx: {"ok": True}, service_time_s=service_time_s)
         from repro.faas.knative import KnativeEngine
+        from repro.monitoring.events import EventLog
+        from repro.monitoring.tracing import Tracer
 
+        tracer = Tracer(env, enabled=True)
+        events = EventLog(env, enabled=True)
         engine = KnativeEngine(
             env,
             scheduler,
             registry,
             KnativeModel(cold_start_s=cold_start_s, scale_to_zero_grace_s=30.0),
+            tracer=tracer,
+            events=events,
         )
         service = engine.deploy(
             "echo",
@@ -206,6 +217,8 @@ def run_coldstart_ablation(
                 burst_p99_ms=ordered[max(0, int(len(ordered) * 0.99) - 1)] * 1000.0,
                 cold_starts=service.cold_starts,
                 idle_replicas=idle_replicas,
+                traced_cold_starts=len(tracer.spans_named("faas.cold_start")),
+                event_cold_starts=len(events.of_type("faas.cold_start")),
             )
         )
         service.stop()

@@ -28,6 +28,8 @@ from repro.model.function import FunctionType
 from repro.model.pkg import Package
 from repro.model.resolver import ResolvedClass
 from repro.monitoring.collector import MonitoringSystem
+from repro.monitoring.events import EventLog
+from repro.monitoring.tracing import Tracer
 from repro.orchestrator.cluster import Cluster
 from repro.orchestrator.scheduler import Scheduler
 from repro.sim.kernel import Environment
@@ -58,6 +60,8 @@ class ClassRuntimeManager:
         knative_model: KnativeModel | None = None,
         deployment_model: DeploymentModel | None = None,
         dht_op_cost_s: float = 0.00002,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         self.env = env
         self.cluster = cluster
@@ -70,8 +74,14 @@ class ClassRuntimeManager:
         self.rng = rng or RngStreams(0)
         self.catalog = catalog or default_catalog()
         self.dht_op_cost_s = dht_op_cost_s
-        self.knative = KnativeEngine(env, scheduler, registry, knative_model)
-        self.deployment = DeploymentEngine(env, scheduler, registry, deployment_model)
+        self.tracer = tracer
+        self.events = events if events is not None else EventLog(env)
+        self.knative = KnativeEngine(
+            env, scheduler, registry, knative_model, tracer=tracer, events=self.events
+        )
+        self.deployment = DeploymentEngine(
+            env, scheduler, registry, deployment_model, tracer=tracer, events=self.events
+        )
         #: Services exposed to function handlers through ``ctx.service``.
         self.handler_services: dict[str, Any] = {"object_store": object_store}
         self.costs = CostTracker(env, store, CostModel())
@@ -96,6 +106,14 @@ class ClassRuntimeManager:
             raise DeploymentError(f"class {resolved.name!r} is already deployed")
         chosen = template or self.catalog.select(resolved.nfr)
         config = chosen.config
+        if self.events.enabled:
+            self.events.record(
+                "template.select",
+                cls=resolved.name,
+                template=chosen.name,
+                engine=config.engine,
+                explicit=template is not None,
+            )
         # Jurisdiction constraints (§II-C, §VI): the class's state and
         # function pods may only live on nodes in the allowed regions.
         jurisdictions = resolved.nfr.constraint.jurisdictions
@@ -124,6 +142,7 @@ class ClassRuntimeManager:
                 max_entries_per_node=config.dht_max_entries,
             ),
             collection=f"objects.{resolved.name}",
+            tracer=self.tracer,
         )
         router = ObjectRouter(dht, config.placement, self.rng)
         services: dict[str, FunctionService] = {}
@@ -166,6 +185,14 @@ class ClassRuntimeManager:
         self._runtimes[resolved.name] = runtime
         self._resolved[resolved.name] = resolved
         self.costs.register(runtime)
+        if self.events.enabled:
+            self.events.record(
+                "class.deploy",
+                cls=resolved.name,
+                template=chosen.name,
+                engine=config.engine,
+                services=len(services),
+            )
         return runtime
 
     def update_class(
@@ -239,6 +266,15 @@ class ClassRuntimeManager:
         )
         self._runtimes[resolved.name] = runtime
         self._resolved[resolved.name] = resolved
+        if self.events.enabled:
+            self.events.record(
+                "class.deploy",
+                cls=resolved.name,
+                template=chosen.name,
+                engine=config.engine,
+                services=len(services),
+                update=True,
+            )
         return runtime
 
     def undeploy_class(self, cls: str) -> None:

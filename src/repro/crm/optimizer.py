@@ -26,6 +26,7 @@ from repro.crm.manager import ClassRuntimeManager
 from repro.errors import SchedulingError
 from repro.faas.engine import FunctionService
 from repro.monitoring.collector import MonitoringSystem
+from repro.monitoring.events import EventLog
 from repro.sim.kernel import Environment
 
 __all__ = ["OptimizerDecision", "RequirementOptimizer"]
@@ -55,6 +56,7 @@ class RequirementOptimizer:
         interval_s: float = 5.0,
         scale_down_grace_s: float = 30.0,
         max_replicas: int = 64,
+        events: EventLog | None = None,
     ) -> None:
         self.env = env
         self.manager = manager
@@ -62,6 +64,7 @@ class RequirementOptimizer:
         self.interval_s = interval_s
         self.scale_down_grace_s = scale_down_grace_s
         self.max_replicas = max_replicas
+        self.events = events if events is not None else EventLog(env)
         self.decisions: list[OptimizerDecision] = []
         self._idle_since: dict[str, float] = {}
         self._running = True
@@ -156,7 +159,7 @@ class RequirementOptimizer:
         if to == before:
             return
         if to > before and self._over_budget(cls, extra=to - before):
-            self.decisions.append(
+            self._record(
                 OptimizerDecision(
                     at=self.env.now,
                     cls=cls,
@@ -172,7 +175,7 @@ class RequirementOptimizer:
             svc.deployment.scale(to)
         except SchedulingError:
             return  # cluster full; try again next tick
-        self.decisions.append(
+        self._record(
             OptimizerDecision(
                 at=self.env.now,
                 cls=cls,
@@ -183,3 +186,16 @@ class RequirementOptimizer:
                 reason=reason,
             )
         )
+
+    def _record(self, decision: OptimizerDecision) -> None:
+        self.decisions.append(decision)
+        if self.events.enabled:
+            self.events.record(
+                "optimizer.decision",
+                cls=decision.cls,
+                service=decision.service,
+                action=decision.action,
+                before=decision.replicas_before,
+                after=decision.replicas_after,
+                reason=decision.reason,
+            )

@@ -16,7 +16,10 @@ from typing import Any, Generator, Mapping
 from repro.errors import InvocationError
 from repro.faas.engine import EngineModel, FaasEngine, FunctionService
 from repro.faas.registry import FunctionRegistry
+from repro.faas.runtime import InvocationTask
 from repro.model.function import FunctionDefinition
+from repro.monitoring.events import EventLog
+from repro.monitoring.tracing import Span, Tracer
 from repro.orchestrator.deployment import Deployment
 from repro.orchestrator.hpa import HorizontalPodAutoscaler
 from repro.orchestrator.pod import Pod, PodSpec
@@ -51,6 +54,8 @@ class DeploymentService(FunctionService):
         replicas: int,
         services: Mapping[str, Any] | None = None,
         node_hints: list[str] | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         provision = definition.provision
         spec = PodSpec(
@@ -68,7 +73,10 @@ class DeploymentService(FunctionService):
             replicas=replicas,
             node_hints=node_hints,
         )
-        super().__init__(env, name, definition, entry, deployment, model, services)
+        super().__init__(
+            env, name, definition, entry, deployment, model, services,
+            tracer=tracer, events=events,
+        )
         self.hpa: HorizontalPodAutoscaler | None = None
         if model.autoscale:
             self.hpa = HorizontalPodAutoscaler(
@@ -78,9 +86,12 @@ class DeploymentService(FunctionService):
                 min_replicas=max(1, replicas),
                 max_replicas=provision.max_scale,
                 interval_s=model.autoscale_interval_s,
+                events=events,
             )
 
-    def _acquire_pod(self) -> Generator[Any, Any, Pod]:
+    def _acquire_pod(
+        self, task: InvocationTask | None = None, parent: Span | None = None
+    ) -> Generator[Any, Any, Pod]:
         pod = self.deployment.least_loaded_pod()
         if pod is not None:
             return pod
@@ -115,8 +126,10 @@ class DeploymentEngine(FaasEngine):
         scheduler: Scheduler,
         registry: FunctionRegistry,
         model: DeploymentModel | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
-        super().__init__(env, registry)
+        super().__init__(env, registry, tracer=tracer, events=events)
         self.scheduler = scheduler
         self.model = model or DeploymentModel()
 
@@ -139,6 +152,8 @@ class DeploymentEngine(FaasEngine):
             replicas=replicas if replicas is not None else max(1, definition.provision.min_scale),
             services=services,
             node_hints=node_hints,
+            tracer=self.tracer,
+            events=self.events,
         )
         self._register(svc)
         return svc

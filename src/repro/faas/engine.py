@@ -26,6 +26,8 @@ from repro.errors import InvocationError, ValidationError
 from repro.faas.registry import FunctionRegistry, RegisteredImage
 from repro.faas.runtime import InvocationTask, TaskCompletion, TaskContext
 from repro.model.function import FunctionDefinition
+from repro.monitoring.events import EventLog
+from repro.monitoring.tracing import Span, Tracer
 from repro.orchestrator.deployment import Deployment
 from repro.orchestrator.pod import Pod
 from repro.sim.kernel import Environment, Process
@@ -59,6 +61,8 @@ class FunctionService(abc.ABC):
         deployment: Deployment,
         model: EngineModel,
         services: Mapping[str, Any] | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         self.env = env
         self.name = name
@@ -67,6 +71,12 @@ class FunctionService(abc.ABC):
         self.deployment = deployment
         self.model = model
         self.services = dict(services or {})
+        self.tracer = tracer if tracer is not None else Tracer(env)
+        self.events = events if events is not None else EventLog(env)
+        # Precomputed span names keep the disabled-tracing path free of
+        # per-request string formatting.
+        self._queue_span_name = f"faas.queue {name}"
+        self._exec_span_name = f"faas.execute {name}"
         self.invocations = 0
         self.completed = 0
         self.errors = 0
@@ -76,8 +86,14 @@ class FunctionService(abc.ABC):
     # -- engine-specific capacity management --------------------------------
 
     @abc.abstractmethod
-    def _acquire_pod(self) -> Generator[Any, Any, Pod]:
-        """Yield until a pod is available for one more request."""
+    def _acquire_pod(
+        self, task: InvocationTask | None = None, parent: Span | None = None
+    ) -> Generator[Any, Any, Pod]:
+        """Yield until a pod is available for one more request.
+
+        ``task``/``parent`` carry trace context so engines can attribute
+        waits (cold starts) to the requesting trace.
+        """
 
     # -- shared execution core ----------------------------------------------
 
@@ -91,9 +107,24 @@ class FunctionService(abc.ABC):
 
     def _invoke(self, task: InvocationTask) -> Generator[Any, Any, TaskCompletion]:
         self.invocations += 1
-        pod = yield from self._acquire_pod()
+        queue_span = exec_span = None
+        if self.tracer.enabled:
+            trace_id = task.trace_id or task.request_id
+            queue_span = self.tracer.start(
+                trace_id, self._queue_span_name, parent=task.trace_parent
+            )
+        pod = yield from self._acquire_pod(task, queue_span)
         slot = pod.slots.request()
         yield slot
+        if queue_span is not None:
+            self.tracer.finish(queue_span, pod=pod.name)
+            exec_span = self.tracer.start(
+                queue_span.trace_id,
+                self._exec_span_name,
+                parent=task.trace_parent,
+                pod=pod.name,
+                node=pod.node,
+            )
         started = self.env.now
         try:
             yield self.env.timeout(
@@ -103,6 +134,8 @@ class FunctionService(abc.ABC):
         finally:
             self.busy_time += self.env.now - started
             pod.slots.release()
+        if exec_span is not None:
+            self.tracer.finish(exec_span, ok=completion.ok)
         if completion.ok:
             self.completed += 1
         else:
@@ -149,9 +182,17 @@ class FunctionService(abc.ABC):
 class FaasEngine(abc.ABC):
     """A pluggable code-execution runtime."""
 
-    def __init__(self, env: Environment, registry: FunctionRegistry) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        registry: FunctionRegistry,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
+    ) -> None:
         self.env = env
         self.registry = registry
+        self.tracer = tracer
+        self.events = events
         self._services: dict[str, FunctionService] = {}
 
     @abc.abstractmethod

@@ -23,7 +23,10 @@ from typing import Any, Generator, Mapping
 from repro.errors import InvocationError, SchedulingError
 from repro.faas.engine import EngineModel, FaasEngine, FunctionService
 from repro.faas.registry import FunctionRegistry
+from repro.faas.runtime import InvocationTask
 from repro.model.function import FunctionDefinition
+from repro.monitoring.events import EventLog
+from repro.monitoring.tracing import Span, Tracer
 from repro.orchestrator.deployment import Deployment
 from repro.orchestrator.pod import Pod, PodSpec
 from repro.orchestrator.resources import ResourceSpec
@@ -57,6 +60,8 @@ class KnativeService(FunctionService):
         model: KnativeModel,
         services: Mapping[str, Any] | None = None,
         node_hints: list[str] | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         provision = definition.provision
         spec = PodSpec(
@@ -74,7 +79,10 @@ class KnativeService(FunctionService):
             replicas=max(provision.min_scale, 1),
             node_hints=node_hints,
         )
-        super().__init__(env, name, definition, entry, deployment, model, services)
+        super().__init__(
+            env, name, definition, entry, deployment, model, services,
+            tracer=tracer, events=events,
+        )
         self.min_scale = provision.min_scale
         self.max_scale = provision.max_scale
         self._last_request_at = env.now
@@ -83,7 +91,9 @@ class KnativeService(FunctionService):
 
     # -- activator path --------------------------------------------------------
 
-    def _acquire_pod(self) -> Generator[Any, Any, Pod]:
+    def _acquire_pod(
+        self, task: InvocationTask | None = None, parent: Span | None = None
+    ) -> Generator[Any, Any, Pod]:
         self._last_request_at = self.env.now
         while True:
             pod = self.deployment.least_loaded_pod(include_starting=True)
@@ -102,7 +112,21 @@ class KnativeService(FunctionService):
             # The request is buffered behind a booting replica: that
             # wait is the user-visible cold start.
             self.cold_starts += 1
+            cold_span = None
+            if self.tracer.enabled and task is not None:
+                cold_span = self.tracer.start(
+                    task.trace_id or task.request_id,
+                    "faas.cold_start",
+                    parent=parent,
+                    service=self.name,
+                    pod=pod.name,
+                )
+            if self.events.enabled:
+                self.events.record(
+                    "faas.cold_start", service=self.name, pod=pod.name
+                )
             yield pod.ready_event()
+            self.tracer.finish(cold_span, ready=pod.is_ready)
             if pod.is_ready:
                 return pod
             # The pod died while starting; retry placement.
@@ -134,13 +158,22 @@ class KnativeService(FunctionService):
         """One autoscaler evaluation (exposed for deterministic tests)."""
         self.deployment.reconcile()
         desired = self.desired_replicas()
-        if desired == self.deployment.replicas:
+        before = self.deployment.replicas
+        if desired == before:
             return
         try:
             self.deployment.scale(desired)
         except SchedulingError:
             # Cluster full: keep whatever fit.
             pass
+        if self.events.enabled and self.deployment.replicas != before:
+            self.events.record(
+                "autoscale.knative",
+                service=self.name,
+                before=before,
+                after=self.deployment.replicas,
+                desired=desired,
+            )
 
     def stop(self) -> None:
         """Stop the autoscaler loop (teardown)."""
@@ -156,8 +189,10 @@ class KnativeEngine(FaasEngine):
         scheduler: Scheduler,
         registry: FunctionRegistry,
         model: KnativeModel | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
-        super().__init__(env, registry)
+        super().__init__(env, registry, tracer=tracer, events=events)
         self.scheduler = scheduler
         self.model = model or KnativeModel()
 
@@ -178,6 +213,8 @@ class KnativeEngine(FaasEngine):
             self.model,
             services=services,
             node_hints=node_hints,
+            tracer=self.tracer,
+            events=self.events,
         )
         self._register(svc)
         return svc

@@ -48,6 +48,11 @@ class InvocationTask:
     state: Mapping[str, Any] = field(default_factory=dict)
     file_urls: Mapping[str, str] = field(default_factory=dict)
     immutable: bool = False
+    #: Trace correlation: the engine stamps the originating trace and
+    #: the offload span, so FaaS-side spans (queueing, cold start,
+    #: execution) land in the same tree as the invocation.
+    trace_id: str | None = None
+    trace_parent: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "payload", dict(self.payload))

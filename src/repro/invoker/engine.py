@@ -240,12 +240,16 @@ class InvocationEngine:
         cls = self._target_class(request)
         resolved = self.directory.resolved(cls)
         dht = self.directory.dht_for(resolved.name)
+        route_span = self.tracer.start(
+            trace_id or request.request_id, "route", parent=parent
+        )
         caller = self.directory.router_for(resolved.name).place(request.object_id)
+        self.tracer.finish(route_span, node=caller, cls=resolved.name)
         span = self.tracer.start(
             trace_id or request.request_id, "state.load", parent=parent, node=caller
         )
         doc = yield dht.get(request.object_id, caller=caller)
-        self.tracer.finish(span, hit=doc is not None)
+        self.tracer.finish(span, hit=doc is not None, owner=dht.owner(request.object_id))
         if doc is None:
             raise UnknownObjectError(f"no object {request.object_id!r}")
         return ObjectRecord.from_doc(doc)
@@ -268,10 +272,10 @@ class InvocationEngine:
         retries = 0
         while True:
             caller = router.place(request.object_id)
-            task = self._build_task(request, binding, record)
             offload = self.tracer.start(
                 trace_id, f"task.offload {service.name}", parent=root
             )
+            task = self._build_task(request, binding, record, trace_id, offload)
             completion: TaskCompletion = yield service.invoke(task)
             self.tracer.finish(offload, ok=completion.ok)
             if not completion.ok:
@@ -321,7 +325,12 @@ class InvocationEngine:
             )
 
     def _build_task(
-        self, request: InvocationRequest, binding: FunctionBinding, record: ObjectRecord
+        self,
+        request: InvocationRequest,
+        binding: FunctionBinding,
+        record: ObjectRecord,
+        trace_id: str | None = None,
+        span: Span | None = None,
     ) -> InvocationTask:
         file_urls = {
             key: self.object_store.presign(self.bucket, object_key, "GET")
@@ -337,6 +346,8 @@ class InvocationEngine:
             state=record.state,
             file_urls=file_urls,
             immutable=not binding.mutable,
+            trace_id=trace_id if span is not None else None,
+            trace_parent=span.span_id if span is not None else None,
         )
 
     def _commit(

@@ -1,12 +1,23 @@
-"""Monitoring: metric primitives and the platform metrics hub."""
+"""Monitoring: metrics, tracing, control-plane events, and reporting."""
 
 from repro.monitoring.collector import ClassObservations, MonitoringSystem
+from repro.monitoring.events import EventLog, PlatformEvent
+from repro.monitoring.export import (
+    chrome_trace_json,
+    format_summary,
+    span_breakdown,
+    summary_report,
+    to_chrome_trace,
+)
 from repro.monitoring.metrics import Counter, Gauge, Histogram, MetricsRegistry, SlidingWindow
+from repro.monitoring.nfr_report import NfrVerdict, format_nfr_report, nfr_compliance_report
 from repro.monitoring.tracing import Span, Tracer
 
 __all__ = [
     "Span",
     "Tracer",
+    "EventLog",
+    "PlatformEvent",
     "ClassObservations",
     "MonitoringSystem",
     "Counter",
@@ -14,4 +25,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SlidingWindow",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "span_breakdown",
+    "summary_report",
+    "format_summary",
+    "NfrVerdict",
+    "nfr_compliance_report",
+    "format_nfr_report",
 ]

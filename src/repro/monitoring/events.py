@@ -1,0 +1,115 @@
+"""Structured control-plane event log.
+
+The tracer answers "where did this request's time go"; the event log
+answers "what did the *platform* do and why".  Every control-plane
+actor — scheduler, autoscalers, pod lifecycle, template selection, the
+requirement optimizer — records typed events with simulated timestamps,
+so a run's reconfiguration history is auditable after the fact (the
+§III-B monitoring loop made inspectable).
+
+Like the tracer, the log is disabled by default: ``record`` is a single
+branch when off, so instrumented call sites stay on hot paths without
+cost.  Enable it per platform via ``PlatformConfig(events_enabled=True)``
+or ``platform.events.enable()``.
+
+Event types currently emitted by the platform:
+
+==================  ======================================================
+type                emitted by / fields
+==================  ======================================================
+scheduler.place     Scheduler.schedule — pod, node, image, policy
+pod.bind            Cluster.bind_pod — pod, node
+pod.ready           Pod._boot — pod, node, startup_s
+pod.terminated      Cluster.terminate_pod — pod, node
+template.select     CRM deploy/update — cls, template, engine
+class.deploy        CRM deploy_class — cls, services, nodes
+faas.cold_start     KnativeService — service, pod
+autoscale.knative   KnativeService.tick — service, before, after, desired
+autoscale.hpa       HorizontalPodAutoscaler.tick — deployment, before, after
+optimizer.decision  RequirementOptimizer — cls, service, action, reason
+==================  ======================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["PlatformEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class PlatformEvent:
+    """One recorded control-plane action."""
+
+    seq: int
+    at: float
+    type: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fields", dict(self.fields))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "at": self.at, "type": self.type, **self.fields}
+
+
+class EventLog:
+    """Collects platform events into a bounded buffer."""
+
+    def __init__(self, env, enabled: bool = False, capacity: int = 100_000) -> None:
+        self.env = env
+        self.enabled = enabled
+        self._events: deque[PlatformEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def record(self, type: str, **fields: Any) -> PlatformEvent | None:
+        """Append one event; returns ``None`` when the log is off."""
+        if not self.enabled:
+            return None
+        self._seq += 1
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        event = PlatformEvent(seq=self._seq, at=self.env.now, type=type, fields=fields)
+        self._events.append(event)
+        return event
+
+    # -- queries -----------------------------------------------------------
+
+    def events(self, type: str | None = None) -> list[PlatformEvent]:
+        """All retained events (optionally filtered by type), in order."""
+        if type is None:
+            return list(self._events)
+        return [e for e in self._events if e.type == type]
+
+    def of_type(self, type: str) -> list[PlatformEvent]:
+        return self.events(type)
+
+    def type_counts(self) -> dict[str, int]:
+        """How many retained events of each type."""
+        return dict(Counter(e.type for e in self._events))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def render(self, type: str | None = None, limit: int | None = None) -> str:
+        """A human-readable listing (newest last)."""
+        selected = self.events(type)
+        if limit is not None:
+            selected = selected[-limit:]
+        if not selected:
+            scope = f" of type {type!r}" if type else ""
+            return f"(no events{scope})"
+        lines = []
+        for event in selected:
+            attrs = " ".join(f"{k}={v}" for k, v in event.fields.items())
+            lines.append(f"[{event.at:10.4f}s] {event.type:<20} {attrs}".rstrip())
+        return "\n".join(lines)

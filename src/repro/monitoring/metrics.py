@@ -9,6 +9,8 @@ the same registry to report results.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from collections import deque
 from dataclasses import dataclass
 
@@ -45,26 +47,63 @@ class Gauge:
 
 
 class Histogram:
-    """Exact-value distribution (fine at simulation scales)."""
+    """Bounded-memory value distribution.
 
-    def __init__(self, name: str) -> None:
+    Exact while at most ``max_samples`` values have been recorded;
+    beyond that a uniform reservoir (Vitter's algorithm R) keeps a
+    fixed-size sample, so million-invocation runs hold memory constant.
+    ``count``, ``mean``, and ``max`` stay exact regardless (running
+    aggregates); ``percentile`` answers from the reservoir, which is the
+    full data set until overflow and an unbiased sample after.
+    """
+
+    DEFAULT_MAX_SAMPLES = 8192
+
+    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples < 1:
+            raise ValidationError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
+        self.max_samples = max_samples
         self._values: list[float] = []
         self._sorted = True
+        self._count = 0
+        self._sum = 0.0
+        self._max: float | None = None
+        # Seeded per-name so runs stay reproducible (str hash is salted).
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8", "replace")))
 
     def record(self, value: float) -> None:
-        self._values.append(float(value))
-        self._sorted = False
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if self._max is None or value > self._max:
+            self._max = value
+        if len(self._values) < self.max_samples:
+            self._values.append(value)
+            self._sorted = False
+            return
+        # Reservoir: the new value replaces a random resident with
+        # probability max_samples / count, keeping the sample uniform.
+        slot = self._rng.randrange(self._count)
+        if slot < self.max_samples:
+            self._values[slot] = value
+            self._sorted = False
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        """Total values recorded (not the retained sample size)."""
+        return self._count
+
+    @property
+    def overflowed(self) -> int:
+        """Values recorded beyond the reservoir capacity."""
+        return max(0, self._count - self.max_samples)
 
     @property
     def mean(self) -> float:
-        if not self._values:
+        if not self._count:
             return 0.0
-        return sum(self._values) / len(self._values)
+        return self._sum / self._count
 
     def percentile(self, pct: float) -> float:
         """Value at percentile ``pct`` (0 < pct <= 100)."""
@@ -80,7 +119,7 @@ class Histogram:
 
     @property
     def max(self) -> float:
-        return max(self._values) if self._values else 0.0
+        return self._max if self._max is not None else 0.0
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,165 @@
+"""NFR compliance reporting — the audit side of the §III-B loop.
+
+The optimizer *reacts* to the gap between declared QoS and observed
+behaviour; this module *reports* it: each deployed class's live
+:class:`~repro.monitoring.collector.ClassObservations` are joined
+against its declared :class:`~repro.model.nfr.QosRequirement` and every
+set target yields a per-class verdict (met / violated, by margin), so
+the platform's self-optimization is checkable rather than taken on
+faith.
+
+Throughput verdicts follow the optimizer's semantics: a declared
+throughput is a *capacity* the class must be able to sustain, so falling
+short only counts as a violation while the class's services are
+saturated — an idle class trivially meets its capacity requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.monitoring.collector import MonitoringSystem
+
+__all__ = ["NfrVerdict", "nfr_compliance_report", "format_nfr_report"]
+
+
+@dataclass(frozen=True)
+class NfrVerdict:
+    """One requirement of one class, judged against live observations."""
+
+    cls: str
+    requirement: str  # "latency_p99_ms" | "throughput_rps" | "availability"
+    target: float
+    observed: float
+    met: bool
+    #: Positive margin = headroom, negative = how far past the target.
+    margin: float
+    detail: str = ""
+
+    @property
+    def verdict(self) -> str:
+        return "met" if self.met else "violated"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cls": self.cls,
+            "requirement": self.requirement,
+            "target": self.target,
+            "observed": self.observed,
+            "verdict": self.verdict,
+            "margin": self.margin,
+            "detail": self.detail,
+        }
+
+
+def _saturated(runtime: Any) -> bool:
+    """Whether any of the class's services is running at capacity
+    (mirrors the optimizer's 80%-of-slots saturation test)."""
+    for svc in getattr(runtime, "services", {}).values():
+        concurrency = svc.definition.provision.concurrency
+        replicas = svc.replicas
+        if replicas > 0 and svc.total_in_flight() >= replicas * concurrency * 0.8:
+            return True
+    return False
+
+
+def nfr_compliance_report(
+    runtimes: Mapping[str, Any], monitoring: "MonitoringSystem"
+) -> list[NfrVerdict]:
+    """Judge every deployed class's declared QoS against observations.
+
+    ``runtimes`` maps class name to its runtime (duck-typed: only
+    ``resolved.nfr.qos`` and ``services`` are read — the CRM's
+    ``runtimes`` mapping fits directly).  Classes with no declared QoS
+    produce no verdicts.
+    """
+    verdicts: list[NfrVerdict] = []
+    for cls in sorted(runtimes):
+        runtime = runtimes[cls]
+        qos = runtime.resolved.nfr.qos
+        if qos.is_empty:
+            continue
+        obs = monitoring.for_class(cls)
+        window_samples = len(obs.window)
+
+        if qos.latency_ms is not None:
+            if window_samples:
+                observed = obs.latency_p99_ms()
+                source = f"window p99 over {window_samples} samples"
+            else:
+                observed = obs.latency.percentile(99) * 1000.0 if obs.latency.count else 0.0
+                source = f"lifetime p99 over {obs.latency.count} samples"
+            verdicts.append(
+                NfrVerdict(
+                    cls=cls,
+                    requirement="latency_p99_ms",
+                    target=qos.latency_ms,
+                    observed=observed,
+                    met=observed <= qos.latency_ms,
+                    margin=qos.latency_ms - observed,
+                    detail=source,
+                )
+            )
+
+        if qos.throughput_rps is not None:
+            observed = obs.throughput_rps
+            saturated = _saturated(runtime)
+            met = observed >= qos.throughput_rps or not saturated
+            detail = (
+                "services saturated"
+                if saturated
+                else "capacity target; services not saturated"
+            )
+            verdicts.append(
+                NfrVerdict(
+                    cls=cls,
+                    requirement="throughput_rps",
+                    target=qos.throughput_rps,
+                    observed=observed,
+                    met=met,
+                    margin=observed - qos.throughput_rps,
+                    detail=detail,
+                )
+            )
+
+        if qos.availability is not None:
+            if window_samples:
+                observed = 1.0 - obs.error_rate
+                source = f"window over {window_samples} samples"
+            else:
+                total = obs.completed + obs.failed
+                observed = obs.completed / total if total else 1.0
+                source = f"lifetime over {total} invocations"
+            verdicts.append(
+                NfrVerdict(
+                    cls=cls,
+                    requirement="availability",
+                    target=qos.availability,
+                    observed=observed,
+                    met=observed >= qos.availability,
+                    margin=observed - qos.availability,
+                    detail=source,
+                )
+            )
+    return verdicts
+
+
+def format_nfr_report(verdicts: list[NfrVerdict]) -> str:
+    """Render verdicts as a per-class compliance table."""
+    if not verdicts:
+        return "(no classes declare QoS requirements)"
+    lines = [
+        f"{'class':<16} {'requirement':<16} {'target':>10} {'observed':>10} "
+        f"{'margin':>10}  verdict"
+    ]
+    for v in verdicts:
+        mark = "met" if v.met else "VIOLATED"
+        lines.append(
+            f"{v.cls:<16} {v.requirement:<16} {v.target:>10.2f} {v.observed:>10.2f} "
+            f"{v.margin:>+10.2f}  {mark}"
+        )
+    violated = sum(1 for v in verdicts if not v.met)
+    lines.append(f"{len(verdicts)} requirement(s) checked, {violated} violated")
+    return "\n".join(lines)

@@ -99,17 +99,39 @@ class Tracer:
     def spans_named(self, name: str) -> list[Span]:
         return [s for s in self._spans if s.name == name]
 
+    def spans(self) -> list[Span]:
+        """Every retained span, in recording order."""
+        return list(self._spans)
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids, in first-seen order."""
+        seen: dict[str, None] = {}
+        for span in self._spans:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
     def __len__(self) -> int:
         return len(self._spans)
 
-    def render(self, trace_id: str) -> str:
-        """A human-readable tree of one trace."""
+    def render(self, trace_id: str | None = None) -> str:
+        """A human-readable tree of one trace (or every trace).
+
+        Spans whose parent was evicted from the bounded buffer (or never
+        recorded) render as roots rather than silently disappearing.
+        """
+        if trace_id is None:
+            ids = self.trace_ids()
+            if not ids:
+                return "(no spans recorded)"
+            return "\n".join(self.render(tid) for tid in ids)
         spans = self.trace(trace_id)
         if not spans:
             return f"(no spans for trace {trace_id})"
+        present = {span.span_id for span in spans}
         children: dict[int | None, list[Span]] = {}
         for span in spans:
-            children.setdefault(span.parent_id, []).append(span)
+            parent = span.parent_id if span.parent_id in present else None
+            children.setdefault(parent, []).append(span)
         lines: list[str] = [f"trace {trace_id}"]
 
         def walk(parent_id: int | None, depth: int) -> None:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import itertools
 
 from repro.errors import SchedulingError, ValidationError
+from repro.monitoring.events import EventLog
 from repro.orchestrator.pod import Pod, PodPhase, PodSpec
 from repro.orchestrator.resources import ResourceSpec
 from repro.sim.kernel import Environment
@@ -54,8 +55,9 @@ class Node:
 class Cluster:
     """Node inventory plus pod lifecycle (bind, terminate)."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment, events: EventLog | None = None) -> None:
         self.env = env
+        self.events = events if events is not None else EventLog(env)
         self._nodes: dict[str, Node] = {}
         self._pods: dict[str, Pod] = {}
         self._pod_seq = itertools.count(1)
@@ -140,9 +142,13 @@ class Cluster:
         pod_name = name or f"{spec.image.replace('/', '-')}-{next(self._pod_seq)}"
         if pod_name in self._pods:
             raise ValidationError(f"pod {pod_name!r} already exists")
-        pod = Pod(self.env, pod_name, spec)
+        pod = Pod(self.env, pod_name, spec, events=self.events)
         node.pods[pod_name] = pod
         self._pods[pod_name] = pod
+        if self.events.enabled:
+            self.events.record(
+                "pod.bind", pod=pod_name, node=node_name, image=spec.image
+            )
         pod._start(node_name)
         return pod
 
@@ -152,6 +158,8 @@ class Cluster:
             return
         if pod.node and pod.node in self._nodes:
             self._nodes[pod.node].pods.pop(name, None)
+        if self.events.enabled:
+            self.events.record("pod.terminated", pod=name, node=pod.node)
         pod._terminate()
 
     def pod(self, name: str) -> Pod | None:

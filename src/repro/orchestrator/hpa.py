@@ -14,6 +14,7 @@ import math
 from typing import Callable
 
 from repro.errors import SchedulingError, ValidationError
+from repro.monitoring.events import EventLog
 from repro.orchestrator.deployment import Deployment
 from repro.sim.kernel import Environment
 
@@ -33,6 +34,7 @@ class HorizontalPodAutoscaler:
         interval_s: float = 2.0,
         scale_down_stabilization_s: float = 30.0,
         metric_fn: Callable[[], float] | None = None,
+        events: EventLog | None = None,
     ) -> None:
         if target_per_replica <= 0:
             raise ValidationError(f"target must be > 0, got {target_per_replica}")
@@ -48,6 +50,7 @@ class HorizontalPodAutoscaler:
         self.interval_s = interval_s
         self.stabilization_s = scale_down_stabilization_s
         self.metric_fn = metric_fn or deployment.total_in_flight
+        self.events = events if events is not None else EventLog(env)
         self.decisions = 0
         self._below_since: float | None = None
         self._running = True
@@ -91,3 +94,11 @@ class HorizontalPodAutoscaler:
                 self._below_since = None
         else:
             self._below_since = None
+        if self.events.enabled and self.deployment.replicas != current:
+            self.events.record(
+                "autoscale.hpa",
+                deployment=self.deployment.name,
+                before=current,
+                after=self.deployment.replicas,
+                desired=desired,
+            )

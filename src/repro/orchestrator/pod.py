@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import ValidationError
+from repro.monitoring.events import EventLog
 from repro.orchestrator.resources import ResourceSpec
 from repro.sim.kernel import Environment, Event
 from repro.sim.resources import Resource
@@ -50,10 +51,17 @@ class PodSpec:
 class Pod:
     """A scheduled (or pending) pod instance."""
 
-    def __init__(self, env: Environment, name: str, spec: PodSpec) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        spec: PodSpec,
+        events: EventLog | None = None,
+    ) -> None:
         self.env = env
         self.name = name
         self.spec = spec
+        self.events = events if events is not None else EventLog(env)
         self.phase = PodPhase.PENDING
         self.node: str | None = None
         self.created_at = env.now
@@ -91,6 +99,13 @@ class Pod:
         if self.phase is PodPhase.STARTING:
             self.phase = PodPhase.RUNNING
             self.ready_at = self.env.now
+            if self.events.enabled:
+                self.events.record(
+                    "pod.ready",
+                    pod=self.name,
+                    node=self.node,
+                    startup_s=self.ready_at - self.created_at,
+                )
             if not self._ready.triggered:
                 self._ready.succeed(self)
 

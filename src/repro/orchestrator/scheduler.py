@@ -14,6 +14,7 @@ Implements the two placement policies the platform uses:
 from __future__ import annotations
 
 from repro.errors import SchedulingError
+from repro.monitoring.events import EventLog
 from repro.orchestrator.cluster import Cluster, Node
 from repro.orchestrator.pod import Pod, PodSpec
 
@@ -25,13 +26,19 @@ class Scheduler:
 
     POLICIES = ("least-allocated", "bin-pack")
 
-    def __init__(self, cluster: Cluster, policy: str = "least-allocated") -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: str = "least-allocated",
+        events: EventLog | None = None,
+    ) -> None:
         if policy not in self.POLICIES:
             raise SchedulingError(
                 f"unknown scheduling policy {policy!r}; expected one of {self.POLICIES}"
             )
         self.cluster = cluster
         self.policy = policy
+        self.events = events if events is not None else EventLog(cluster.env)
 
     def _feasible(self, spec: PodSpec) -> list[Node]:
         return [node for node in self.cluster.nodes if node.can_fit(spec.resources)]
@@ -65,4 +72,13 @@ class Scheduler:
     def schedule(self, spec: PodSpec, node_hint: str | None = None, name: str | None = None) -> Pod:
         """Pick a node and bind a new pod to it."""
         node_name = self.select_node(spec, node_hint)
-        return self.cluster.bind_pod(spec, node_name, name=name)
+        pod = self.cluster.bind_pod(spec, node_name, name=name)
+        if self.events.enabled:
+            self.events.record(
+                "scheduler.place",
+                pod=pod.name,
+                node=node_name,
+                image=spec.image,
+                policy="pinned" if node_hint is not None else self.policy,
+            )
+        return pod

@@ -10,6 +10,15 @@ Commands:
   on it.  Handlers come from ``--handlers module:callable`` (a callable
   receiving the platform to register images) or ``--auto-handlers``,
   which registers echoing stub handlers for every image in the package.
+* ``ocli trace <package> --new CLS [...]`` — run the same workload with
+  tracing enabled and print each request's span tree (or export Chrome
+  ``trace_event`` JSON with ``--chrome FILE``).
+* ``ocli events <package> --new CLS [...]`` — run with the control-plane
+  event log enabled and print what the platform did (placements, scale
+  decisions, cold starts, ...).
+* ``ocli report <package> --new CLS [...]`` — run with full
+  observability on and print the summary report plus per-class NFR
+  compliance verdicts.
 """
 
 from __future__ import annotations
@@ -41,24 +50,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("templates", help="list class-runtime templates")
 
+    def add_workload_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("package")
+        cmd.add_argument("--handlers", help="module:callable registering images")
+        cmd.add_argument(
+            "--auto-handlers",
+            action="store_true",
+            help="register stub handlers for every image in the package",
+        )
+        cmd.add_argument(
+            "--new", dest="new_cls", required=True, help="class to instantiate"
+        )
+        cmd.add_argument("--state", default="{}", help="initial state JSON")
+        cmd.add_argument(
+            "--invoke",
+            action="append",
+            default=[],
+            metavar="FN[:PAYLOAD_JSON]",
+            help="function to invoke on the new object (repeatable)",
+        )
+        cmd.add_argument("--nodes", type=int, default=3, help="worker VM count")
+
     run = sub.add_parser("run", help="deploy a package and invoke functions")
-    run.add_argument("package")
-    run.add_argument("--handlers", help="module:callable registering images")
-    run.add_argument(
-        "--auto-handlers",
-        action="store_true",
-        help="register stub handlers for every image in the package",
+    add_workload_args(run)
+
+    trace = sub.add_parser(
+        "trace", help="run a workload with tracing on and print span trees"
     )
-    run.add_argument("--new", dest="new_cls", required=True, help="class to instantiate")
-    run.add_argument("--state", default="{}", help="initial state JSON")
-    run.add_argument(
-        "--invoke",
-        action="append",
-        default=[],
-        metavar="FN[:PAYLOAD_JSON]",
-        help="function to invoke on the new object (repeatable)",
+    add_workload_args(trace)
+    trace.add_argument(
+        "--chrome",
+        metavar="FILE",
+        help="also write Chrome trace_event JSON to FILE ('-' for stdout)",
     )
-    run.add_argument("--nodes", type=int, default=3, help="worker VM count")
+
+    events = sub.add_parser(
+        "events", help="run a workload and print control-plane events"
+    )
+    add_workload_args(events)
+    events.add_argument("--type", dest="event_type", help="only this event type")
+    events.add_argument("--limit", type=int, help="only the newest N events")
+
+    report = sub.add_parser(
+        "report", help="run a workload and print the observability report"
+    )
+    add_workload_args(report)
+    report.add_argument(
+        "--json", dest="as_json", action="store_true", help="emit JSON instead of text"
+    )
     return parser
 
 
@@ -141,16 +180,19 @@ def _register_stub_handlers(platform, package: Package) -> None:
         platform.register_image(image, make_stub(image), service_time_s=0.001)
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _build_platform(args: argparse.Namespace, package: Package, tracing: bool = False, events: bool = False):
+    """An ephemeral platform with the workload's handlers registered, or
+    ``None`` (after printing the error) when handler wiring is invalid."""
     from repro.platform.oparaca import Oparaca, PlatformConfig
 
-    package = _load_pkg(args.package)
-    platform = Oparaca(PlatformConfig(nodes=args.nodes))
+    platform = Oparaca(
+        PlatformConfig(nodes=args.nodes, tracing_enabled=tracing, events_enabled=events)
+    )
     if args.handlers:
         module_name, _, attr = args.handlers.partition(":")
         if not attr:
             print("error: --handlers must be module:callable", file=sys.stderr)
-            return 2
+            return None
         register = getattr(importlib.import_module(module_name), attr)
         register(platform)
     elif args.auto_handlers:
@@ -160,6 +202,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "error: provide --handlers module:callable or --auto-handlers",
             file=sys.stderr,
         )
+        return None
+    return platform
+
+
+def _run_workload(platform, args: argparse.Namespace, quiet: bool = False) -> str:
+    """Create the object and run each ``--invoke``; returns the object id.
+
+    Goes through the gateway's REST surface (not the engine directly) so
+    traces start at the ``gateway`` span, like a real client's would.
+    """
+    body = {"state": json.loads(args.state)} if args.state != "{}" else {}
+    created = platform.http("POST", f"/api/classes/{args.new_cls}", body)
+    if not created.ok:
+        raise OaasError(f"object creation failed: {created.body.get('error')}")
+    object_id = created.body["id"]
+    if not quiet:
+        print(f"created {object_id}")
+    for spec in args.invoke:
+        fn, _, payload_text = spec.partition(":")
+        payload = json.loads(payload_text) if payload_text else {}
+        response = platform.http("POST", f"/api/objects/{object_id}/invokes/{fn}", payload)
+        if not quiet:
+            status = "ok" if response.ok else f"FAILED: {response.body.get('error')}"
+            print(f"invoke {fn}: {status}")
+            if response.ok and response.body:
+                print(f"  output: {json.dumps(response.body, default=str)}")
+    return object_id
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    package = _load_pkg(args.package)
+    platform = _build_platform(args, package)
+    if platform is None:
         return 2
     platform.deploy(package)
     for runtime in platform.describe():
@@ -167,19 +242,67 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"deployed {runtime['class']} via template {runtime['template']!r} "
             f"on {runtime['engine']}"
         )
-    object_id = platform.new_object(args.new_cls, state=json.loads(args.state))
-    print(f"created {object_id}")
-    for spec in args.invoke:
-        fn, _, payload_text = spec.partition(":")
-        payload = json.loads(payload_text) if payload_text else {}
-        result = platform.invoke(object_id, fn, payload, raise_on_error=False)
-        status = "ok" if result.ok else f"FAILED: {result.error}"
-        print(f"invoke {fn}: {status}")
-        if result.ok and result.output:
-            print(f"  output: {json.dumps(result.output, default=str)}")
+    object_id = _run_workload(platform, args)
     record = platform.get_object(object_id)
     print(f"final state: {json.dumps(record['state'], default=str)}")
     platform.shutdown()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    package = _load_pkg(args.package)
+    platform = _build_platform(args, package, tracing=True)
+    if platform is None:
+        return 2
+    platform.deploy(package)
+    _run_workload(platform, args, quiet=True)
+    platform.shutdown()
+    if args.chrome:
+        if args.chrome == "-":
+            print(platform.export_chrome_trace())
+        else:
+            platform.export_chrome_trace(path=args.chrome)
+            print(f"wrote Chrome trace ({len(platform.tracer)} spans) to {args.chrome}")
+            print("open chrome://tracing or https://ui.perfetto.dev to view")
+    else:
+        print(platform.render_trace())
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    package = _load_pkg(args.package)
+    platform = _build_platform(args, package, events=True)
+    if platform is None:
+        return 2
+    platform.deploy(package)
+    _run_workload(platform, args, quiet=True)
+    platform.shutdown()
+    print(platform.events.render(type=args.event_type, limit=args.limit))
+    counts = platform.events.type_counts()
+    if counts and not args.event_type:
+        summary = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"\n{len(platform.events)} event(s): {summary}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.monitoring.export import format_summary
+    from repro.monitoring.nfr_report import format_nfr_report
+
+    package = _load_pkg(args.package)
+    platform = _build_platform(args, package, tracing=True, events=True)
+    if platform is None:
+        return 2
+    platform.deploy(package)
+    _run_workload(platform, args, quiet=True)
+    platform.shutdown()
+    if args.as_json:
+        print(json.dumps(platform.observability_report(), indent=2, default=str))
+        return 0
+    report = platform.observability_report()
+    print(format_summary(report))
+    print("\nNFR compliance (declared QoS vs observed):")
+    print(format_nfr_report(platform.nfr_report()))
     return 0
 
 
@@ -191,6 +314,9 @@ def main(argv: list[str] | None = None) -> int:
         "show": _cmd_show,
         "templates": _cmd_templates,
         "run": _cmd_run,
+        "trace": _cmd_trace,
+        "events": _cmd_events,
+        "report": _cmd_report,
     }
     try:
         return handlers[args.command](args)
@@ -199,6 +325,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: invalid JSON argument: {exc}", file=sys.stderr)
         return 1
 
 

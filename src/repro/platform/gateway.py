@@ -23,11 +23,13 @@ platform.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Generator, Mapping
 
 from repro.invoker.engine import InvocationEngine
 from repro.invoker.request import InvocationRequest
+from repro.monitoring.tracing import Tracer
 from repro.sim.kernel import Environment, Process
 
 __all__ = ["HttpRequest", "HttpResponse", "Gateway"]
@@ -76,10 +78,18 @@ class HttpResponse:
 class Gateway:
     """Translates REST calls into invocation requests."""
 
-    def __init__(self, env: Environment, engine: InvocationEngine, overhead_s: float = 0.0002) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        engine: InvocationEngine,
+        overhead_s: float = 0.0002,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.env = env
         self.engine = engine
         self.overhead_s = overhead_s
+        # Explicit None check: an empty Tracer is falsy (it has __len__).
+        self.tracer = tracer if tracer is not None else Tracer(env)
         self.requests = 0
 
     def handle(self, request: HttpRequest) -> Process:
@@ -88,9 +98,24 @@ class Gateway:
 
     def _handle(self, http: HttpRequest) -> Generator[Any, Any, HttpResponse]:
         self.requests += 1
+        invocation = self._route(http)
+        span = None
+        if (
+            self.tracer.enabled
+            and invocation is not None
+            and isinstance(invocation, InvocationRequest)
+        ):
+            trace_id = invocation.trace_id or invocation.request_id
+            span = self.tracer.start(
+                trace_id,
+                f"gateway {http.method} {http.path}",
+                parent=invocation.trace_parent,
+            )
+            invocation = dataclasses.replace(
+                invocation, trace_id=trace_id, trace_parent=span.span_id
+            )
         if self.overhead_s:
             yield self.env.timeout(self.overhead_s)
-        invocation = self._route(http)
         if invocation is None:
             return HttpResponse(404, {"error": f"no route {http.method} {http.path}"})
         if isinstance(invocation, HttpResponse):
@@ -101,8 +126,10 @@ class Gateway:
             body: dict[str, Any] = dict(result.output)
             if result.created_object_id is not None:
                 body.setdefault("id", result.created_object_id)
+            self.tracer.finish(span, status=status)
             return HttpResponse(status, body)
         status = _STATUS_BY_ERROR.get(result.error_type or "", 500)
+        self.tracer.finish(span, status=status)
         return HttpResponse(status, {"error": result.error, "type": result.error_type})
 
     def _route(self, http: HttpRequest) -> InvocationRequest | HttpResponse | None:

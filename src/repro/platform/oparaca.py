@@ -43,6 +43,9 @@ from repro.invoker.queue import AsyncInvoker
 from repro.invoker.request import InvocationRequest, InvocationResult
 from repro.model.pkg import Package, load_package, loads_package
 from repro.monitoring.collector import MonitoringSystem
+from repro.monitoring.events import EventLog, PlatformEvent
+from repro.monitoring.export import chrome_trace_json, summary_report
+from repro.monitoring.nfr_report import NfrVerdict, nfr_compliance_report
 from repro.monitoring.tracing import Tracer
 from repro.orchestrator.cluster import Cluster
 from repro.orchestrator.resources import ResourceSpec
@@ -82,6 +85,10 @@ class PlatformConfig:
     optimizer_enabled: bool = False
     optimizer_interval_s: float = 5.0
     tracing_enabled: bool = False
+    #: Structured control-plane event log (scheduler placements, scale
+    #: decisions, pod lifecycle, ...).  Off by default: like tracing,
+    #: recording costs nothing when disabled.
+    events_enabled: bool = False
     dht_op_cost_s: float = 0.00002
     gateway_overhead_s: float = 0.0002
 
@@ -93,7 +100,9 @@ class Oparaca:
         self.config = config or PlatformConfig()
         self.env = Environment()
         self.rng = RngStreams(self.config.seed)
-        self.cluster = Cluster(self.env)
+        self.tracer = Tracer(self.env, enabled=self.config.tracing_enabled)
+        self.events = EventLog(self.env, enabled=self.config.events_enabled)
+        self.cluster = Cluster(self.env, events=self.events)
         for index in range(self.config.nodes):
             labels = {}
             if self.config.regions:
@@ -103,7 +112,9 @@ class Oparaca:
                 ResourceSpec(self.config.node_cpu_millis, self.config.node_memory_mb),
                 labels=labels,
             )
-        self.scheduler = Scheduler(self.cluster, policy=self.config.scheduler_policy)
+        self.scheduler = Scheduler(
+            self.cluster, policy=self.config.scheduler_policy, events=self.events
+        )
         self.registry = FunctionRegistry()
         region_of = self.cluster.region_of if self.config.regions else None
         self.network = Network(self.env, self.config.network, region_of=region_of)
@@ -124,8 +135,9 @@ class Oparaca:
             knative_model=self.config.knative,
             deployment_model=self.config.deployment,
             dht_op_cost_s=self.config.dht_op_cost_s,
+            tracer=self.tracer,
+            events=self.events,
         )
-        self.tracer = Tracer(self.env, enabled=self.config.tracing_enabled)
         self.engine = InvocationEngine(
             self.env, self.crm, self.object_store, self.monitoring, tracer=self.tracer
         )
@@ -133,7 +145,10 @@ class Oparaca:
             self.env, self.engine, partitions=self.config.async_partitions
         )
         self.gateway = Gateway(
-            self.env, self.engine, overhead_s=self.config.gateway_overhead_s
+            self.env,
+            self.engine,
+            overhead_s=self.config.gateway_overhead_s,
+            tracer=self.tracer,
         )
         self.optimizer: RequirementOptimizer | None = None
         if self.config.optimizer_enabled:
@@ -142,6 +157,7 @@ class Oparaca:
                 self.crm,
                 self.monitoring,
                 interval_s=self.config.optimizer_interval_s,
+                events=self.events,
             )
 
     # -- function images ----------------------------------------------------------
@@ -380,6 +396,50 @@ class Oparaca:
     def cost_report(self) -> list[dict[str, Any]]:
         """Per-class accrued spend and projected monthly run rate."""
         return self.crm.costs.report()
+
+    # -- observability ---------------------------------------------------------------------
+
+    def render_trace(self, trace_id: str | None = None) -> str:
+        """Human-readable span tree(s) from the tracer's buffer.
+
+        With ``trace_id`` set, renders only that trace; otherwise every
+        retained trace.  Requires ``tracing_enabled``.
+        """
+        return self.tracer.render(trace_id)
+
+    def export_chrome_trace(
+        self, trace_id: str | None = None, path: str | Path | None = None
+    ) -> str:
+        """Retained spans as Chrome ``trace_event`` JSON.
+
+        Load the result in ``chrome://tracing`` or Perfetto.  When
+        ``path`` is given the JSON is also written there.
+        """
+        text = chrome_trace_json(self.tracer, trace_id=trace_id, indent=2)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def platform_events(self, type: str | None = None) -> list[PlatformEvent]:
+        """Recorded control-plane events (optionally one type)."""
+        return self.events.events(type)
+
+    def nfr_report(self) -> list[NfrVerdict]:
+        """Per-class QoS compliance verdicts from live observations."""
+        return nfr_compliance_report(self.crm.runtimes, self.monitoring)
+
+    def observability_report(self) -> dict[str, Any]:
+        """The full observability summary: span latency breakdowns,
+        event counts, per-class workload stats, DHT/FaaS health, and
+        NFR compliance verdicts."""
+        report = summary_report(
+            tracer=self.tracer,
+            events=self.events,
+            monitoring=self.monitoring,
+            runtimes=self.crm.runtimes,
+        )
+        report["nfr"] = [verdict.to_dict() for verdict in self.nfr_report()]
+        return report
 
     def snapshot(self) -> dict[str, float]:
         """A flat metrics snapshot across the platform."""

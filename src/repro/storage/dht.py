@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.errors import ConcurrentModificationError, StorageError
+from repro.monitoring.tracing import Tracer
 from repro.sim.kernel import Environment, Process, all_of
 from repro.sim.network import Network
 from repro.storage.hashring import HashRing
@@ -83,6 +84,7 @@ class Dht:
         store: DocumentStore | None = None,
         model: DhtModel | None = None,
         collection: str = "objects",
+        tracer: Tracer | None = None,
     ) -> None:
         if not nodes:
             raise StorageError("DHT requires at least one node")
@@ -91,6 +93,7 @@ class Dht:
         self.store = store
         self.model = model or DhtModel()
         self.collection = collection
+        self.tracer = tracer
         if self.model.persistent and store is None:
             raise StorageError("persistent DHT requires a document store")
         self.ring = HashRing(list(nodes))
@@ -99,7 +102,12 @@ class Dht:
         if self.model.persistent:
             for node in nodes:
                 self._queues[node] = WriteBehindQueue(
-                    env, store, collection, self.model.write_behind, name=f"wb-{node}"
+                    env,
+                    store,
+                    collection,
+                    self.model.write_behind,
+                    name=f"wb-{node}",
+                    tracer=tracer,
                 )
         self.gets = 0
         self.puts = 0
@@ -270,6 +278,7 @@ class Dht:
                 self.collection,
                 self.model.write_behind,
                 name=f"wb-{node}",
+                tracer=self.tracer,
             )
         return self.rebalance()
 

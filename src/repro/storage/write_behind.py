@@ -18,9 +18,14 @@ from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.errors import StorageError
+from repro.monitoring.tracing import Tracer
 from repro.sim.kernel import Environment, Process
 from repro.sim.resources import Gate
 from repro.storage.kv import DocumentStore
+
+#: All write-behind flush spans share one synthetic trace: flushes are
+#: background work not attributable to any single request.
+FLUSH_TRACE_ID = "write-behind"
 
 __all__ = ["WriteBehindConfig", "WriteBehindQueue"]
 
@@ -66,12 +71,14 @@ class WriteBehindQueue:
         collection: str,
         config: WriteBehindConfig | None = None,
         name: str = "wb",
+        tracer: Tracer | None = None,
     ) -> None:
         self.env = env
         self.store = store
         self.collection = collection
         self.config = config or WriteBehindConfig()
         self.name = name
+        self.tracer = tracer
         self._buffer: dict[str, dict[str, Any]] = {}
         self._arrival = Gate(env)
         self._space = Gate(env)
@@ -152,10 +159,7 @@ class WriteBehindQueue:
                 yield self.env.timeout(self.config.linger_s)
             batch = self._take_batch()
             if batch:
-                yield self.store.write(self.collection, batch)
-                self.flush_ops += 1
-                self.docs_flushed += len(batch)
-                self._space.fire()
+                yield from self._flush(batch)
 
     def drain(self) -> Process:
         """Flush everything currently buffered; resolves when durable."""
@@ -164,7 +168,18 @@ class WriteBehindQueue:
     def _drain(self) -> Generator:
         while self._buffer:
             batch = self._take_batch()
-            yield self.store.write(self.collection, batch)
-            self.flush_ops += 1
-            self.docs_flushed += len(batch)
-            self._space.fire()
+            yield from self._flush(batch)
+
+    def _flush(self, batch: list[dict[str, Any]]) -> Generator:
+        """Write one batch to the store, traced when tracing is on."""
+        span = None
+        if self.tracer is not None and self.tracer.enabled:
+            span = self.tracer.start(
+                FLUSH_TRACE_ID, "wb.flush", queue=self.name, docs=len(batch)
+            )
+        yield self.store.write(self.collection, batch)
+        if span is not None:
+            self.tracer.finish(span)
+        self.flush_ops += 1
+        self.docs_flushed += len(batch)
+        self._space.fire()

@@ -103,3 +103,63 @@ class TestRun:
 
     def test_run_bad_handlers_spec(self, pkg_file, capsys):
         assert main(["run", pkg_file, "--handlers", "nocolon", "--new", "Image"]) == 2
+
+
+WORKLOAD = ["--auto-handlers", "--new", "Image", "--invoke", 'resize:{"width": 4}']
+
+
+class TestTrace:
+    def test_prints_span_tree(self, pkg_file, capsys):
+        assert main(["trace", pkg_file, *WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "trace req-" in out
+        for name in ("gateway POST", "invoke resize", "route", "faas.execute"):
+            assert name in out
+
+    def test_chrome_export_to_stdout(self, pkg_file, capsys):
+        import json
+
+        assert main(["trace", pkg_file, *WORKLOAD, "--chrome", "-"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]
+
+    def test_chrome_export_to_file(self, pkg_file, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", pkg_file, *WORKLOAD, "--chrome", str(out_file)]) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        doc = json.loads(out_file.read_text())
+        assert any(e["name"].startswith("gateway ") for e in doc["traceEvents"])
+
+
+class TestEvents:
+    def test_prints_control_plane_events(self, pkg_file, capsys):
+        assert main(["events", pkg_file, *WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        for event_type in ("scheduler.place", "pod.ready", "class.deploy"):
+            assert event_type in out
+        assert "event(s):" in out
+
+    def test_type_filter(self, pkg_file, capsys):
+        assert main(["events", pkg_file, *WORKLOAD, "--type", "scheduler.place"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler.place" in out
+        assert "class.deploy" not in out
+
+
+class TestReport:
+    def test_text_report(self, pkg_file, capsys):
+        assert main(["report", pkg_file, *WORKLOAD]) == 0
+        out = capsys.readouterr().out
+        assert "NFR compliance" in out
+        assert "Image" in out
+        assert "met" in out
+
+    def test_json_report(self, pkg_file, capsys):
+        import json
+
+        assert main(["report", pkg_file, *WORKLOAD, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "spans" in doc
+        assert "nfr" in doc

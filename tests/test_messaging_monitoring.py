@@ -151,6 +151,56 @@ class TestMetrics:
         assert registry.counter("x") is registry.counter("x")
 
 
+class TestHistogramReservoir:
+    """The histogram bounds memory via reservoir sampling: aggregates
+    (count/mean/max) stay exact, percentiles come from the sample."""
+
+    def test_memory_bounded(self):
+        histogram = Histogram("h", max_samples=100)
+        for value in range(10_000):
+            histogram.record(float(value))
+        assert len(histogram._values) == 100
+        assert histogram.count == 10_000
+        assert histogram.overflowed == 9_900
+
+    def test_exact_aggregates_survive_overflow(self):
+        histogram = Histogram("h", max_samples=50)
+        values = [float(v) for v in range(1, 1001)]
+        for value in values:
+            histogram.record(value)
+        assert histogram.count == 1000
+        assert histogram.mean == pytest.approx(sum(values) / len(values))
+        assert histogram.max == 1000.0
+
+    def test_percentiles_approximate_distribution(self):
+        histogram = Histogram("h", max_samples=512)
+        for value in range(1, 10_001):
+            histogram.record(float(value))
+        # Reservoir sampling keeps a uniform sample; p50 of a uniform
+        # 1..10000 stream must land near the middle.
+        assert 3000 < histogram.percentile(50) < 7000
+
+    def test_below_capacity_is_exact(self):
+        histogram = Histogram("h", max_samples=1000)
+        for value in range(1, 101):
+            histogram.record(float(value))
+        assert histogram.overflowed == 0
+        assert histogram.percentile(50) == 50
+
+    def test_deterministic_across_instances(self):
+        """Same name + same stream → same reservoir (seeded by name, not
+        the process-salted str hash)."""
+        a, b = Histogram("same", max_samples=20), Histogram("same", max_samples=20)
+        for value in range(500):
+            a.record(float(value))
+            b.record(float(value))
+        assert a._values == b._values
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Histogram("h", max_samples=0)
+
+
 class TestSlidingWindow:
     def test_throughput_over_window(self):
         window = SlidingWindow(window_s=10.0)
