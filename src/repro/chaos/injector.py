@@ -1,0 +1,326 @@
+"""The chaos injector: replays a :class:`FaultPlan` against a live
+platform, deterministically.
+
+The injector compiles the plan into a timeline of inject/recover
+actions, walks it as a simulation process, and applies each fault
+through the platform's own seams — node membership for crashes, the
+network fault state for partitions and delays, FaaS slowdown hooks for
+saturated hosts, the document store's write-fault knob, and deployment
+scaling for cold-start storms.  No fault bypasses the data path the
+workload actually uses.
+
+Every action emits a ``chaos.inject``/``chaos.recover`` control-plane
+event (and an instantaneous span under the ``"chaos"`` trace), so fault
+timelines line up with retries, breaker transitions, and request spans
+in the exported traces.
+
+While at least one fault is held, the injector keeps an *availability
+window* open: per-class completed/failed counters are snapshotted when
+the window opens and the deltas accumulated when it closes, yielding
+:meth:`ChaosInjector.fault_availability` — the number the NFR report
+compares against each class's declared availability target.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.chaos.plan import (
+    ColdStartStorm,
+    Fault,
+    FaultPlan,
+    NetworkDelay,
+    NodeCrash,
+    Partition,
+    SlowPods,
+    StorageFaults,
+)
+from repro.sim.kernel import Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform.oparaca import Oparaca
+
+#: Chaos action spans share one synthetic trace (like ``"resilience"``).
+CHAOS_TRACE_ID = "chaos"
+
+__all__ = ["CHAOS_TRACE_ID", "ChaosInjector", "FaultWindow"]
+
+
+class FaultWindow:
+    """One contiguous span of wall-clock (sim) time with faults active."""
+
+    def __init__(self, started_at: float) -> None:
+        self.started_at = started_at
+        self.ended_at: float | None = None
+
+    @property
+    def open(self) -> bool:
+        return self.ended_at is None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"started_at": self.started_at, "ended_at": self.ended_at}
+
+
+class ChaosInjector:
+    """Executes one fault plan against one platform instance."""
+
+    def __init__(self, platform: "Oparaca", plan: FaultPlan) -> None:
+        self.platform = platform
+        self.plan = plan
+        self.env = platform.env
+        self.events = platform.events
+        self.tracer = platform.tracer
+        self.injected = 0
+        self.recovered = 0
+        self.windows: list[FaultWindow] = []
+        self._active = 0
+        self._process: Process | None = None
+        self._storage_rng: random.Random | None = None
+        # Per-class (completed, failed) at the moment the current window
+        # opened, and the accumulated under-fault deltas of closed windows.
+        self._window_base: dict[str, tuple[int, int]] = {}
+        self._fault_completed: dict[str, int] = {}
+        self._fault_failed: dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> Process:
+        """Launch the injection timeline; returns its process."""
+        if self._process is not None:
+            return self._process
+        self._process = self.env.process(self._run())
+        return self._process
+
+    @property
+    def done(self) -> bool:
+        return self._process is not None and self._process.triggered
+
+    def _run(self) -> Generator[Any, Any, None]:
+        actions: list[tuple[float, int, int, Callable[[], None]]] = []
+        for index, fault in enumerate(
+            sorted(self.plan.faults, key=lambda f: (f.at, f.kind))
+        ):
+            inject, recover = self._compile(fault)
+            # Phase 0 = recover, 1 = inject: at the same instant, heal
+            # the previous fault before injecting the next one.
+            actions.append((fault.at, 1, index, inject))
+            if recover is not None:
+                actions.append((fault.at + fault.duration_s, 0, index, recover))
+        actions.sort(key=lambda entry: entry[:3])
+        for when, _phase, _index, action in actions:
+            if when > self.env.now:
+                yield self.env.timeout(when - self.env.now)
+            action()
+
+    # -- fault compilation ---------------------------------------------------
+
+    def _compile(
+        self, fault: Fault
+    ) -> tuple[Callable[[], None], Callable[[], None] | None]:
+        """Build the (inject, recover) closures for one fault."""
+        if isinstance(fault, NodeCrash):
+            return self._compile_node_crash(fault)
+        if isinstance(fault, Partition):
+            return self._compile_partition(fault)
+        if isinstance(fault, NetworkDelay):
+            return self._compile_delay(fault)
+        if isinstance(fault, SlowPods):
+            return self._compile_slow_pods(fault)
+        if isinstance(fault, StorageFaults):
+            return self._compile_storage(fault)
+        if isinstance(fault, ColdStartStorm):
+            return self._compile_storm(fault)
+        raise NotImplementedError(f"no injector for fault kind {fault.kind!r}")
+
+    def _compile_node_crash(self, fault: NodeCrash):
+        region_box: list[str | None] = [None]
+
+        def inject() -> None:
+            region_box[0] = self.platform.cluster.region_of(fault.node)
+            self.platform.fail_node(fault.node)
+            self._on_inject(fault)
+
+        if not fault.duration_s:
+            # Permanent crash: the platform stays degraded, the
+            # availability window stays open for the rest of the run.
+            return inject, None
+
+        def recover() -> None:
+            self.platform.add_node(fault.node, region=region_box[0])
+            self._on_recover(fault)
+
+        return inject, recover
+
+    def _compile_partition(self, fault: Partition):
+        def inject() -> None:
+            self.platform.network.fault_state().isolate(fault.nodes)
+            self._on_inject(fault)
+
+        def recover() -> None:
+            self.platform.network.fault_state().clear_partition()
+            # Anti-entropy: replicas on both sides reconverge on the
+            # newest version of every key they own.
+            isolated = set(fault.nodes)
+            for runtime in self.platform.crm.runtimes.values():
+                if isolated & set(runtime.dht.nodes):
+                    runtime.dht.rebalance()
+            self._on_recover(fault)
+
+        return inject, recover
+
+    def _compile_delay(self, fault: NetworkDelay):
+        token_box: list[object] = [None]
+
+        def inject() -> None:
+            token_box[0] = self.platform.network.fault_state().add_delay(
+                fault.extra_s, src=fault.src, dst=fault.dst
+            )
+            self._on_inject(fault)
+
+        def recover() -> None:
+            self.platform.network.fault_state().remove_delay(token_box[0])
+            self._on_recover(fault)
+
+        return inject, recover
+
+    def _services_of(self, classes: tuple[str, ...]):
+        for cls, runtime in sorted(self.platform.crm.runtimes.items()):
+            if classes and cls not in classes:
+                continue
+            for _name, svc in sorted(runtime.services.items()):
+                yield runtime, svc
+
+    def _compile_slow_pods(self, fault: SlowPods):
+        classes = (fault.cls,) if fault.cls else ()
+
+        def inject() -> None:
+            for _runtime, svc in self._services_of(classes):
+                svc.set_slowdown(fault.factor, node=fault.node)
+            self._on_inject(fault)
+
+        def recover() -> None:
+            for _runtime, svc in self._services_of(classes):
+                svc.clear_slowdown(node=fault.node)
+            self._on_recover(fault)
+
+        return inject, recover
+
+    def _compile_storage(self, fault: StorageFaults):
+        def inject() -> None:
+            if self._storage_rng is None:
+                self._storage_rng = self.platform.rng.stream("chaos.storage")
+            self.platform.store.set_write_fault(
+                fault.error_rate, rng=self._storage_rng
+            )
+            self._on_inject(fault)
+
+        def recover() -> None:
+            self.platform.store.clear_write_fault()
+            self._on_recover(fault)
+
+        return inject, recover
+
+    def _compile_storm(self, fault: ColdStartStorm):
+        def inject() -> None:
+            for runtime, svc in self._services_of(fault.classes):
+                prior = max(1, svc.deployment.desired)
+                svc.deployment.scale(0)
+                if runtime.engine_name != "knative":
+                    # Plain deployments cannot scale from zero; replace
+                    # the evicted pods with cold-booting ones instead.
+                    svc.deployment.scale(prior)
+            self._on_inject(fault)
+
+        # Instantaneous: the storm's cost is the cold starts that follow,
+        # which the latency metrics capture; no availability window.
+        return inject, None
+
+    # -- window + event accounting -------------------------------------------
+
+    def _emit(self, kind: str, fault: Fault) -> None:
+        fields = fault.describe()
+        fields.pop("at", None)
+        if self.events.enabled:
+            self.events.record(kind, plan=self.plan.name, **fields)
+        if self.tracer is not None and self.tracer.enabled:
+            span = self.tracer.start(
+                CHAOS_TRACE_ID, f"{kind} {fault.kind}", plan=self.plan.name
+            )
+            self.tracer.finish(span)
+
+    def _on_inject(self, fault: Fault) -> None:
+        self.injected += 1
+        self._emit("chaos.inject", fault)
+        if isinstance(fault, ColdStartStorm):
+            return
+        self._active += 1
+        if self._active == 1:
+            self.windows.append(FaultWindow(self.env.now))
+            self._window_base = {
+                cls: (obs.completed, obs.failed) for cls, obs in self._class_obs()
+            }
+
+    def _on_recover(self, fault: Fault) -> None:
+        self.recovered += 1
+        self._emit("chaos.recover", fault)
+        self._active -= 1
+        if self._active == 0:
+            self.windows[-1].ended_at = self.env.now
+            for cls, completed, failed in self._window_deltas():
+                self._fault_completed[cls] = (
+                    self._fault_completed.get(cls, 0) + completed
+                )
+                self._fault_failed[cls] = self._fault_failed.get(cls, 0) + failed
+            self._window_base = {}
+
+    def _class_obs(self):
+        monitoring = self.platform.monitoring
+        for cls in self.platform.crm.deployed_classes():
+            yield cls, monitoring.for_class(cls)
+
+    def _window_deltas(self):
+        """Per-class (completed, failed) deltas of the open window."""
+        for cls, obs in self._class_obs():
+            base_completed, base_failed = self._window_base.get(cls, (0, 0))
+            yield cls, obs.completed - base_completed, obs.failed - base_failed
+
+    # -- reporting -----------------------------------------------------------
+
+    def fault_time_s(self) -> float:
+        """Total simulated time spent with at least one fault active."""
+        total = 0.0
+        for window in self.windows:
+            total += (window.ended_at if window.ended_at is not None else self.env.now) - window.started_at
+        return total
+
+    def fault_counts(self) -> dict[str, tuple[int, int]]:
+        """Per-class (completed, failed) during fault windows, live."""
+        counts = {
+            cls: (self._fault_completed.get(cls, 0), self._fault_failed.get(cls, 0))
+            for cls in self.platform.crm.deployed_classes()
+        }
+        if self._active > 0:
+            for cls, completed, failed in self._window_deltas():
+                base_completed, base_failed = counts.get(cls, (0, 0))
+                counts[cls] = (base_completed + completed, base_failed + failed)
+        return counts
+
+    def fault_availability(self) -> dict[str, float | None]:
+        """Fraction of invocations that succeeded while faults were
+        active, per class; ``None`` when a class saw no traffic then."""
+        out: dict[str, float | None] = {}
+        for cls, (completed, failed) in self.fault_counts().items():
+            total = completed + failed
+            out[cls] = completed / total if total else None
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "plan": self.plan.describe(),
+            "injected": self.injected,
+            "recovered": self.recovered,
+            "fault_time_s": self.fault_time_s(),
+            "windows": [w.to_dict() for w in self.windows],
+            "availability_under_fault": self.fault_availability(),
+        }

@@ -1,0 +1,237 @@
+"""Typed, declarative fault plans.
+
+A :class:`FaultPlan` is a named, ordered collection of fault profiles —
+each a frozen dataclass naming *what* breaks, *when* (simulated
+seconds), and *for how long*.  Plans are pure data: the same plan
+injected into the same seeded platform produces byte-identical event
+logs, which is what makes chaos testing regressible (the determinism
+suite replays plans and diffs the logs).
+
+Profiles mirror the failure modes a real OaaS deployment sees:
+
+=======================  ==================================================
+profile                  models
+=======================  ==================================================
+:class:`NodeCrash`       a worker VM dying (optionally restarting later)
+:class:`Partition`       a network partition isolating a set of nodes
+:class:`NetworkDelay`    degraded links (added latency on a path)
+:class:`SlowPods`        saturated/overheating hosts running pods slowly
+:class:`StorageFaults`   the document store failing a fraction of writes
+:class:`ColdStartStorm`  every pod of a class evicted at once
+=======================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Fault",
+    "NodeCrash",
+    "Partition",
+    "NetworkDelay",
+    "SlowPods",
+    "StorageFaults",
+    "ColdStartStorm",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True, kw_only=True)
+class Fault:
+    """Base fault profile: a typed event on the chaos timeline.
+
+    Attributes:
+        at: injection time in simulated seconds from plan start.
+        duration_s: how long the fault holds before the injector reverts
+            it.  ``0`` means the fault has no revert action (it is
+            instantaneous, like :class:`ColdStartStorm`, or permanent,
+            like a :class:`NodeCrash` without a restart).
+    """
+
+    at: float = 0.0
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValidationError(f"fault time must be >= 0, got {self.at}")
+        if self.duration_s < 0:
+            raise ValidationError(
+                f"fault duration must be >= 0, got {self.duration_s}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "at": self.at}
+        if self.duration_s:
+            out["duration_s"] = self.duration_s
+        return out
+
+
+@dataclass(frozen=True, kw_only=True)
+class NodeCrash(Fault):
+    """A worker VM crashes; pods die and its DHT partitions fail over.
+
+    With ``duration_s > 0`` the node rejoins (empty, like a fresh VM)
+    after the outage and eligible class runtimes rebalance onto it.
+    """
+
+    node: str
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise ValidationError("NodeCrash requires a node name")
+
+    def describe(self) -> dict[str, Any]:
+        return {**super().describe(), "node": self.node}
+
+
+@dataclass(frozen=True, kw_only=True)
+class Partition(Fault):
+    """A network partition isolating ``nodes`` from the rest (and from
+    the gateway side).  Healing clears the partition and runs DHT
+    anti-entropy so replicas reconverge."""
+
+    nodes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if not self.nodes:
+            raise ValidationError("Partition requires at least one node")
+        if self.duration_s <= 0:
+            raise ValidationError("Partition requires duration_s > 0")
+
+    def describe(self) -> dict[str, Any]:
+        return {**super().describe(), "nodes": list(self.nodes)}
+
+
+@dataclass(frozen=True, kw_only=True)
+class NetworkDelay(Fault):
+    """Extra one-way latency on a path (``None`` endpoint = any)."""
+
+    extra_s: float
+    src: str | None = None
+    dst: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.extra_s <= 0:
+            raise ValidationError(f"extra_s must be > 0, got {self.extra_s}")
+        if self.duration_s <= 0:
+            raise ValidationError("NetworkDelay requires duration_s > 0")
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            **super().describe(),
+            "extra_s": self.extra_s,
+            "src": self.src,
+            "dst": self.dst,
+        }
+
+
+@dataclass(frozen=True, kw_only=True)
+class SlowPods(Fault):
+    """Pods execute ``factor`` times slower — service-wide, or scoped to
+    one class and/or one node (a saturated host)."""
+
+    factor: float
+    cls: str | None = None
+    node: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 1.0:
+            raise ValidationError(f"slowdown factor must be > 1, got {self.factor}")
+        if self.duration_s <= 0:
+            raise ValidationError("SlowPods requires duration_s > 0")
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            **super().describe(),
+            "factor": self.factor,
+            "cls": self.cls,
+            "node": self.node,
+        }
+
+
+@dataclass(frozen=True, kw_only=True)
+class StorageFaults(Fault):
+    """The document store fails a fraction of write batches.
+
+    Draws come from the platform's seeded ``"chaos.storage"`` stream, so
+    which writes fail is deterministic per seed.
+    """
+
+    error_rate: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.error_rate <= 1.0:
+            raise ValidationError(
+                f"error_rate must be in (0, 1], got {self.error_rate}"
+            )
+        if self.duration_s <= 0:
+            raise ValidationError("StorageFaults requires duration_s > 0")
+
+    def describe(self) -> dict[str, Any]:
+        return {**super().describe(), "error_rate": self.error_rate}
+
+
+@dataclass(frozen=True, kw_only=True)
+class ColdStartStorm(Fault):
+    """Every pod of the named classes (all classes when empty) is
+    evicted at once — the next requests all pay cold starts."""
+
+    classes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "classes", tuple(self.classes))
+        if self.duration_s:
+            raise ValidationError(
+                "ColdStartStorm is instantaneous; duration_s must be 0"
+            )
+
+    def describe(self) -> dict[str, Any]:
+        return {**super().describe(), "classes": list(self.classes)}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named chaos schedule: the faults, in timeline order."""
+
+    name: str
+    faults: tuple[Fault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("fault plan needs a name")
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if not self.faults:
+            raise ValidationError(f"fault plan {self.name!r} has no faults")
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise ValidationError(
+                    f"fault plan {self.name!r} contains a non-Fault entry: "
+                    f"{fault!r}"
+                )
+
+    @property
+    def end_s(self) -> float:
+        """When the last fault has been injected and reverted."""
+        return max(f.at + f.duration_s for f in self.faults)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "end_s": self.end_s,
+            "faults": [f.describe() for f in sorted(self.faults, key=lambda f: f.at)],
+        }

@@ -1,0 +1,100 @@
+"""Builtin named fault plans (the ``ocli chaos --plan`` catalog).
+
+Each builder takes the platform's node names so plans aim at real
+nodes; every plan finishes (last fault reverted) within ~20 simulated
+seconds, so a chaos run bounded by ``plan.end_s`` plus a settle margin
+always terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.chaos.plan import (
+    ColdStartStorm,
+    FaultPlan,
+    NetworkDelay,
+    NodeCrash,
+    Partition,
+    SlowPods,
+    StorageFaults,
+)
+from repro.errors import ValidationError
+
+__all__ = ["PLAN_NAMES", "named_plan"]
+
+
+def _pick(nodes: Sequence[str], index: int) -> str:
+    """The index-th node, wrapping — plans work on any cluster size."""
+    if not nodes:
+        raise ValidationError("chaos plans need at least one cluster node")
+    return nodes[index % len(nodes)]
+
+
+def _node_crash(nodes: Sequence[str]) -> FaultPlan:
+    return FaultPlan(
+        "node-crash",
+        (NodeCrash(at=2.0, duration_s=6.0, node=_pick(nodes, 1)),),
+    )
+
+
+def _partition(nodes: Sequence[str]) -> FaultPlan:
+    return FaultPlan(
+        "partition",
+        (Partition(at=2.0, duration_s=6.0, nodes=(_pick(nodes, 2),)),),
+    )
+
+
+def _slow_pods(nodes: Sequence[str]) -> FaultPlan:
+    return FaultPlan(
+        "slow-pods",
+        (SlowPods(at=2.0, duration_s=8.0, factor=5.0, node=_pick(nodes, 0)),),
+    )
+
+
+def _storage_errors(nodes: Sequence[str]) -> FaultPlan:
+    return FaultPlan(
+        "storage-errors",
+        (StorageFaults(at=2.0, duration_s=8.0, error_rate=0.5),),
+    )
+
+
+def _cold_start_storm(nodes: Sequence[str]) -> FaultPlan:
+    return FaultPlan("cold-start-storm", (ColdStartStorm(at=2.0),))
+
+
+def _mixed(nodes: Sequence[str]) -> FaultPlan:
+    """The kitchen sink: a crash, a partition, slow pods, lossy storage,
+    and a degraded link, overlapping the way real incidents do."""
+    return FaultPlan(
+        "mixed",
+        (
+            NodeCrash(at=2.0, duration_s=8.0, node=_pick(nodes, 1)),
+            StorageFaults(at=3.0, duration_s=6.0, error_rate=0.3),
+            Partition(at=4.0, duration_s=5.0, nodes=(_pick(nodes, 2),)),
+            SlowPods(at=5.0, duration_s=6.0, factor=3.0, node=_pick(nodes, 0)),
+            NetworkDelay(at=6.0, duration_s=6.0, extra_s=0.01),
+        ),
+    )
+
+
+_BUILDERS: dict[str, Callable[[Sequence[str]], FaultPlan]] = {
+    "node-crash": _node_crash,
+    "partition": _partition,
+    "slow-pods": _slow_pods,
+    "storage-errors": _storage_errors,
+    "cold-start-storm": _cold_start_storm,
+    "mixed": _mixed,
+}
+
+PLAN_NAMES: tuple[str, ...] = tuple(sorted(_BUILDERS))
+
+
+def named_plan(name: str, nodes: Sequence[str]) -> FaultPlan:
+    """Build the builtin plan ``name`` against ``nodes``."""
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ValidationError(
+            f"unknown chaos plan {name!r}; available: {list(PLAN_NAMES)}"
+        )
+    return builder(nodes)

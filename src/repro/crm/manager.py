@@ -23,6 +23,7 @@ from repro.faas.deployment_engine import DeploymentEngine, DeploymentModel
 from repro.faas.engine import FunctionService
 from repro.faas.knative import KnativeEngine, KnativeModel
 from repro.faas.registry import FunctionRegistry
+from repro.invoker.resilience import ResiliencePolicy
 from repro.invoker.router import ObjectRouter
 from repro.model.function import FunctionType
 from repro.model.pkg import Package
@@ -181,6 +182,9 @@ class ClassRuntimeManager:
             router=router,
             services=services,
             engine_name=config.engine,
+            resilience=ResiliencePolicy.from_nfr(
+                resolved.nfr, persistent=config.persistent
+            ),
         )
         self._runtimes[resolved.name] = runtime
         self._resolved[resolved.name] = resolved
@@ -263,6 +267,9 @@ class ClassRuntimeManager:
             router=old_runtime.router,
             services=services,
             engine_name=config.engine,
+            resilience=ResiliencePolicy.from_nfr(
+                resolved.nfr, persistent=config.persistent
+            ),
         )
         self._runtimes[resolved.name] = runtime
         self._resolved[resolved.name] = resolved
@@ -319,6 +326,14 @@ class ClassRuntimeManager:
             f"no service for {cls}.{fn_name}; deployed services: "
             f"{sorted(runtime.services)}"
         )
+
+    def policy_for(self, cls: str) -> ResiliencePolicy:
+        """The resilience policy the invoker enforces for ``cls``."""
+        return self.runtime(cls).resilience
+
+    def set_policy(self, cls: str, policy: ResiliencePolicy) -> None:
+        """Operator override of a deployed class's resilience policy."""
+        self.runtime(cls).resilience = policy
 
     def deployed_classes(self) -> tuple[str, ...]:
         return tuple(sorted(self._runtimes))

@@ -14,6 +14,7 @@ from typing import Any
 from repro.errors import UnknownFunctionError
 from repro.faas.engine import FunctionService
 from repro.crm.template import ClassRuntimeTemplate
+from repro.invoker.resilience import ResiliencePolicy
 from repro.invoker.router import ObjectRouter
 from repro.model.resolver import ResolvedClass
 from repro.storage.dht import Dht
@@ -32,6 +33,8 @@ class ClassRuntime:
     router: ObjectRouter
     services: dict[str, FunctionService] = field(default_factory=dict)
     engine_name: str = "knative"
+    #: Data-plane fault-tolerance knobs, derived from the class's NFRs.
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
 
     def service(self, fn_name: str) -> FunctionService:
         svc = self.services.get(fn_name)

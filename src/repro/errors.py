@@ -50,8 +50,24 @@ class InsufficientResourcesError(DeploymentError):
     """The cluster cannot host the requested pods."""
 
 
+class TransportError(OaasError):
+    """A network-level exchange could not complete."""
+
+
+class NetworkPartitionError(TransportError):
+    """The source and destination are on different partition sides."""
+
+
 class InvocationError(OaasError):
     """A function invocation failed."""
+
+
+class InvocationTimeoutError(InvocationError):
+    """An invocation exceeded its resilience-policy deadline."""
+
+
+class ServiceUnavailableError(InvocationError):
+    """No healthy replica could accept the request (all shed or down)."""
 
 
 class FunctionExecutionError(InvocationError):
@@ -101,3 +117,12 @@ class MessagingError(OaasError):
 
 class SimulationError(OaasError):
     """The discrete-event kernel was used incorrectly."""
+
+
+class InternalError(OaasError):
+    """An unexpected non-platform exception crossed the invoker boundary.
+
+    Raw exceptions (``KeyError``, ``AttributeError``, ...) must never
+    escape to callers; the engine wraps them so clients always receive a
+    structured :class:`OaasError` payload.
+    """

@@ -82,6 +82,29 @@ class FunctionService(abc.ABC):
         self.errors = 0
         self.cold_starts = 0
         self.busy_time = 0.0
+        # Chaos-plane slowdown multipliers (1.0 = healthy).  Checked with
+        # one truthiness branch per request when no fault is injected.
+        self._slow_factor = 1.0
+        self._node_slow: dict[str, float] = {}
+
+    # -- fault injection (chaos plane) --------------------------------------
+
+    def set_slowdown(self, factor: float, node: str | None = None) -> None:
+        """Multiply charged execution time by ``factor`` — service-wide,
+        or only for pods on ``node`` (a saturated/overheating host)."""
+        if factor <= 0:
+            raise ValidationError(f"slowdown factor must be > 0, got {factor}")
+        if node is None:
+            self._slow_factor = factor
+        else:
+            self._node_slow[node] = factor
+
+    def clear_slowdown(self, node: str | None = None) -> None:
+        if node is None:
+            self._slow_factor = 1.0
+            self._node_slow.clear()
+        else:
+            self._node_slow.pop(node, None)
 
     # -- engine-specific capacity management --------------------------------
 
@@ -126,10 +149,11 @@ class FunctionService(abc.ABC):
                 node=pod.node,
             )
         started = self.env.now
+        duration = self.model.request_overhead_s + self.entry.service_time(task)
+        if self._node_slow or self._slow_factor != 1.0:
+            duration *= self._slow_factor * self._node_slow.get(pod.node, 1.0)
         try:
-            yield self.env.timeout(
-                self.model.request_overhead_s + self.entry.service_time(task)
-            )
+            yield self.env.timeout(duration)
             completion = yield from self._run_handler(task)
         finally:
             self.busy_time += self.env.now - started

@@ -22,12 +22,14 @@ engine, and dispatches MACRO bindings to the dataflow executor.
 from __future__ import annotations
 
 import uuid
-from typing import Any, Generator, Mapping, Protocol
+from typing import Any, Callable, Generator, Mapping, Protocol
 
 from repro.errors import (
     ConcurrentModificationError,
     InvocationError,
+    InvocationTimeoutError,
     OaasError,
+    TransportError,
     UnknownClassError,
     UnknownFunctionError,
     UnknownObjectError,
@@ -37,20 +39,26 @@ from repro.faas.engine import FunctionService
 from repro.faas.runtime import InvocationTask, TaskCompletion
 from repro.invoker.dataflow_exec import DataflowExecutor
 from repro.invoker.request import InvocationRequest, InvocationResult
+from repro.invoker.resilience import DEFAULT_POLICY, BreakerBoard, ResiliencePolicy
 from repro.invoker.router import ObjectRouter
 from repro.model.cls import AccessModifier, FunctionBinding
 from repro.model.function import FunctionType
 from repro.model.resolver import ResolvedClass
 from repro.monitoring.collector import MonitoringSystem
+from repro.monitoring.events import EventLog
 from repro.monitoring.tracing import Span, Tracer
 from repro.object.obj import ObjectRecord
-from repro.sim.kernel import Environment, Process
+from repro.sim.kernel import Environment, Process, any_of
+from repro.sim.rng import RngStreams
 from repro.storage.dht import Dht
 from repro.storage.object_store import ObjectStore
 
 __all__ = ["InvocationEngine", "RuntimeDirectory", "BUILTIN_METHODS", "split_object_id"]
 
 BUILTIN_METHODS = ("new", "get", "update", "delete", "file-url")
+
+#: Sentinel value an offload-deadline timeout resolves with.
+_TIMED_OUT = object()
 
 #: Separator between the class prefix and the unique suffix in object ids.
 ID_SEPARATOR = "~"
@@ -101,6 +109,8 @@ class InvocationEngine:
         bucket: str = "oparaca",
         max_cas_retries: int = 4,
         tracer: Tracer | None = None,
+        rng: RngStreams | None = None,
+        events: EventLog | None = None,
     ) -> None:
         self.env = env
         self.directory = directory
@@ -110,10 +120,20 @@ class InvocationEngine:
         self.max_cas_retries = max_cas_retries
         # Explicit None check: an empty Tracer is falsy (it has __len__).
         self.tracer = tracer if tracer is not None else Tracer(env)
+        self.events = events if events is not None else EventLog(env)
+        self._retry_rng = (rng or RngStreams(0)).stream("resilience")
+        self.breakers = BreakerBoard(env, events=self.events, tracer=self.tracer)
+        # Directories without per-class policies (test doubles) fall back
+        # to DEFAULT_POLICY; resolved once so the hot path stays cheap.
+        self._policy_source = getattr(directory, "policy_for", None)
         self.object_store.create_bucket(bucket)
         self._dataflow = DataflowExecutor(self)
         self.invocations = 0
         self.cas_conflicts = 0
+        self.fault_retries = 0
+        self.timeouts = 0
+        self.stale_reads = 0
+        self.internal_errors = 0
 
     # -- public API -------------------------------------------------------------
 
@@ -141,10 +161,24 @@ class InvocationEngine:
             result = InvocationResult.failure(
                 request, str(exc), error_type=type(exc).__name__
             )
+        except Exception as exc:  # noqa: BLE001 - the invoker boundary
+            # No raw exception may escape to callers: everything surfaces
+            # as a structured error result (gateway maps it to a 500).
+            self.internal_errors += 1
+            result = InvocationResult.failure(
+                request,
+                f"internal platform error: {type(exc).__name__}: {exc}",
+                error_type="InternalError",
+            )
         latency = self.env.now - started
+        # Failures raised before the record loaded carry no class; fall
+        # back to the request / id prefix so per-class availability
+        # accounting sees them (a lost object still counts against its
+        # class's error rate).
+        cls = result.cls or request.cls or split_object_id(request.object_id)[0]
         result = InvocationResult(
             request_id=result.request_id,
-            cls=result.cls,
+            cls=cls,
             object_id=result.object_id,
             fn_name=result.fn_name,
             ok=result.ok,
@@ -231,28 +265,190 @@ class InvocationEngine:
             )
         return cls
 
+    # -- resilience enforcement ------------------------------------------------------
+
+    def _policy_for(self, cls: str) -> ResiliencePolicy:
+        if self._policy_source is None:
+            return DEFAULT_POLICY
+        return self._policy_source(cls)
+
+    def _place(self, cls: str, dht: Dht, object_id: str, exclude: set[str]) -> str:
+        """The router's choice, shed away from excluded/broken nodes.
+
+        The fast path (no breakers instantiated, nothing excluded) is
+        exactly ``router.place``.  Otherwise candidates are scanned in
+        preference order — routed node, then the object's owners, then
+        any member — skipping nodes already failed this request and
+        nodes with an open breaker.
+        """
+        router = self.directory.router_for(cls)
+        primary = router.place(object_id)
+        if not exclude and not self.breakers.active:
+            return primary
+        fallback: str | None = None
+        seen: set[str] = set()
+        for node in (primary, *dht.owners(object_id), *dht.nodes):
+            if node in seen:
+                continue
+            seen.add(node)
+            if node in exclude:
+                continue
+            if fallback is None:
+                fallback = node
+            if self.breakers.allow(cls, node):
+                if node != primary:
+                    self.events.record(
+                        "resilience.shed", cls=cls, avoided=primary, node=node
+                    )
+                return node
+        if fallback is not None:
+            # Every non-excluded node has an open breaker: probe the
+            # first one rather than refusing outright.
+            return fallback
+        return primary
+
+    def _fault_retry(
+        self,
+        cls: str,
+        caller: str,
+        policy: ResiliencePolicy,
+        exc: OaasError,
+        exclude: set[str],
+        attempt: int,
+        trace_id: str | None,
+        parent: Span | None,
+    ) -> Generator[Any, Any, bool]:
+        """Account one data-plane fault; yields the backoff delay and
+        returns whether the caller should retry."""
+        self.breakers.record_failure(cls, caller, policy)
+        exclude.add(caller)
+        if isinstance(exc, InvocationTimeoutError):
+            self.timeouts += 1
+            self.events.record(
+                "resilience.timeout", cls=cls, node=caller, deadline_s=policy.deadline_s
+            )
+        if attempt > policy.max_retries:
+            self.events.record(
+                "resilience.exhausted",
+                cls=cls,
+                node=caller,
+                attempts=attempt,
+                error=type(exc).__name__,
+            )
+            return False
+        self.fault_retries += 1
+        delay = policy.backoff_s(attempt, self._retry_rng)
+        self.events.record(
+            "resilience.retry",
+            cls=cls,
+            node=caller,
+            attempt=attempt,
+            error=type(exc).__name__,
+        )
+        span = self.tracer.start(
+            trace_id,
+            "resilience.retry",
+            parent=parent,
+            node=caller,
+            attempt=attempt,
+            error=type(exc).__name__,
+        )
+        yield self.env.timeout(delay)
+        self.tracer.finish(span)
+        return True
+
+    def _offload_with_deadline(
+        self, service: FunctionService, task: InvocationTask, policy: ResiliencePolicy
+    ) -> Generator[Any, Any, TaskCompletion]:
+        """Offload to the FaaS service, bounded by the policy deadline."""
+        proc = service.invoke(task)
+        if policy.deadline_s is None:
+            completion = yield proc
+            return completion
+        _, value = yield any_of(
+            self.env, [proc, self.env.timeout(policy.deadline_s, _TIMED_OUT)]
+        )
+        if value is _TIMED_OUT:
+            raise InvocationTimeoutError(
+                f"{service.name}: no completion within {policy.deadline_s}s deadline"
+            )
+        return value
+
+    def _stale_fallback(
+        self,
+        cls: str,
+        dht: Dht,
+        request: InvocationRequest,
+        trace_id: str | None,
+        parent: Span | None,
+    ) -> Generator[Any, Any, dict[str, Any] | None]:
+        """Graceful degradation: read the durable copy when every DHT
+        owner is unreachable.  Returns ``None`` when no durable tier
+        exists (ephemeral classes degrade to failure)."""
+        if dht.store is None or not dht.model.persistent:
+            return None
+        span = self.tracer.start(
+            trace_id or request.request_id, "state.stale_read", parent=parent
+        )
+        doc = yield dht.stale_get(request.object_id)
+        self.tracer.finish(span, hit=doc is not None)
+        if doc is not None:
+            self.stale_reads += 1
+            self.events.record(
+                "resilience.stale_read", cls=cls, object=request.object_id
+            )
+        return doc
+
     def _load_record(
         self,
         request: InvocationRequest,
         trace_id: str | None = None,
         parent: Span | None = None,
+        policy: ResiliencePolicy | None = None,
+        exclude: set[str] | None = None,
     ) -> Generator[Any, Any, ObjectRecord]:
         cls = self._target_class(request)
         resolved = self.directory.resolved(cls)
         dht = self.directory.dht_for(resolved.name)
-        route_span = self.tracer.start(
-            trace_id or request.request_id, "route", parent=parent
-        )
-        caller = self.directory.router_for(resolved.name).place(request.object_id)
-        self.tracer.finish(route_span, node=caller, cls=resolved.name)
-        span = self.tracer.start(
-            trace_id or request.request_id, "state.load", parent=parent, node=caller
-        )
-        doc = yield dht.get(request.object_id, caller=caller)
-        self.tracer.finish(span, hit=doc is not None, owner=dht.owner(request.object_id))
-        if doc is None:
-            raise UnknownObjectError(f"no object {request.object_id!r}")
-        return ObjectRecord.from_doc(doc)
+        if policy is None:
+            policy = self._policy_for(resolved.name)
+        if exclude is None:
+            exclude = set()
+        attempt = 0
+        while True:
+            route_span = self.tracer.start(
+                trace_id or request.request_id, "route", parent=parent
+            )
+            caller = self._place(resolved.name, dht, request.object_id, exclude)
+            self.tracer.finish(route_span, node=caller, cls=resolved.name)
+            span = self.tracer.start(
+                trace_id or request.request_id, "state.load", parent=parent, node=caller
+            )
+            try:
+                dht.network.check_path(None, caller)
+                doc = yield dht.get(request.object_id, caller=caller)
+            except TransportError as exc:
+                self.tracer.finish(span, ok=False, error=type(exc).__name__)
+                attempt += 1
+                retry = yield from self._fault_retry(
+                    resolved.name, caller, policy, exc, exclude, attempt, trace_id, parent
+                )
+                if retry:
+                    continue
+                if policy.stale_read_fallback:
+                    doc = yield from self._stale_fallback(
+                        resolved.name, dht, request, trace_id, parent
+                    )
+                    if doc is not None:
+                        return ObjectRecord.from_doc(doc)
+                raise
+            self.breakers.record_success(resolved.name, caller)
+            self.tracer.finish(
+                span, hit=doc is not None, owner=dht.owner(request.object_id)
+            )
+            if doc is None:
+                raise UnknownObjectError(f"no object {request.object_id!r}")
+            return ObjectRecord.from_doc(doc)
 
     # -- the pure-function task path ---------------------------------------------------
 
@@ -267,16 +463,40 @@ class InvocationEngine:
     ) -> Generator[Any, Any, InvocationResult]:
         service = self.directory.service_for(resolved.name, binding.name)
         dht = self.directory.dht_for(resolved.name)
-        router = self.directory.router_for(resolved.name)
+        policy = self._policy_for(resolved.name)
         trace_id = trace_id or request.request_id
         retries = 0
+        fault_attempts = 0
+        exclude: set[str] = set()
         while True:
-            caller = router.place(request.object_id)
+            caller = self._place(resolved.name, dht, request.object_id, exclude)
             offload = self.tracer.start(
                 trace_id, f"task.offload {service.name}", parent=root
             )
             task = self._build_task(request, binding, record, trace_id, offload)
-            completion: TaskCompletion = yield service.invoke(task)
+            try:
+                dht.network.check_path(None, caller)
+                completion: TaskCompletion = yield from self._offload_with_deadline(
+                    service, task, policy
+                )
+            except (TransportError, InvocationTimeoutError) as exc:
+                self.tracer.finish(offload, ok=False, error=type(exc).__name__)
+                fault_attempts += 1
+                retries += 1
+                retry = yield from self._fault_retry(
+                    resolved.name, caller, policy, exc, exclude, fault_attempts,
+                    trace_id, root,
+                )
+                if retry:
+                    continue
+                return InvocationResult.failure(
+                    request,
+                    str(exc),
+                    resolved_cls=resolved.name,
+                    retries=retries,
+                    error_type=type(exc).__name__,
+                )
+            self.breakers.record_success(resolved.name, caller)
             self.tracer.finish(offload, ok=completion.ok)
             if not completion.ok:
                 return InvocationResult.failure(
@@ -306,8 +526,33 @@ class InvocationEngine:
                             retries=retries,
                             error_type="ConcurrentModificationError",
                         )
-                    record = yield from self._load_record(request, trace_id, root)
+                    record = yield from self._load_record(
+                        request, trace_id, root, policy=policy
+                    )
                     continue
+                except TransportError as exc:
+                    # The commit never reached an owner: retry the whole
+                    # load-execute-commit cycle (at-least-once semantics,
+                    # like a CAS conflict).
+                    self.tracer.finish(commit_span, ok=False, error=type(exc).__name__)
+                    fault_attempts += 1
+                    retries += 1
+                    retry = yield from self._fault_retry(
+                        resolved.name, caller, policy, exc, exclude, fault_attempts,
+                        trace_id, root,
+                    )
+                    if retry:
+                        record = yield from self._load_record(
+                            request, trace_id, root, policy=policy, exclude=set(exclude)
+                        )
+                        continue
+                    return InvocationResult.failure(
+                        request,
+                        str(exc),
+                        resolved_cls=resolved.name,
+                        retries=retries,
+                        error_type=type(exc).__name__,
+                    )
             created_id = None
             if binding.output_class is not None:
                 created_id = yield from self._materialize_output(
@@ -445,7 +690,7 @@ class InvocationEngine:
         else:
             object_id = make_object_id(resolved.name)
         dht = self.directory.dht_for(resolved.name)
-        caller = self.directory.router_for(resolved.name).place(object_id)
+        caller = self._place(resolved.name, dht, object_id, set())
         existing = yield dht.get(object_id, caller=caller)
         if existing is not None:
             raise InvocationError(f"object {object_id!r} already exists")
@@ -460,6 +705,32 @@ class InvocationEngine:
             output={"id": object_id},
             created_object_id=object_id,
         )
+
+    def _resilient_mutation(
+        self,
+        cls: str,
+        dht: Dht,
+        object_id: str,
+        operation: "Callable[[str], Process]",
+    ) -> Generator[Any, Any, Any]:
+        """Run a builtin DHT mutation under the class's retry policy."""
+        policy = self._policy_for(cls)
+        exclude: set[str] = set()
+        attempt = 0
+        while True:
+            caller = self._place(cls, dht, object_id, exclude)
+            try:
+                dht.network.check_path(None, caller)
+                result = yield operation(caller)
+                self.breakers.record_success(cls, caller)
+                return result
+            except TransportError as exc:
+                attempt += 1
+                retry = yield from self._fault_retry(
+                    cls, caller, policy, exc, exclude, attempt, None, None
+                )
+                if not retry:
+                    raise
 
     def _builtin(
         self, request: InvocationRequest, resolved: ResolvedClass, record: ObjectRecord
@@ -487,19 +758,26 @@ class InvocationEngine:
                 }
             )
         dht = self.directory.dht_for(resolved.name)
-        router = self.directory.router_for(resolved.name)
         if fn == "update":
             updates = dict(request.payload.get("state", {}))
             resolved.state.validate_state(updates)
-            caller = router.place(record.id)
             updated = record.with_updates(updates)
-            yield dht.compare_and_put(
-                updated.to_doc(), expected_version=record.version, caller=caller
+            yield from self._resilient_mutation(
+                resolved.name,
+                dht,
+                record.id,
+                lambda caller: dht.compare_and_put(
+                    updated.to_doc(), expected_version=record.version, caller=caller
+                ),
             )
             return ok({"version": updated.version})
         if fn == "delete":
-            caller = router.place(record.id)
-            yield dht.delete(record.id, caller=caller)
+            yield from self._resilient_mutation(
+                resolved.name,
+                dht,
+                record.id,
+                lambda caller: dht.delete(record.id, caller=caller),
+            )
             for object_key in record.files.values():
                 self.object_store.delete_object(self.bucket, object_key)
             return ok({"deleted": record.id})

@@ -14,20 +14,30 @@ or ``platform.events.enable()``.
 
 Event types currently emitted by the platform:
 
-==================  ======================================================
-type                emitted by / fields
-==================  ======================================================
-scheduler.place     Scheduler.schedule — pod, node, image, policy
-pod.bind            Cluster.bind_pod — pod, node
-pod.ready           Pod._boot — pod, node, startup_s
-pod.terminated      Cluster.terminate_pod — pod, node
-template.select     CRM deploy/update — cls, template, engine
-class.deploy        CRM deploy_class — cls, services, nodes
-faas.cold_start     KnativeService — service, pod
-autoscale.knative   KnativeService.tick — service, before, after, desired
-autoscale.hpa       HorizontalPodAutoscaler.tick — deployment, before, after
-optimizer.decision  RequirementOptimizer — cls, service, action, reason
-==================  ======================================================
+=============================  ======================================================
+type                           emitted by / fields
+=============================  ======================================================
+scheduler.place                Scheduler.schedule — pod, node, image, policy
+pod.bind                       Cluster.bind_pod — pod, node
+pod.ready                      Pod._boot — pod, node, startup_s
+pod.terminated                 Cluster.terminate_pod — pod, node
+template.select                CRM deploy/update — cls, template, engine
+class.deploy                   CRM deploy_class — cls, services, nodes
+faas.cold_start                KnativeService — service, pod
+autoscale.knative              KnativeService.tick — service, before, after, desired
+autoscale.hpa                  HorizontalPodAutoscaler.tick — deployment, before, after
+optimizer.decision             RequirementOptimizer — cls, service, action, reason
+chaos.inject                   ChaosInjector — plan, kind, fault-specific fields
+chaos.recover                  ChaosInjector — plan, kind, fault-specific fields
+resilience.retry               InvocationEngine — cls, node, attempt, error
+resilience.timeout             InvocationEngine — cls, node, deadline_s
+resilience.exhausted           InvocationEngine — cls, node, attempts, error
+resilience.shed                InvocationEngine — cls, avoided, node
+resilience.stale_read          InvocationEngine — cls, object
+resilience.breaker_open        BreakerBoard — cls, node, failures[, probe]
+resilience.breaker_half_open   BreakerBoard — cls, node
+resilience.breaker_close       BreakerBoard — cls, node
+=============================  ======================================================
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.chaos.injector import ChaosInjector
     from repro.monitoring.collector import MonitoringSystem
 
 __all__ = ["NfrVerdict", "nfr_compliance_report", "format_nfr_report"]
@@ -66,7 +67,9 @@ def _saturated(runtime: Any) -> bool:
 
 
 def nfr_compliance_report(
-    runtimes: Mapping[str, Any], monitoring: "MonitoringSystem"
+    runtimes: Mapping[str, Any],
+    monitoring: "MonitoringSystem",
+    chaos: "ChaosInjector | None" = None,
 ) -> list[NfrVerdict]:
     """Judge every deployed class's declared QoS against observations.
 
@@ -74,7 +77,15 @@ def nfr_compliance_report(
     ``resolved.nfr.qos`` and ``services`` are read — the CRM's
     ``runtimes`` mapping fits directly).  Classes with no declared QoS
     produce no verdicts.
+
+    With a ``chaos`` injector supplied, classes declaring an
+    availability target additionally get an ``availability_under_fault``
+    verdict: the success fraction restricted to invocations completed
+    while the injector held at least one fault active — the number that
+    separates a replicated class riding out a crash from an ephemeral
+    one losing its state.
     """
+    fault_counts = chaos.fault_counts() if chaos is not None else {}
     verdicts: list[NfrVerdict] = []
     for cls in sorted(runtimes):
         runtime = runtimes[cls]
@@ -143,6 +154,21 @@ def nfr_compliance_report(
                     detail=source,
                 )
             )
+            completed, failed = fault_counts.get(cls, (0, 0))
+            under_fault = completed + failed
+            if under_fault:
+                observed = completed / under_fault
+                verdicts.append(
+                    NfrVerdict(
+                        cls=cls,
+                        requirement="availability_under_fault",
+                        target=qos.availability,
+                        observed=observed,
+                        met=observed >= qos.availability,
+                        margin=observed - qos.availability,
+                        detail=f"{under_fault} invocations during fault windows",
+                    )
+                )
     return verdicts
 
 
@@ -151,14 +177,17 @@ def format_nfr_report(verdicts: list[NfrVerdict]) -> str:
     if not verdicts:
         return "(no classes declare QoS requirements)"
     lines = [
-        f"{'class':<16} {'requirement':<16} {'target':>10} {'observed':>10} "
+        f"{'class':<16} {'requirement':<26} {'target':>10} {'observed':>10} "
         f"{'margin':>10}  verdict"
     ]
     for v in verdicts:
         mark = "met" if v.met else "VIOLATED"
+        # Availability targets like 0.999 need more precision than
+        # millisecond/rps targets to be distinguishable from 1.0.
+        digits = 4 if v.requirement.startswith("availability") else 2
         lines.append(
-            f"{v.cls:<16} {v.requirement:<16} {v.target:>10.2f} {v.observed:>10.2f} "
-            f"{v.margin:>+10.2f}  {mark}"
+            f"{v.cls:<16} {v.requirement:<26} {v.target:>10.{digits}f} "
+            f"{v.observed:>10.{digits}f} {v.margin:>+10.{digits}f}  {mark}"
         )
     violated = sum(1 for v in verdicts if not v.met)
     lines.append(f"{len(verdicts)} requirement(s) checked, {violated} violated")

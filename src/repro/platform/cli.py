@@ -19,6 +19,10 @@ Commands:
 * ``ocli report <package> --new CLS [...]`` — run with full
   observability on and print the summary report plus per-class NFR
   compliance verdicts.
+* ``ocli chaos <package> --new CLS --plan NAME [...]`` — run a steady
+  workload while a named fault plan (node crash, partition, slow pods,
+  storage errors, cold-start storm, mixed) plays out, then print the
+  chaos summary and the NFR report with availability-under-fault rows.
 """
 
 from __future__ import annotations
@@ -98,6 +102,29 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--json", dest="as_json", action="store_true", help="emit JSON instead of text"
     )
+
+    from repro.chaos import PLAN_NAMES
+
+    chaos = sub.add_parser(
+        "chaos", help="run a workload under a named fault plan"
+    )
+    add_workload_args(chaos)
+    chaos.add_argument(
+        "--plan",
+        default="node-crash",
+        choices=PLAN_NAMES,
+        help="builtin fault plan to inject",
+    )
+    chaos.add_argument(
+        "--rounds", type=int, default=60, help="workload rounds to drive"
+    )
+    chaos.add_argument(
+        "--interval",
+        type=float,
+        default=0.15,
+        help="simulated seconds between rounds",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="platform RNG seed")
     return parser
 
 
@@ -186,7 +213,12 @@ def _build_platform(args: argparse.Namespace, package: Package, tracing: bool = 
     from repro.platform.oparaca import Oparaca, PlatformConfig
 
     platform = Oparaca(
-        PlatformConfig(nodes=args.nodes, tracing_enabled=tracing, events_enabled=events)
+        PlatformConfig(
+            nodes=args.nodes,
+            seed=getattr(args, "seed", 0),
+            tracing_enabled=tracing,
+            events_enabled=events,
+        )
     )
     if args.handlers:
         module_name, _, attr = args.handlers.partition(":")
@@ -306,6 +338,62 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import named_plan
+    from repro.monitoring.nfr_report import format_nfr_report
+
+    package = _load_pkg(args.package)
+    platform = _build_platform(args, package, tracing=True, events=True)
+    if platform is None:
+        return 2
+    platform.deploy(package)
+    plan = named_plan(args.plan, list(platform.cluster.node_names))
+    print(f"injecting plan {plan.name!r}:")
+    for fault in plan.describe()["faults"]:
+        print(f"  {json.dumps(fault, default=str)}")
+    injector = platform.inject_chaos(plan)
+
+    body = {"state": json.loads(args.state)} if args.state != "{}" else {}
+    created = platform.http("POST", f"/api/classes/{args.new_cls}", body)
+    if not created.ok:
+        raise OaasError(f"object creation failed: {created.body.get('error')}")
+    object_id = created.body["id"]
+    invokes = args.invoke or ["get"]
+    ok = failed = 0
+    for _round in range(args.rounds):
+        for spec in invokes:
+            fn, _, payload_text = spec.partition(":")
+            payload = json.loads(payload_text) if payload_text else {}
+            response = platform.http(
+                "POST", f"/api/objects/{object_id}/invokes/{fn}", payload
+            )
+            if response.ok:
+                ok += 1
+            else:
+                failed += 1
+        platform.advance(args.interval)
+    # Let the plan finish (and breakers settle) before judging.
+    platform.advance(max(0.0, plan.end_s - platform.now) + 1.0)
+    platform.shutdown()
+
+    print(f"\nworkload: {ok} ok / {failed} failed over {args.rounds} rounds")
+    summary = injector.summary()
+    print(
+        f"chaos: injected={summary['injected']} recovered={summary['recovered']} "
+        f"fault_time_s={summary['fault_time_s']:.2f}"
+    )
+    snap = platform.snapshot()
+    print(
+        f"resilience: retries={snap['engine.fault_retries']:.0f} "
+        f"timeouts={snap['engine.timeouts']:.0f} "
+        f"stale_reads={snap['engine.stale_reads']:.0f} "
+        f"open_breakers={snap['engine.open_breakers']:.0f}"
+    )
+    print("\nNFR compliance:")
+    print(format_nfr_report(platform.nfr_report()))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -317,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "events": _cmd_events,
         "report": _cmd_report,
+        "chaos": _cmd_chaos,
     }
     try:
         return handlers[args.command](args)

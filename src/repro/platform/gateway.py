@@ -27,6 +27,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Generator, Mapping
 
+from repro.errors import OaasError
 from repro.invoker.engine import InvocationEngine
 from repro.invoker.request import InvocationRequest
 from repro.monitoring.tracing import Tracer
@@ -44,6 +45,12 @@ _STATUS_BY_ERROR = {
     "DataflowError": 400,
     "ConcurrentModificationError": 409,
     "FunctionExecutionError": 500,
+    "InvocationTimeoutError": 504,
+    "NetworkPartitionError": 503,
+    "TransportError": 503,
+    "ServiceUnavailableError": 503,
+    "StorageError": 500,
+    "InternalError": 500,
 }
 
 
@@ -98,6 +105,23 @@ class Gateway:
 
     def _handle(self, http: HttpRequest) -> Generator[Any, Any, HttpResponse]:
         self.requests += 1
+        try:
+            return (yield from self._handle_inner(http))
+        except OaasError as exc:
+            # Defensive boundary: platform errors raised outside the
+            # engine (routing, listing) still produce structured payloads.
+            status = _STATUS_BY_ERROR.get(type(exc).__name__, 500)
+            return HttpResponse(status, {"error": str(exc), "type": type(exc).__name__})
+        except Exception as exc:  # noqa: BLE001 - the REST boundary
+            return HttpResponse(
+                500,
+                {
+                    "error": f"internal platform error: {type(exc).__name__}: {exc}",
+                    "type": "InternalError",
+                },
+            )
+
+    def _handle_inner(self, http: HttpRequest) -> Generator[Any, Any, HttpResponse]:
         invocation = self._route(http)
         span = None
         if (

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Generator, Mapping
 
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.plan import FaultPlan
 from repro.crm.manager import ClassRuntimeManager
 from repro.crm.optimizer import RequirementOptimizer
 from repro.crm.runtime import ClassRuntime
@@ -139,7 +141,13 @@ class Oparaca:
             events=self.events,
         )
         self.engine = InvocationEngine(
-            self.env, self.crm, self.object_store, self.monitoring, tracer=self.tracer
+            self.env,
+            self.crm,
+            self.object_store,
+            self.monitoring,
+            tracer=self.tracer,
+            rng=self.rng,
+            events=self.events,
         )
         self.queue = AsyncInvoker(
             self.env, self.engine, partitions=self.config.async_partitions
@@ -150,6 +158,7 @@ class Oparaca:
             overhead_s=self.config.gateway_overhead_s,
             tracer=self.tracer,
         )
+        self.chaos: ChaosInjector | None = None
         self.optimizer: RequirementOptimizer | None = None
         if self.config.optimizer_enabled:
             self.optimizer = RequirementOptimizer(
@@ -387,6 +396,20 @@ class Oparaca:
             runtime.dht.add_node(name)
             runtime.router.refresh()
 
+    # -- chaos ------------------------------------------------------------------------
+
+    def inject_chaos(self, plan: FaultPlan) -> ChaosInjector:
+        """Start replaying a fault plan against this platform.
+
+        The injector runs as a simulation process alongside the
+        workload; its fault windows feed the NFR report's
+        ``availability_under_fault`` verdicts.  Returns the (started)
+        injector for inspection.
+        """
+        self.chaos = ChaosInjector(self, plan)
+        self.chaos.start()
+        return self.chaos
+
     # -- diagnostics -------------------------------------------------------------------------------
 
     def describe(self) -> list[dict[str, Any]]:
@@ -426,7 +449,7 @@ class Oparaca:
 
     def nfr_report(self) -> list[NfrVerdict]:
         """Per-class QoS compliance verdicts from live observations."""
-        return nfr_compliance_report(self.crm.runtimes, self.monitoring)
+        return nfr_compliance_report(self.crm.runtimes, self.monitoring, chaos=self.chaos)
 
     def observability_report(self) -> dict[str, Any]:
         """The full observability summary: span latency breakdowns,
@@ -439,6 +462,8 @@ class Oparaca:
             runtimes=self.crm.runtimes,
         )
         report["nfr"] = [verdict.to_dict() for verdict in self.nfr_report()]
+        if self.chaos is not None:
+            report["chaos"] = self.chaos.summary()
         return report
 
     def snapshot(self) -> dict[str, float]:
@@ -450,6 +475,10 @@ class Oparaca:
         snap["gateway.requests"] = float(self.gateway.requests)
         snap["engine.invocations"] = float(self.engine.invocations)
         snap["engine.cas_conflicts"] = float(self.engine.cas_conflicts)
+        snap["engine.fault_retries"] = float(self.engine.fault_retries)
+        snap["engine.timeouts"] = float(self.engine.timeouts)
+        snap["engine.stale_reads"] = float(self.engine.stale_reads)
+        snap["engine.open_breakers"] = float(self.engine.breakers.open_count())
         return snap
 
     def shutdown(self) -> None:

@@ -16,11 +16,12 @@ latency-aware multi-DC deployment measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
+from repro.errors import NetworkPartitionError
 from repro.sim.kernel import Environment, Event
 
-__all__ = ["NetworkModel", "Network"]
+__all__ = ["NetworkModel", "NetworkFaults", "Network"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,98 @@ class NetworkModel:
 INSTANT = NetworkModel(rtt_s=0.0, loopback_s=0.0, inter_region_rtt_s=0.0, bandwidth_bps=0.0)
 
 
+class NetworkFaults:
+    """Mutable fault state the chaos plane injects into a :class:`Network`.
+
+    Two fault families:
+
+    * **partitions** — nodes are assigned to *sides*; a transfer whose
+      endpoints sit on different sides fails with
+      :class:`NetworkPartitionError` after ``partition_timeout_s`` of
+      simulated time (a connect timeout, not an instant refusal).
+      External endpoints (``None`` — the gateway/client) sit on side 0,
+      the majority side.
+    * **added latency** — extra seconds charged on matching remote
+      transfers (scoped by optional src/dst node sets; symmetric).
+
+    A :class:`Network` without an attached ``NetworkFaults`` (the
+    default) pays nothing for this machinery beyond one ``is None``
+    branch per transfer.
+    """
+
+    def __init__(self, partition_timeout_s: float = 0.05) -> None:
+        self.partition_timeout_s = partition_timeout_s
+        self._side_of: dict[str, int] = {}
+        self._delays: dict[int, tuple[frozenset[str] | None, frozenset[str] | None, float]] = {}
+        self._next_token = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self._side_of) or bool(self._delays)
+
+    # -- partitions -------------------------------------------------------
+
+    def set_partition(self, sides: Iterable[Iterable[str]]) -> None:
+        """Split the fabric into ``sides`` (lists of node names).
+
+        Unlisted nodes (and external ``None`` endpoints) are on side 0.
+        """
+        side_of: dict[str, int] = {}
+        for index, side in enumerate(sides):
+            for node in side:
+                side_of[node] = index
+        self._side_of = side_of
+
+    def isolate(self, nodes: Iterable[str]) -> None:
+        """Cut ``nodes`` off from the rest of the cluster (and clients)."""
+        self.set_partition([(), tuple(nodes)])
+
+    def clear_partition(self) -> None:
+        self._side_of = {}
+
+    def partitioned(self, a: str | None, b: str | None) -> bool:
+        if not self._side_of:
+            return False
+        side_a = self._side_of.get(a, 0) if a is not None else 0
+        side_b = self._side_of.get(b, 0) if b is not None else 0
+        return side_a != side_b
+
+    # -- added latency ----------------------------------------------------
+
+    def add_delay(
+        self,
+        extra_s: float,
+        src: Iterable[str] | None = None,
+        dst: Iterable[str] | None = None,
+    ) -> int:
+        """Charge ``extra_s`` on matching remote transfers; returns a
+        token for :meth:`remove_delay`.  ``None`` scopes match any
+        endpoint (including external clients); rules are symmetric."""
+        self._next_token += 1
+        self._delays[self._next_token] = (
+            frozenset(src) if src else None,
+            frozenset(dst) if dst else None,
+            float(extra_s),
+        )
+        return self._next_token
+
+    def remove_delay(self, token: int) -> None:
+        self._delays.pop(token, None)
+
+    @staticmethod
+    def _matches(scope: frozenset[str] | None, node: str | None) -> bool:
+        return scope is None or node in scope
+
+    def extra_latency(self, a: str | None, b: str | None) -> float:
+        total = 0.0
+        for src, dst, extra in self._delays.values():
+            if (self._matches(src, a) and self._matches(dst, b)) or (
+                self._matches(src, b) and self._matches(dst, a)
+            ):
+                total += extra
+        return total
+
+
 class Network:
     """Applies a :class:`NetworkModel` inside simulation processes."""
 
@@ -77,10 +170,13 @@ class Network:
         self.env = env
         self.model = model or INSTANT
         self.region_of = region_of
+        #: Fault state injected by the chaos plane; ``None`` = healthy.
+        self.faults: NetworkFaults | None = None
         self.total_transfers = 0
         self.total_bytes = 0
         self.remote_transfers = 0
         self.cross_region_transfers = 0
+        self.dropped_transfers = 0
 
     def _cross_region(self, src: str | None, dst: str | None) -> bool:
         if self.region_of is None or src is None or dst is None:
@@ -94,7 +190,11 @@ class Network:
         )
 
     def transfer(self, src: str | None, dst: str | None, nbytes: int = 0) -> Event:
-        """Return an event firing when the exchange completes."""
+        """Return an event firing when the exchange completes.
+
+        Under an injected partition separating ``src`` and ``dst`` the
+        event *fails* with :class:`NetworkPartitionError` after the
+        fault state's connect timeout."""
         self.total_transfers += 1
         self.total_bytes += nbytes
         if src is None or src != dst:
@@ -102,4 +202,40 @@ class Network:
         cross = self._cross_region(src, dst)
         if cross:
             self.cross_region_transfers += 1
-        return self.env.timeout(self.model.transfer_time(src, dst, nbytes, cross))
+        delay = self.model.transfer_time(src, dst, nbytes, cross)
+        faults = self.faults
+        if faults is not None and faults.active:
+            if faults.partitioned(src, dst):
+                self.dropped_transfers += 1
+                return self._drop(src, dst, faults.partition_timeout_s)
+            if src is None or src != dst:
+                delay += faults.extra_latency(src, dst)
+        return self.env.timeout(delay)
+
+    def _drop(self, src: str | None, dst: str | None, timeout_s: float) -> Event:
+        """A pre-failed event firing after the partition connect timeout."""
+        event = Event(self.env)
+        event._ok = False
+        event._value = NetworkPartitionError(
+            f"network partition: {src or 'client'} cannot reach {dst or 'client'}"
+        )
+        self.env._schedule(event, delay=timeout_s)
+        return event
+
+    def fault_state(self) -> NetworkFaults:
+        """The attached fault state, created on first use (chaos plane)."""
+        if self.faults is None:
+            self.faults = NetworkFaults()
+        return self.faults
+
+    def is_partitioned(self, src: str | None, dst: str | None) -> bool:
+        """Instant partition check (no simulated time)."""
+        return self.faults is not None and self.faults.partitioned(src, dst)
+
+    def check_path(self, src: str | None, dst: str | None) -> None:
+        """Raise :class:`NetworkPartitionError` if ``src`` cannot reach
+        ``dst`` — an instant control-plane health check."""
+        if self.faults is not None and self.faults.partitioned(src, dst):
+            raise NetworkPartitionError(
+                f"network partition: {src or 'client'} cannot reach {dst or 'client'}"
+            )

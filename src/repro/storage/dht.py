@@ -20,7 +20,11 @@ import json
 from dataclasses import dataclass
 from typing import Any, Generator
 
-from repro.errors import ConcurrentModificationError, StorageError
+from repro.errors import (
+    ConcurrentModificationError,
+    NetworkPartitionError,
+    StorageError,
+)
 from repro.monitoring.tracing import Tracer
 from repro.sim.kernel import Environment, Process, all_of
 from repro.sim.network import Network
@@ -114,6 +118,10 @@ class Dht:
         self.mem_hits = 0
         self.mem_misses = 0
         self.evictions = 0
+        self.failover_reads = 0
+        self.failover_writes = 0
+        self.replication_skips = 0
+        self.stale_reads = 0
 
     # -- topology ----------------------------------------------------------
 
@@ -137,26 +145,42 @@ class Dht:
     def _get(self, key: str, caller: str | None) -> Generator:
         self.gets += 1
         owners = self.owners(key)
-        node = caller if caller in owners else owners[0]
-        yield self.network.transfer(caller, node, 128)
-        if self.model.op_cost_s:
-            yield self.env.timeout(self.model.op_cost_s)
-        doc = self._mem[node].get(key)
-        if doc is not None:
-            self.mem_hits += 1
-            self._touch(node, key)
-            self._trim(node, protect=key)
-            yield self.network.transfer(node, caller, doc_size_bytes(doc))
-            return copy.deepcopy(doc)
-        self.mem_misses += 1
-        if self.store is not None and self.model.persistent:
-            loaded = yield self.store.read(self.collection, key)
-            if loaded is not None:
-                for replica in owners:
-                    self._install(replica, key, copy.deepcopy(loaded))
-                yield self.network.transfer(node, caller, doc_size_bytes(loaded))
-                return copy.deepcopy(loaded)
-        return None
+        first = caller if caller in owners else owners[0]
+        # Read failover: try the nearest owner first, then the remaining
+        # replicas.  Without injected faults the loop runs exactly once.
+        order = [first] + [o for o in owners if o != first]
+        partition_error: NetworkPartitionError | None = None
+        for node in order:
+            try:
+                yield self.network.transfer(caller, node, 128)
+            except NetworkPartitionError as exc:
+                partition_error = exc
+                self.failover_reads += 1
+                continue
+            if self.model.op_cost_s:
+                yield self.env.timeout(self.model.op_cost_s)
+            doc = self._mem[node].get(key)
+            if doc is not None:
+                self.mem_hits += 1
+                self._touch(node, key)
+                self._trim(node, protect=key)
+                yield self.network.transfer(node, caller, doc_size_bytes(doc))
+                return copy.deepcopy(doc)
+            self.mem_misses += 1
+            if self.store is not None and self.model.persistent:
+                loaded = yield self.store.read(self.collection, key)
+                if loaded is not None:
+                    for replica in owners:
+                        # Never push a (possibly stale) store copy into an
+                        # unreachable owner's memory over a partition.
+                        if replica == node or not self.network.is_partitioned(
+                            node, replica
+                        ):
+                            self._install(replica, key, copy.deepcopy(loaded))
+                    yield self.network.transfer(node, caller, doc_size_bytes(loaded))
+                    return copy.deepcopy(loaded)
+            return None
+        raise partition_error
 
     def put(self, doc: dict[str, Any], caller: str | None = None) -> Process:
         """Store a record unconditionally; resolves to the stored doc."""
@@ -181,9 +205,21 @@ class Dht:
             raise StorageError("DHT put of a document without 'id'")
         self.puts += 1
         owners = self.owners(key)
-        primary = owners[0]
         size = doc_size_bytes(doc)
-        yield self.network.transfer(caller, primary, size)
+        # Sloppy-quorum accept: the first *reachable* owner acts as
+        # primary.  Healthy runs take the first iteration unconditionally.
+        primary: str | None = None
+        partition_error: NetworkPartitionError | None = None
+        for node in owners:
+            try:
+                yield self.network.transfer(caller, node, size)
+                primary = node
+                break
+            except NetworkPartitionError as exc:
+                partition_error = exc
+                self.failover_writes += 1
+        if primary is None:
+            raise partition_error
         if self.model.op_cost_s:
             yield self.env.timeout(self.model.op_cost_s)
         if expected_version is not None:
@@ -196,18 +232,41 @@ class Dht:
                 )
         stored = copy.deepcopy(doc)
         self._install(primary, key, stored)
-        replicas = owners[1:]
+        replicas = [o for o in owners if o != primary]
         if replicas:
-            yield all_of(
-                self.env,
-                [self.network.transfer(primary, r, size) for r in replicas],
-            )
-            for replica in replicas:
-                self._install(replica, key, copy.deepcopy(stored))
+            reachable = [
+                r for r in replicas if not self.network.is_partitioned(primary, r)
+            ]
+            self.replication_skips += len(replicas) - len(reachable)
+            if reachable:
+                yield all_of(
+                    self.env,
+                    [self.network.transfer(primary, r, size) for r in reachable],
+                )
+                for replica in reachable:
+                    self._install(replica, key, copy.deepcopy(stored))
         queue = self._queues.get(primary)
         if queue is not None:
             yield from queue.enqueue_blocking(copy.deepcopy(stored))
         return copy.deepcopy(stored)
+
+    def stale_get(self, key: str) -> Process:
+        """Last-resort read straight from the document store, bypassing
+        the (unreachable) owner set — graceful degradation for
+        persistent classes when every owner is partitioned away.  The
+        result may lag the in-memory truth by the write-behind window.
+        Resolves to the doc or ``None``; raises for ephemeral tiers."""
+        if self.store is None or not self.model.persistent:
+            raise StorageError(
+                f"collection {self.collection!r} is ephemeral: no durable "
+                "copy to serve a stale read from"
+            )
+        return self.env.process(self._stale_get(key))
+
+    def _stale_get(self, key: str) -> Generator:
+        self.stale_reads += 1
+        doc = yield self.store.read(self.collection, key)
+        return doc
 
     def delete(self, key: str, caller: str | None = None) -> Process:
         """Remove a record from memory (and, if persistent, the store)."""
@@ -393,5 +452,6 @@ class Dht:
             "flush_ops": sum(q.flush_ops for q in self._queues.values()),
             "docs_flushed": sum(q.docs_flushed for q in self._queues.values()),
             "blocked_enqueues": sum(q.blocked_enqueues for q in self._queues.values()),
+            "flush_failures": sum(q.flush_failures for q in self._queues.values()),
             "pending": sum(q.pending for q in self._queues.values()),
         }

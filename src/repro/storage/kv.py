@@ -15,6 +15,7 @@ read issued after a write's completion event observes it.
 from __future__ import annotations
 
 import copy
+import random
 from dataclasses import dataclass
 from typing import Any, Generator, Mapping
 
@@ -64,6 +65,36 @@ class DocumentStore:
         self.docs_written = 0
         self.read_ops = 0
         self.docs_read = 0
+        # Chaos-plane write-fault injection; rate 0.0 = healthy (default).
+        self._write_fault_rate = 0.0
+        self._fault_rng: random.Random | None = None
+        self.faulted_writes = 0
+
+    # -- fault injection (chaos plane) -------------------------------------
+
+    def set_write_fault(self, rate: float, rng: random.Random | None = None) -> None:
+        """Make write operations fail with probability ``rate``.
+
+        Failures surface as :class:`StorageError` *after* the operation
+        has consumed its work units (the DB did the work, the commit
+        failed).  With no ``rng``, any positive rate fails every write.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise StorageError(f"write fault rate must be in [0, 1], got {rate}")
+        self._write_fault_rate = rate
+        self._fault_rng = rng
+
+    def clear_write_fault(self) -> None:
+        self._write_fault_rate = 0.0
+        self._fault_rng = None
+
+    def _maybe_fail_write(self, collection: str) -> None:
+        if not self._write_fault_rate:
+            return
+        roll = self._fault_rng.random() if self._fault_rng is not None else 0.0
+        if roll < self._write_fault_rate:
+            self.faulted_writes += 1
+            raise StorageError(f"injected write fault on collection {collection!r}")
 
     # -- timed operations (data plane) ------------------------------------
 
@@ -82,6 +113,7 @@ class DocumentStore:
                 self._units_by_collection.get(collection, 0.0) + units
             )
             yield self._limiter.acquire(units)
+            self._maybe_fail_write(collection)
         table = self._collections.setdefault(collection, {})
         for doc in docs:
             table[doc["id"]] = doc

@@ -43,11 +43,19 @@ class WriteBehindConfig:
             the backpressure that ties the in-memory tier's accept rate
             to the database's sustainable write rate.  Updates that
             coalesce into an already-buffered document never block.
+        retry_backoff_s: initial delay before retrying a failed flush
+            (store write errors); doubles per consecutive failure.
+        max_retry_backoff_s: cap on the flush retry delay.  A batch is
+            retried indefinitely — accepted writes are never dropped on
+            transient store faults — so durability is preserved across
+            bounded fault windows.
     """
 
     batch_size: int = 100
     linger_s: float = 0.02
     max_pending: int = 2000
+    retry_backoff_s: float = 0.05
+    max_retry_backoff_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -58,6 +66,15 @@ class WriteBehindConfig:
             raise StorageError(
                 f"max_pending ({self.max_pending}) must be >= batch_size "
                 f"({self.batch_size})"
+            )
+        if self.retry_backoff_s <= 0:
+            raise StorageError(
+                f"retry_backoff_s must be > 0, got {self.retry_backoff_s}"
+            )
+        if self.max_retry_backoff_s < self.retry_backoff_s:
+            raise StorageError(
+                f"max_retry_backoff_s ({self.max_retry_backoff_s}) must be >= "
+                f"retry_backoff_s ({self.retry_backoff_s})"
             )
 
 
@@ -87,6 +104,7 @@ class WriteBehindQueue:
         self.flush_ops = 0
         self.docs_flushed = 0
         self.blocked_enqueues = 0
+        self.flush_failures = 0
         self._running = True
         self._flusher = env.process(self._run())
 
@@ -171,15 +189,33 @@ class WriteBehindQueue:
             yield from self._flush(batch)
 
     def _flush(self, batch: list[dict[str, Any]]) -> Generator:
-        """Write one batch to the store, traced when tracing is on."""
-        span = None
-        if self.tracer is not None and self.tracer.enabled:
-            span = self.tracer.start(
-                FLUSH_TRACE_ID, "wb.flush", queue=self.name, docs=len(batch)
-            )
-        yield self.store.write(self.collection, batch)
-        if span is not None:
-            self.tracer.finish(span)
-        self.flush_ops += 1
-        self.docs_flushed += len(batch)
-        self._space.fire()
+        """Write one batch to the store, traced when tracing is on.
+
+        Store write faults do not lose the batch: the flush is retried
+        in place with capped exponential backoff until the store
+        recovers (or the queue is stopped by a node crash).
+        """
+        backoff = self.config.retry_backoff_s
+        while True:
+            span = None
+            if self.tracer is not None and self.tracer.enabled:
+                span = self.tracer.start(
+                    FLUSH_TRACE_ID, "wb.flush", queue=self.name, docs=len(batch)
+                )
+            try:
+                yield self.store.write(self.collection, batch)
+            except StorageError as exc:
+                self.flush_failures += 1
+                if span is not None:
+                    self.tracer.finish(span, ok=False, error=str(exc))
+                if not self._running:
+                    return
+                yield self.env.timeout(backoff)
+                backoff = min(backoff * 2, self.config.max_retry_backoff_s)
+                continue
+            if span is not None:
+                self.tracer.finish(span)
+            self.flush_ops += 1
+            self.docs_flushed += len(batch)
+            self._space.fire()
+            return

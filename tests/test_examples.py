@@ -44,6 +44,12 @@ class TestExamples:
         assert "multi-datacenter demo complete." in result.stdout
         assert "regions: ['eu-west']" in result.stdout
 
+    def test_chaos_resilience(self):
+        result = run_example("chaos_resilience.py")
+        assert result.returncode == 0, result.stderr
+        assert "chaos demo PASSED" in result.stdout
+        assert "availability under fault" in result.stdout
+
     @pytest.mark.slow
     def test_fig3_scalability_quick_subset(self):
         result = run_example(
