@@ -1,0 +1,58 @@
+"""ABL-READPATH — read-side levers under a post-failure miss storm.
+
+Crashes a DHT node and fires concurrent reads at every object from the
+survivors: with everything off each concurrent miss is its own
+``op_cost + read_cost`` store read; single-flight coalescing collapses
+same-key misses to one read, the miss batcher folds keys into
+multi-gets, and the near cache absorbs the repeat wave on non-owner
+callers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import run_readpath_ablation
+from repro.bench.report import format_table
+
+MODES = ("off", "coalesce", "coalesce+batch", "coalesce+batch+near")
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_abl_readpath(benchmark, mode):
+    def run():
+        return run_readpath_ablation(modes=(mode,))[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append(row)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["store_read_ops"] = row.store_read_ops
+    benchmark.extra_info["mean_get_ms"] = round(row.mean_get_ms, 3)
+    assert row.store_read_ops > 0
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print("\n\n=== ABL-READPATH: miss-storm reads after fail_node (4 VMs) ===")
+    print(
+        format_table(
+            ("mode", "store_reads", "multi_gets", "coalesced", "near_hits", "mean_ms"),
+            [
+                (
+                    r.mode,
+                    r.store_read_ops,
+                    r.store_multi_read_ops,
+                    r.coalesced,
+                    r.near_hits,
+                    f"{r.mean_get_ms:.2f}",
+                )
+                for r in _ROWS
+            ],
+        )
+    )
+    by_mode = {r.mode: r for r in _ROWS}
+    if "off" in by_mode and "coalesce" in by_mode:
+        assert by_mode["off"].store_read_ops >= 2 * by_mode["coalesce"].store_read_ops

@@ -15,6 +15,9 @@
 * :func:`run_presigned_ablation` (ABL-PRESIGN) — presigned direct
   object-store access vs proxying file bytes through the platform
   (§III-D), across payload sizes.
+* :func:`run_readpath_ablation` (ABL-READPATH) — the read-side levers
+  (single-flight coalescing, miss-read batching, near cache) under the
+  thundering-herd miss storm that follows a node failure.
 """
 
 from __future__ import annotations
@@ -25,7 +28,6 @@ from typing import Generator, Iterable
 from repro.bench.config import Fig3Config
 from repro.bench.systems import OprcSystem
 from repro.faas.knative import KnativeModel
-from repro.invoker.request import InvocationRequest
 from repro.invoker.router import PlacementPolicy
 from repro.model.function import FunctionDefinition, ProvisionSpec
 from repro.orchestrator.cluster import Cluster
@@ -51,6 +53,8 @@ __all__ = [
     "run_replication_ablation",
     "BurstRow",
     "run_burst_ablation",
+    "ReadPathRow",
+    "run_readpath_ablation",
 ]
 
 
@@ -449,6 +453,99 @@ def run_burst_ablation(
             )
         )
         service.stop()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# ABL-READPATH
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReadPathRow:
+    mode: str
+    store_read_ops: int
+    store_multi_read_ops: int
+    mem_misses: int
+    coalesced: int
+    near_hits: int
+    mean_get_ms: float
+
+
+def run_readpath_ablation(
+    modes: Iterable[str] = ("off", "coalesce", "coalesce+batch", "coalesce+batch+near"),
+    nodes: int = 4,
+    objects: int = 300,
+    readers_per_key: int = 4,
+) -> list[ReadPathRow]:
+    """Read-path levers under a post-``fail_node`` miss storm.
+
+    Seeds a persistent DHT, crashes one node (its partition's memory is
+    lost; the documents survive in the store), then fires
+    ``readers_per_key`` concurrent gets per object from the surviving
+    nodes — the thundering herd every real recovery produces.  A second
+    identical wave follows, exercising the near cache on non-owner
+    callers.  With everything ``off`` each concurrent miss is its own
+    ``op_cost + read_cost`` store read; coalescing collapses them to one
+    per key, batching folds keys into multi-gets, and the near cache
+    absorbs the repeat wave locally.
+    """
+    from repro.sim.kernel import all_of
+    from repro.storage.dht import Dht, DhtModel
+    from repro.storage.kv import DbModel, DocumentStore
+    from repro.storage.read_path import ReadBatchConfig
+
+    rows: list[ReadPathRow] = []
+    for mode in modes:
+        env = Environment()
+        network = Network(env, NetworkModel())
+        store = DocumentStore(env, DbModel(capacity_units_per_s=50000.0))
+        model = DhtModel(
+            replication=1,
+            persistent=True,
+            read_coalescing="coalesce" in mode,
+            read_batch=(
+                ReadBatchConfig(max_batch=32, linger_s=0.002)
+                if "batch" in mode
+                else None
+            ),
+            near_cache_entries=objects if "near" in mode else 0,
+        )
+        node_names = [f"vm-{i}" for i in range(nodes)]
+        dht = Dht(env, node_names, network, store, model)
+        keys: list[str] = []
+        for index in range(objects):
+            key = f"obj-{index}"
+            dht.seed({"id": key, "version": 1, "payload": "x" * 64})
+            keys.append(key)
+        dht.fail_node(node_names[0])
+        callers = node_names[1:]
+        latencies: list[float] = []
+
+        def one_get(key: str, caller: str) -> Generator:
+            started = env.now
+            yield dht.get(key, caller=caller)
+            latencies.append(env.now - started)
+
+        for _wave in range(2):
+            processes = [
+                env.process(one_get(key, callers[(index + reader) % len(callers)]))
+                for index, key in enumerate(keys)
+                for reader in range(readers_per_key)
+            ]
+            env.run(until=all_of(env, processes))
+        stats = dht.read_path_stats
+        rows.append(
+            ReadPathRow(
+                mode=mode,
+                store_read_ops=store.read_ops,
+                store_multi_read_ops=store.multi_read_ops,
+                mem_misses=dht.mem_misses,
+                coalesced=stats["read_coalesced"],
+                near_hits=stats["near_hits"],
+                mean_get_ms=sum(latencies) / max(1, len(latencies)) * 1000.0,
+            )
+        )
     return rows
 
 

@@ -47,6 +47,7 @@ from repro.sim.kernel import Environment
 from repro.sim.network import NetworkModel
 from repro.sim.rng import RngStreams
 from repro.storage.kv import DbModel, DocumentStore
+from repro.storage.read_path import ReadBatchConfig
 from repro.storage.write_behind import WriteBehindConfig
 
 __all__ = ["BenchSystem", "OprcSystem", "KnativeBaselineSystem", "build_system", "SYSTEMS"]
@@ -113,6 +114,11 @@ class OprcSystem(BenchSystem):
         write_behind = WriteBehindConfig(
             batch_size=cfg.batch_size, linger_s=cfg.linger_s, max_pending=cfg.max_pending
         )
+        read_batch = (
+            ReadBatchConfig(max_batch=cfg.read_batch_max, linger_s=cfg.read_batch_linger_s)
+            if cfg.read_batch_max > 0
+            else None
+        )
         template = ClassRuntimeTemplate(
             name=f"bench-{variant}",
             selector=TemplateSelector(),
@@ -123,6 +129,9 @@ class OprcSystem(BenchSystem):
                 persistent=persistent,
                 write_behind=write_behind,
                 min_scale_override=cfg.max_pods(nodes) if bypass else None,
+                read_coalescing=cfg.read_coalescing,
+                read_batch=read_batch,
+                near_cache_entries=cfg.near_cache_entries,
             ),
             priority=100,
             description="benchmark-pinned runtime",
@@ -206,12 +215,15 @@ class OprcSystem(BenchSystem):
         out: dict[str, Any] = {
             "db_write_ops": self.platform.store.write_ops,
             "db_docs_written": self.platform.store.docs_written,
+            "db_read_ops": self.platform.store.read_ops,
+            "db_multi_read_ops": self.platform.store.multi_read_ops,
             "replicas": svc.replicas,
             "cold_starts": svc.cold_starts,
             "cas_conflicts": self.platform.engine.cas_conflicts,
         }
         if runtime.dht.model.persistent:
             out.update(runtime.dht.write_behind_stats)
+        out.update(runtime.dht.read_path_stats)
         return out
 
     def shutdown(self) -> None:
@@ -298,6 +310,7 @@ class KnativeBaselineSystem(BenchSystem):
         return {
             "db_write_ops": self.store.write_ops,
             "db_docs_written": self.store.docs_written,
+            "db_read_ops": self.store.read_ops,
             "replicas": self.service.replicas if self.service else 0,
             "cold_starts": self.service.cold_starts if self.service else 0,
         }

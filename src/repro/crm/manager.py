@@ -141,6 +141,9 @@ class ClassRuntimeManager:
                 persistent=config.persistent,
                 write_behind=config.write_behind,
                 max_entries_per_node=config.dht_max_entries,
+                read_coalescing=config.read_coalescing,
+                read_batch=config.read_batch,
+                near_cache_entries=config.near_cache_entries,
             ),
             collection=f"objects.{resolved.name}",
             tracer=self.tracer,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.errors import TemplateSelectionError, ValidationError
 from repro.invoker.router import PlacementPolicy
 from repro.model.nfr import NonFunctionalRequirements
+from repro.storage.read_path import ReadBatchConfig
 from repro.storage.write_behind import WriteBehindConfig
 
 __all__ = [
@@ -79,6 +80,12 @@ class RuntimeConfig:
             keeps the function's own provision spec).
         dht_max_entries: per-node cap on resident object records
             (LRU-evicted; ``None`` = unbounded).
+        read_coalescing: single-flight store reads on DHT misses
+            (concurrent misses on one key share one store read).
+        read_batch: miss-read batching window configuration (``None``
+            = point reads).
+        near_cache_entries: per-node near cache of remotely-fetched
+            records for non-owner callers (``0`` = disabled).
     """
 
     engine: str = "knative"
@@ -88,6 +95,9 @@ class RuntimeConfig:
     write_behind: WriteBehindConfig = field(default_factory=WriteBehindConfig)
     min_scale_override: int | None = None
     dht_max_entries: int | None = None
+    read_coalescing: bool = False
+    read_batch: ReadBatchConfig | None = None
+    near_cache_entries: int = 0
 
     def __post_init__(self) -> None:
         if self.engine not in ("knative", "deployment"):
@@ -99,6 +109,10 @@ class RuntimeConfig:
         if self.min_scale_override is not None and self.min_scale_override < 0:
             raise ValidationError(
                 f"min_scale_override must be >= 0, got {self.min_scale_override}"
+            )
+        if self.near_cache_entries < 0:
+            raise ValidationError(
+                f"near_cache_entries must be >= 0, got {self.near_cache_entries}"
             )
 
 

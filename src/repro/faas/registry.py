@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable
 
 from repro.errors import ValidationError
 from repro.faas.runtime import InvocationTask, TaskContext

@@ -406,6 +406,7 @@ class InvocationEngine:
         parent: Span | None = None,
         policy: ResiliencePolicy | None = None,
         exclude: set[str] | None = None,
+        fresh: bool = False,
     ) -> Generator[Any, Any, ObjectRecord]:
         cls = self._target_class(request)
         resolved = self.directory.resolved(cls)
@@ -426,7 +427,7 @@ class InvocationEngine:
             )
             try:
                 dht.network.check_path(None, caller)
-                doc = yield dht.get(request.object_id, caller=caller)
+                doc = yield dht.get(request.object_id, caller=caller, fresh=fresh)
             except TransportError as exc:
                 self.tracer.finish(span, ok=False, error=type(exc).__name__)
                 attempt += 1
@@ -526,8 +527,11 @@ class InvocationEngine:
                             retries=retries,
                             error_type="ConcurrentModificationError",
                         )
+                    # fresh=True: a CAS conflict means our copy was stale;
+                    # a near-cache re-read could hand the same stale
+                    # version straight back and spin the retry loop.
                     record = yield from self._load_record(
-                        request, trace_id, root, policy=policy
+                        request, trace_id, root, policy=policy, fresh=True
                     )
                     continue
                 except TransportError as exc:

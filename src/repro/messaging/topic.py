@@ -10,7 +10,7 @@ commits serializable without locking.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.errors import MessagingError

@@ -144,6 +144,10 @@ def summary_report(
             lookups = dht.mem_hits + dht.mem_misses
             row["dht_hit_rate"] = dht.mem_hits / lookups if lookups else 0.0
             row["dht_pending_writes"] = dht.pending_writes()
+            read_path = dht.read_path_stats
+            row["read_coalesced"] = read_path["read_coalesced"]
+            row["near_hits"] = read_path["near_hits"]
+            row["batched_reads"] = read_path["batched_reads"]
             row["cold_starts"] = sum(
                 getattr(svc, "cold_starts", 0) for svc in runtime.services.values()
             )
@@ -192,6 +196,14 @@ def format_summary(report: Mapping[str, Any]) -> str:
                     f"dht_hit={row['dht_hit_rate'] * 100:.0f}% "
                     f"wb_pending={row['dht_pending_writes']} "
                     f"cold_starts={row['cold_starts']} queue={row['queue_depth']}"
+                )
+            if row.get("read_coalesced") or row.get("near_hits") or row.get(
+                "batched_reads"
+            ):
+                parts.append(
+                    f"coalesced={row['read_coalesced']} "
+                    f"near_hits={row['near_hits']} "
+                    f"batched_reads={row['batched_reads']}"
                 )
             lines.append(" ".join(parts))
     return "\n".join(lines)

@@ -17,7 +17,7 @@ are plain strings).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import UnknownFunctionError
 from repro.invoker.engine import split_object_id

@@ -59,10 +59,16 @@ class Resource:
         return event
 
     def release(self) -> None:
-        """Return a slot to the pool, waking the oldest waiter."""
+        """Return a slot to the pool, waking the oldest waiter.
+
+        After a :meth:`resize` shrink the pool may be over-committed
+        (``in_use > capacity``); released slots then retire instead of
+        passing to a waiter, so the pool actually drains down to the new
+        capacity even while requests are queued.
+        """
         if self.in_use <= 0:
             raise SimulationError("release() without a matching request()")
-        if self._waiting:
+        if self._waiting and self.in_use <= self.capacity:
             event = self._waiting.popleft()
             event._ok = True
             event._value = None

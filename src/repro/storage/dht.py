@@ -28,8 +28,10 @@ from repro.errors import (
 from repro.monitoring.tracing import Tracer
 from repro.sim.kernel import Environment, Process, all_of
 from repro.sim.network import Network
+from repro.sim.resources import Gate
 from repro.storage.hashring import HashRing
 from repro.storage.kv import DocumentStore
+from repro.storage.read_path import ReadBatchConfig, ReadBatcher
 from repro.storage.write_behind import WriteBehindConfig, WriteBehindQueue
 
 __all__ = ["DhtModel", "Dht"]
@@ -46,6 +48,22 @@ class DhtModel:
             ``False`` the tier is memory-only — Fig. 3's
             ``oprc-bypass-nonpersist`` configuration.
         write_behind: batching configuration when persistent.
+        read_coalescing: single-flight store reads — concurrent misses
+            on the same key collapse into ONE in-flight document-store
+            read; waiters park on a per-key gate and share the result.
+            Kills the thundering-herd read storm after a node failure,
+            rebalance, or cold-start chaos event.
+        read_batch: when set, miss reads go through a
+            :class:`~repro.storage.read_path.ReadBatcher` that lingers
+            briefly and issues one multi-get (``op_cost + k *
+            read_cost``) per window instead of ``k`` point reads.
+        near_cache_entries: when > 0, each node keeps a bounded LRU
+            *near cache* of records it fetched as a non-owner caller.
+            Invalidated on every put/delete and dropped wholesale on
+            membership change; a near-cache hit can still serve a copy
+            at most one commit stale, which the invoker's optimistic
+            CAS commit detects (retries reload with ``fresh=True``).
+            ``0`` disables the cache.
     """
 
     op_cost_s: float = 0.00002
@@ -57,6 +75,9 @@ class DhtModel:
     #: eviction is safe (misses reload from the document store); for
     #: ephemeral caches an evicted entry is gone, like any cache.
     max_entries_per_node: int | None = None
+    read_coalescing: bool = False
+    read_batch: ReadBatchConfig | None = None
+    near_cache_entries: int = 0
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -66,6 +87,10 @@ class DhtModel:
         if self.max_entries_per_node is not None and self.max_entries_per_node < 1:
             raise StorageError(
                 f"max_entries_per_node must be >= 1, got {self.max_entries_per_node}"
+            )
+        if self.near_cache_entries < 0:
+            raise StorageError(
+                f"near_cache_entries must be >= 0, got {self.near_cache_entries}"
             )
 
 
@@ -102,6 +127,14 @@ class Dht:
             raise StorageError("persistent DHT requires a document store")
         self.ring = HashRing(list(nodes))
         self._mem: dict[str, dict[str, dict[str, Any]]] = {n: {} for n in nodes}
+        #: Per-node near cache: records fetched by this node as a
+        #: *non-owner* caller.  Empty (and never consulted) unless
+        #: ``model.near_cache_entries > 0``.
+        self._near: dict[str, dict[str, dict[str, Any]]] = {n: {} for n in nodes}
+        #: key -> gate of the single in-flight store read for that key
+        #: (read_coalescing); later misses wait here instead of issuing
+        #: their own read.
+        self._inflight_reads: dict[str, Gate] = {}
         self._queues: dict[str, WriteBehindQueue] = {}
         if self.model.persistent:
             for node in nodes:
@@ -113,6 +146,15 @@ class Dht:
                     name=f"wb-{node}",
                     tracer=tracer,
                 )
+        self._read_batcher: ReadBatcher | None = None
+        if (
+            self.model.read_batch is not None
+            and self.model.persistent
+            and store is not None
+        ):
+            self._read_batcher = ReadBatcher(
+                env, store, collection, self.model.read_batch, name=f"rb-{collection}"
+            )
         self.gets = 0
         self.puts = 0
         self.mem_hits = 0
@@ -122,6 +164,10 @@ class Dht:
         self.failover_writes = 0
         self.replication_skips = 0
         self.stale_reads = 0
+        self.read_coalesced = 0
+        self.near_hits = 0
+        self.near_evictions = 0
+        self.near_invalidations = 0
 
     # -- topology ----------------------------------------------------------
 
@@ -138,12 +184,28 @@ class Dht:
 
     # -- data path -----------------------------------------------------------
 
-    def get(self, key: str, caller: str | None = None) -> Process:
-        """Fetch a record; the process resolves to the doc or ``None``."""
-        return self.env.process(self._get(key, caller))
+    def get(self, key: str, caller: str | None = None, fresh: bool = False) -> Process:
+        """Fetch a record; the process resolves to the doc or ``None``.
 
-    def _get(self, key: str, caller: str | None) -> Generator:
+        ``fresh=True`` bypasses the caller's near cache (when one is
+        enabled) and reads through to an owner — the invoker passes it
+        on CAS-conflict reloads so an optimistic retry can never spin on
+        a stale near-cache copy.
+        """
+        return self.env.process(self._get(key, caller, fresh))
+
+    def _get(self, key: str, caller: str | None, fresh: bool = False) -> Generator:
         self.gets += 1
+        if self.model.near_cache_entries and not fresh and caller is not None:
+            cached = self._near_lookup(caller, key)
+            if cached is not None:
+                # Served from the caller's own near cache: loopback
+                # transfer plus the usual per-op CPU cost, no owner RPC.
+                self.near_hits += 1
+                yield self.network.transfer(caller, caller, 128)
+                if self.model.op_cost_s:
+                    yield self.env.timeout(self.model.op_cost_s)
+                return copy.deepcopy(cached)
         owners = self.owners(key)
         first = caller if caller in owners else owners[0]
         # Read failover: try the nearest owner first, then the remaining
@@ -165,22 +227,65 @@ class Dht:
                 self._touch(node, key)
                 self._trim(node, protect=key)
                 yield self.network.transfer(node, caller, doc_size_bytes(doc))
+                self._near_install(caller, key, doc)
                 return copy.deepcopy(doc)
             self.mem_misses += 1
             if self.store is not None and self.model.persistent:
-                loaded = yield self.store.read(self.collection, key)
+                loaded = yield from self._load_miss(key, node, owners)
                 if loaded is not None:
-                    for replica in owners:
-                        # Never push a (possibly stale) store copy into an
-                        # unreachable owner's memory over a partition.
-                        if replica == node or not self.network.is_partitioned(
-                            node, replica
-                        ):
-                            self._install(replica, key, copy.deepcopy(loaded))
                     yield self.network.transfer(node, caller, doc_size_bytes(loaded))
+                    self._near_install(caller, key, loaded)
                     return copy.deepcopy(loaded)
             return None
         raise partition_error
+
+    def _load_miss(self, key: str, node: str, owners: list[str]) -> Generator:
+        """Load a missed key from the document store via owner ``node``.
+
+        With ``read_coalescing`` the first miss becomes the *leader*: it
+        issues the store read (point read or batched multi-get) and
+        installs the result into the reachable owners' memory; every
+        concurrent miss on the same key parks on the leader's gate and
+        shares the result without touching the store.
+        """
+        if not self.model.read_coalescing:
+            loaded = yield from self._store_read(key)
+            if loaded is not None:
+                self._install_owners(key, node, owners, loaded)
+            return loaded
+        gate = self._inflight_reads.get(key)
+        if gate is not None:
+            self.read_coalesced += 1
+            loaded = yield gate.wait()
+            return loaded
+        gate = Gate(self.env)
+        self._inflight_reads[key] = gate
+        loaded = None
+        try:
+            loaded = yield from self._store_read(key)
+            if loaded is not None:
+                self._install_owners(key, node, owners, loaded)
+        finally:
+            self._inflight_reads.pop(key, None)
+            gate.fire(loaded)
+        return loaded
+
+    def _store_read(self, key: str) -> Generator:
+        """One document-store read, through the miss batcher when on."""
+        if self._read_batcher is not None:
+            doc = yield from self._read_batcher.read(key)
+            return copy.deepcopy(doc) if doc is not None else None
+        doc = yield self.store.read(self.collection, key)
+        return doc
+
+    def _install_owners(
+        self, key: str, node: str, owners: list[str], loaded: dict[str, Any]
+    ) -> None:
+        for replica in owners:
+            # Never push a (possibly stale) store copy into an
+            # unreachable owner's memory over a partition.
+            if replica == node or not self.network.is_partitioned(node, replica):
+                self._install(replica, key, copy.deepcopy(loaded))
 
     def put(self, doc: dict[str, Any], caller: str | None = None) -> Process:
         """Store a record unconditionally; resolves to the stored doc."""
@@ -232,6 +337,9 @@ class Dht:
                 )
         stored = copy.deepcopy(doc)
         self._install(primary, key, stored)
+        # Commit invalidates every near-cached copy: the next non-fresh
+        # read on any caller refetches from an owner.
+        self._near_invalidate(key)
         replicas = [o for o in owners if o != primary]
         if replicas:
             reachable = [
@@ -279,10 +387,13 @@ class Dht:
             yield self.env.timeout(self.model.op_cost_s)
         for node in owners:
             self._mem[node].pop(key, None)
+        self._near_invalidate(key)
         # A buffered (not yet flushed) update must not resurrect the
-        # object after the store delete lands.
-        queue = self._queues.get(owners[0])
-        if queue is not None:
+        # object after the store delete lands.  Check EVERY node's
+        # queue, not just the current primary's: a sloppy-quorum write
+        # during a partition buffers on the failover primary, and a
+        # rebalance can leave buffered updates on ex-owners.
+        for queue in self._queues.values():
             queue.discard(key)
         if self.store is not None and self.model.persistent:
             yield self.store.delete(self.collection, key)
@@ -324,12 +435,52 @@ class Dht:
             del mem[victim]
             self.evictions += 1
 
+    # -- near cache (non-owner callers) ------------------------------------
+
+    def _near_lookup(self, caller: str, key: str) -> dict[str, Any] | None:
+        """The caller's near-cached copy of ``key``, LRU-touched, or None."""
+        cache = self._near.get(caller)
+        if not cache:
+            return None
+        doc = cache.get(key)
+        if doc is None:
+            return None
+        cache[key] = cache.pop(key)
+        return doc
+
+    def _near_install(self, caller: str | None, key: str, doc: dict[str, Any]) -> None:
+        """Cache a remotely-fetched record on the caller (bounded LRU).
+
+        Owners never near-cache: their partition memory is the
+        authoritative copy already.
+        """
+        cap = self.model.near_cache_entries
+        if not cap or caller is None or caller in self.owners(key):
+            return
+        cache = self._near.get(caller)
+        if cache is None:
+            return
+        cache.pop(key, None)
+        cache[key] = copy.deepcopy(doc)
+        while len(cache) > cap:
+            del cache[next(iter(cache))]
+            self.near_evictions += 1
+
+    def _near_invalidate(self, key: str) -> None:
+        """Drop every near-cached copy of ``key`` (commit/delete)."""
+        if not self.model.near_cache_entries:
+            return
+        for cache in self._near.values():
+            if cache.pop(key, None) is not None:
+                self.near_invalidations += 1
+
     # -- membership (elasticity + failures) -----------------------------------
 
     def add_node(self, node: str) -> dict[str, int]:
         """Join a node and rebalance ownership onto it."""
         self.ring.add_node(node)
         self._mem[node] = {}
+        self._near[node] = {}
         if self.model.persistent:
             self._queues[node] = WriteBehindQueue(
                 self.env,
@@ -361,6 +512,7 @@ class Dht:
         if queue is not None:
             lost_pending = queue.stop()["lost"]
         self._mem.pop(node, None)
+        self._near.pop(node, None)
         self.ring.remove_node(node)
         stats = self.rebalance()
         stats["lost_pending"] = lost_pending
@@ -374,6 +526,10 @@ class Dht:
         experiments measure the *durability* consequences of membership
         change, not state-transfer bandwidth.
         """
+        # Ownership is changing under every cached key — drop the near
+        # caches wholesale rather than re-validating entry by entry.
+        for cache in self._near.values():
+            cache.clear()
         merged: dict[str, dict[str, Any]] = {}
         for node_mem in self._mem.values():
             for key, doc in node_mem.items():
@@ -455,3 +611,22 @@ class Dht:
             "flush_failures": sum(q.flush_failures for q in self._queues.values()),
             "pending": sum(q.pending for q in self._queues.values()),
         }
+
+    @property
+    def read_path_stats(self) -> dict[str, int]:
+        """Aggregated read-path statistics (coalescing/batching/near cache)."""
+        stats = {
+            "read_coalesced": self.read_coalesced,
+            "near_hits": self.near_hits,
+            "near_evictions": self.near_evictions,
+            "near_invalidations": self.near_invalidations,
+            "near_resident": sum(len(c) for c in self._near.values()),
+            "batched_reads": 0,
+            "batch_ops": 0,
+            "batch_deduplicated": 0,
+        }
+        if self._read_batcher is not None:
+            stats["batched_reads"] = self._read_batcher.requested
+            stats["batch_ops"] = self._read_batcher.batch_ops
+            stats["batch_deduplicated"] = self._read_batcher.deduplicated
+        return stats

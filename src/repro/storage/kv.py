@@ -65,6 +65,7 @@ class DocumentStore:
         self.docs_written = 0
         self.read_ops = 0
         self.docs_read = 0
+        self.multi_read_ops = 0
         # Chaos-plane write-fault injection; rate 0.0 = healthy (default).
         self._write_fault_rate = 0.0
         self._fault_rng: random.Random | None = None
@@ -107,13 +108,16 @@ class DocumentStore:
         return self.env.process(self._write(collection, [copy.deepcopy(dict(d)) for d in docs]))
 
     def _write(self, collection: str, docs: list[dict[str, Any]]) -> Generator:
-        if docs:
-            units = self.model.write_units(len(docs))
-            self._units_by_collection[collection] = (
-                self._units_by_collection.get(collection, 0.0) + units
-            )
-            yield self._limiter.acquire(units)
-            self._maybe_fail_write(collection)
+        # An empty batch consumes no work units and must not count as an
+        # operation either, or flush_ops-per-doc accounting is skewed.
+        if not docs:
+            return 0
+        units = self.model.write_units(len(docs))
+        self._units_by_collection[collection] = (
+            self._units_by_collection.get(collection, 0.0) + units
+        )
+        yield self._limiter.acquire(units)
+        self._maybe_fail_write(collection)
         table = self._collections.setdefault(collection, {})
         for doc in docs:
             table[doc["id"]] = doc
@@ -137,6 +141,38 @@ class DocumentStore:
             self.docs_read += 1
             return copy.deepcopy(doc)
         return None
+
+    def read_many(self, collection: str, keys: list[str]) -> Process:
+        """Read a batch of documents as ONE operation (multi-get).
+
+        Costs ``op_cost + k * read_cost`` work units — the read-side
+        mirror of :meth:`~DbModel.write_units` batching — so ``k`` misses
+        coalesced into one window amortize the fixed per-operation cost
+        the same way the write-behind flusher does.  The process resolves
+        to ``{key: doc}`` with absent keys mapped to ``None``.
+        """
+        return self.env.process(self._read_many(collection, list(keys)))
+
+    def _read_many(self, collection: str, keys: list[str]) -> Generator:
+        if not keys:
+            return {}
+        units = self.model.read_units(len(keys))
+        self._units_by_collection[collection] = (
+            self._units_by_collection.get(collection, 0.0) + units
+        )
+        yield self._limiter.acquire(units)
+        self.read_ops += 1
+        self.multi_read_ops += 1
+        table = self._collections.get(collection, {})
+        out: dict[str, Any] = {}
+        for key in keys:
+            doc = table.get(key)
+            if doc is not None:
+                self.docs_read += 1
+                out[key] = copy.deepcopy(doc)
+            else:
+                out[key] = None
+        return out
 
     def delete(self, collection: str, key: str) -> Process:
         """Delete one document (no-op if absent)."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator
 from urllib.parse import parse_qs, quote, unquote, urlparse
 

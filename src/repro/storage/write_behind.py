@@ -97,8 +97,17 @@ class WriteBehindQueue:
         self.name = name
         self.tracer = tracer
         self._buffer: dict[str, dict[str, Any]] = {}
+        #: The batch currently popped by the flusher and not yet durable
+        #: (in the store write or the retry-backoff loop).  Tracked so a
+        #: node crash counts it in the loss report and a delete can
+        #: discard it before a retry resurrects the document.
+        self._inflight: list[dict[str, Any]] | None = None
         self._arrival = Gate(env)
         self._space = Gate(env)
+        #: Fired by the flusher whenever buffer and in-flight batch are
+        #: both empty — what :meth:`drain` waits on.
+        self._idle = Gate(env)
+        self._drain_requested = 0
         self.enqueued = 0
         self.coalesced = 0
         self.flush_ops = 0
@@ -144,12 +153,23 @@ class WriteBehindQueue:
         self.enqueue(doc)
 
     def discard(self, key: str) -> bool:
-        """Drop a buffered update (object deletion); True if present."""
+        """Drop a buffered update (object deletion); True if present.
+
+        Also removes the document from the batch the flusher currently
+        holds (in place, so a pending retry observes the removal) — a
+        retried batch must not resurrect a deleted object either.
+        """
+        found = False
         if key in self._buffer:
             del self._buffer[key]
             self._space.fire()
-            return True
-        return False
+            found = True
+        if self._inflight:
+            kept = [doc for doc in self._inflight if doc.get("id") != key]
+            if len(kept) != len(self._inflight):
+                self._inflight[:] = kept
+                found = True
+        return found
 
     def _take_batch(self) -> list[dict[str, Any]]:
         keys = list(self._buffer)[: self.config.batch_size]
@@ -159,44 +179,81 @@ class WriteBehindQueue:
         """Stop the flusher (node failure); buffered documents are LOST.
 
         Returns ``{"lost": n}`` — the durability gap a crash opens when
-        write-behind batching is in play.
+        write-behind batching is in play.  The count covers both the
+        buffer and the batch the flusher currently holds in its flush /
+        retry loop: under store write faults that batch never commits,
+        so including it makes the loss report exact.  (In the rare race
+        where the crash lands while a *healthy* store write is mid-air,
+        the batch still commits and the report is conservative by one
+        batch.)
         """
         self._running = False
-        lost = len(self._buffer)
+        lost = len(self._buffer) + (len(self._inflight) if self._inflight else 0)
         self._buffer.clear()
+        self._inflight = None
         self._arrival.fire()
+        self._idle.fire()
         return {"lost": lost}
 
     def _run(self) -> Generator:
         while self._running:
             if not self._buffer:
+                if self._inflight is None:
+                    self._idle.fire()
                 yield self._arrival.wait()
                 if not self._running:
                     return
-            if len(self._buffer) < self.config.batch_size and self.config.linger_s > 0:
+                continue
+            if (
+                len(self._buffer) < self.config.batch_size
+                and self.config.linger_s > 0
+                and not self._drain_requested
+            ):
                 yield self.env.timeout(self.config.linger_s)
             batch = self._take_batch()
             if batch:
                 yield from self._flush(batch)
 
     def drain(self) -> Process:
-        """Flush everything currently buffered; resolves when durable."""
+        """Flush everything currently buffered; resolves when durable.
+
+        Routed through the flusher process rather than writing directly:
+        a concurrent direct write could race a batch the flusher popped
+        before a store fault, letting the retried (older) batch overwrite
+        the newer version at the store.  With a single writer, batches
+        always land in pop order and last-write-wins is preserved.  A
+        drain that arrives while the flusher lingers waits that linger
+        out (at most ``linger_s``) before flushing proceeds.
+        """
         return self.env.process(self._drain())
 
     def _drain(self) -> Generator:
-        while self._buffer:
-            batch = self._take_batch()
-            yield from self._flush(batch)
+        while self._running and (self._buffer or self._inflight is not None):
+            self._drain_requested += 1
+            self._arrival.fire()
+            try:
+                yield self._idle.wait()
+            finally:
+                self._drain_requested -= 1
 
     def _flush(self, batch: list[dict[str, Any]]) -> Generator:
         """Write one batch to the store, traced when tracing is on.
 
         Store write faults do not lose the batch: the flush is retried
         in place with capped exponential backoff until the store
-        recovers (or the queue is stopped by a node crash).
+        recovers (or the queue is stopped by a node crash, which counts
+        the batch as lost in :meth:`stop`'s report).
         """
+        self._inflight = batch
         backoff = self.config.retry_backoff_s
         while True:
+            if not self._running:
+                return
+            if not batch:
+                # Everything in the batch was discarded (deleted) while
+                # we were retrying — nothing left to persist.
+                self._inflight = None
+                return
             span = None
             if self.tracer is not None and self.tracer.enabled:
                 span = self.tracer.start(
@@ -215,6 +272,11 @@ class WriteBehindQueue:
                 continue
             if span is not None:
                 self.tracer.finish(span)
+            if not self._running:
+                # Crash raced a successful commit: the data is durable,
+                # but the node is gone — skip post-flush bookkeeping.
+                return
+            self._inflight = None
             self.flush_ops += 1
             self.docs_flushed += len(batch)
             self._space.fire()

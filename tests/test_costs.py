@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crm.costs import HOURS_PER_MONTH, ClassCostMeter, CostModel, CostTracker
+from repro.crm.costs import HOURS_PER_MONTH, ClassCostMeter, CostModel
 from repro.crm.template import ClassRuntimeTemplate, RuntimeConfig, TemplateCatalog
 from repro.crm.optimizer import RequirementOptimizer
 from repro.platform.oparaca import Oparaca, PlatformConfig

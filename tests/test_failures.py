@@ -9,7 +9,7 @@ node.
 
 import pytest
 
-from repro.errors import StorageError, UnknownObjectError
+from repro.errors import StorageError
 from repro.platform.oparaca import Oparaca, PlatformConfig
 from repro.crm.template import ClassRuntimeTemplate, RuntimeConfig, TemplateCatalog
 from repro.sim.network import Network

@@ -1,7 +1,5 @@
 """Property-based tests at the platform level (hypothesis)."""
 
-import string
-
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

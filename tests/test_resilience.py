@@ -14,7 +14,6 @@ import pytest
 from repro.errors import NetworkPartitionError, ValidationError
 from repro.invoker.resilience import (
     BreakerBoard,
-    BreakerState,
     ResiliencePolicy,
 )
 from repro.model.nfr import NonFunctionalRequirements, QosRequirement

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.kernel import all_of
 from repro.sim.resources import Container, Gate, RateLimiter, Resource, Store
 
 
@@ -101,6 +100,38 @@ class TestResource:
         assert res.in_use == 2  # drains as holders release
         env.run()
         assert res.in_use <= res.capacity
+
+    def test_release_after_shrink_retires_slot_not_waiter(self, env):
+        # Regression: with waiters queued, release() used to hand the
+        # freed slot straight to a waiter even when a resize() shrink
+        # had left in_use > capacity — the pool never drained and
+        # scale-down silently never took effect under queueing.
+        res = Resource(env, 2)
+        grants = []
+
+        def worker(env, tag, hold):
+            yield res.request()
+            grants.append((tag, env.now))
+            yield env.timeout(hold)
+            res.release()
+
+        def shrink(env):
+            yield env.timeout(0.5)
+            res.resize(1)
+
+        env.process(worker(env, "h0", 1.0))
+        env.process(worker(env, "h1", 2.0))
+        env.process(worker(env, "w0", 0.0))
+        env.process(worker(env, "w1", 0.0))
+        env.process(shrink(env))
+        env.run()
+        assert grants[:2] == [("h0", 0.0), ("h1", 0.0)]
+        # h0's release at t=1 must retire the over-capacity slot, so the
+        # waiters are only admitted after h1 releases at t=2 — and then
+        # one at a time through the single remaining slot.
+        assert grants[2:] == [("w0", 2.0), ("w1", 2.0)]
+        assert res.in_use == 0
+        assert res.capacity == 1
 
 
 class TestContainer:

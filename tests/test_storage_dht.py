@@ -261,3 +261,54 @@ class TestSeedAndStats:
         for i in range(10):
             dht.seed(doc(f"k{i}"))
         assert dht.mem_count() == 10
+
+
+class TestDeleteVsBufferedWrites:
+    def test_delete_discards_failover_primary_buffer(self, env):
+        # Regression: a sloppy-quorum write during a partition buffers on
+        # the FAILOVER owner's queue; delete used to discard only from
+        # owners[0]'s queue, so the flush resurrected the deleted object.
+        dht, store, network = make_dht(env, nodes=3, replication=2, linger=5.0)
+
+        def scenario(env):
+            key = "obj"
+            owners = dht.owners(key)
+            network.fault_state().isolate([owners[0]])
+            yield dht.put(doc(key), caller=owners[1])  # buffers on owners[1]
+            network.fault_state().clear_partition()
+            yield dht.delete(key, caller=owners[1])
+            yield dht.flush_all()
+
+        run(env, scenario(env))
+        assert store.count("objects") == 0
+        assert dht.pending_writes() == 0
+
+
+class TestFailNodeLossAccounting:
+    def test_loss_exact_under_store_faults(self, env):
+        # lost_pending must cover both the buffered docs AND the batch
+        # the flusher holds in its retry loop when the node crashes.
+        dht, store, network = make_dht(env, nodes=2, linger=0.01, batch=10)
+        victim = dht.nodes[0]
+        keys = [k for k in (f"k{i}" for i in range(200)) if dht.owner(k) == victim]
+        assert len(keys) >= 5
+        keys = keys[:5]
+        store.set_write_fault(1.0)
+
+        def scenario(env):
+            for key in keys[:3]:
+                yield dht.put(doc(key), caller=victim)
+            yield env.timeout(0.3)  # flusher pops a batch; every write faults
+            for key in keys[3:]:
+                yield dht.put(doc(key), caller=victim)
+            # Snapshot before the crash removes the victim's queue.
+            before = dht.write_behind_stats
+            return dht.fail_node(victim), before
+
+        stats, before = run(env, scenario(env))
+        assert before["flush_failures"] >= 1  # a batch really was in flight
+        assert before["pending"] < 5  # ... so not all five were buffered
+        assert stats["lost_pending"] == 5
+        store.clear_write_fault()
+        env.run(until=10.0)
+        assert store.count("objects") == 0  # nothing leaks out post-crash

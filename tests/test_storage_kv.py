@@ -149,3 +149,84 @@ class TestDocumentStore:
             return fresh
 
         assert run(env, scenario(env))["nested"] == 1
+
+
+class TestEmptyWrites:
+    def test_empty_write_is_true_noop(self, env):
+        store = DocumentStore(env)
+
+        def scenario(env):
+            written = yield store.write("c", [])
+            return written
+
+        assert run(env, scenario(env)) == 0
+        assert store.write_ops == 0
+        assert store.docs_written == 0
+        assert env.now == 0.0  # consumed no work units, no limiter time
+
+
+class TestReadMany:
+    def test_multi_get_single_op_pricing(self, env):
+        store = DocumentStore(
+            env, DbModel(capacity_units_per_s=100.0, op_cost=4.0, read_cost=1.0)
+        )
+        for index in range(3):
+            store.put_sync("c", {"id": f"k{index}", "v": index})
+
+        def scenario(env):
+            docs = yield store.read_many("c", ["k0", "k1", "k2", "ghost"])
+            return docs
+
+        docs = run(env, scenario(env))
+        assert docs["k1"]["v"] == 1
+        assert docs["ghost"] is None
+        assert store.read_ops == 1
+        assert store.multi_read_ops == 1
+        assert store.docs_read == 3
+        # One op_cost amortized over four keys: (4 + 4*1) / 100 units/s.
+        assert env.now == pytest.approx(0.08)
+
+    def test_multi_get_cheaper_than_point_reads(self, env):
+        store = DocumentStore(
+            env, DbModel(capacity_units_per_s=100.0, op_cost=4.0, read_cost=1.0)
+        )
+        keys = [f"k{i}" for i in range(10)]
+        for key in keys:
+            store.put_sync("c", {"id": key})
+
+        def batched(env):
+            yield store.read_many("c", keys)
+
+        run(env, batched(env))
+        batched_time = env.now
+
+        def pointwise(env):
+            for key in keys:
+                yield store.read("c", key)
+
+        run(env, pointwise(env))
+        pointwise_time = env.now - batched_time
+        assert batched_time < pointwise_time / 2
+
+    def test_empty_read_many_is_noop(self, env):
+        store = DocumentStore(env)
+
+        def scenario(env):
+            docs = yield store.read_many("c", [])
+            return docs
+
+        assert run(env, scenario(env)) == {}
+        assert store.read_ops == 0
+        assert env.now == 0.0
+
+    def test_read_many_returns_copies(self, env):
+        store = DocumentStore(env)
+        store.put_sync("c", {"id": "x", "nested": 1})
+
+        def scenario(env):
+            docs = yield store.read_many("c", ["x"])
+            docs["x"]["nested"] = 999
+            fresh = yield store.read("c", "x")
+            return fresh
+
+        assert run(env, scenario(env))["nested"] == 1

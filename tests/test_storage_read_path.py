@@ -1,0 +1,364 @@
+"""Unit tests for the read path: miss batching, single-flight
+coalescing, and the near cache."""
+
+import pytest
+
+from repro.errors import SimulationError, StorageError
+from repro.sim.network import Network, NetworkModel
+from repro.storage.dht import Dht, DhtModel
+from repro.storage.kv import DbModel, DocumentStore
+from repro.storage.read_path import ReadBatchConfig, ReadBatcher
+
+
+def run(env, generator):
+    return env.run(until=env.process(generator))
+
+
+def make_batcher(env, max_batch=8, linger_s=0.01, capacity=1000.0):
+    store = DocumentStore(env, DbModel(capacity_units_per_s=capacity))
+    batcher = ReadBatcher(
+        env, store, "c", ReadBatchConfig(max_batch=max_batch, linger_s=linger_s)
+    )
+    return store, batcher
+
+
+def make_dht(
+    env,
+    nodes=3,
+    replication=1,
+    coalescing=False,
+    batch=None,
+    near=0,
+    capacity=10000.0,
+):
+    network = Network(env, NetworkModel())
+    store = DocumentStore(env, DbModel(capacity_units_per_s=capacity))
+    dht = Dht(
+        env,
+        [f"n{i}" for i in range(nodes)],
+        network,
+        store,
+        DhtModel(
+            replication=replication,
+            persistent=True,
+            read_coalescing=coalescing,
+            read_batch=batch,
+            near_cache_entries=near,
+        ),
+    )
+    return dht, store, network
+
+
+def doc(key, version=1, **state):
+    return {"id": key, "cls": "T", "version": version, "state": state}
+
+
+class TestReadBatchConfig:
+    def test_max_batch_validation(self):
+        with pytest.raises(StorageError):
+            ReadBatchConfig(max_batch=0)
+
+    def test_linger_validation(self):
+        with pytest.raises(StorageError):
+            ReadBatchConfig(linger_s=-0.1)
+
+
+class TestReadBatcher:
+    def test_window_issues_one_multi_get(self, env):
+        store, batcher = make_batcher(env)
+        for index in range(3):
+            store.put_sync("c", {"id": f"k{index}", "v": index})
+
+        def reader(key):
+            value = yield from batcher.read(key)
+            return value
+
+        processes = [env.process(reader(f"k{i}")) for i in range(3)]
+        env.run(until=2.0)
+        assert [p.value["v"] for p in processes] == [0, 1, 2]
+        assert store.multi_read_ops == 1
+        assert store.read_ops == 1
+        assert batcher.batch_ops == 1
+        assert batcher.keys_fetched == 3
+
+    def test_same_key_deduplicated_within_window(self, env):
+        store, batcher = make_batcher(env)
+        store.put_sync("c", {"id": "hot", "v": 7})
+
+        def reader():
+            value = yield from batcher.read("hot")
+            return value
+
+        processes = [env.process(reader()) for _ in range(5)]
+        env.run(until=2.0)
+        assert all(p.value["v"] == 7 for p in processes)
+        assert batcher.requested == 5
+        assert batcher.deduplicated == 4
+        assert batcher.keys_fetched == 1
+        assert store.docs_read == 1
+
+    def test_missing_key_resolves_none(self, env):
+        _, batcher = make_batcher(env)
+
+        def reader():
+            value = yield from batcher.read("ghost")
+            return value
+
+        process = env.process(reader())
+        env.run(until=2.0)
+        assert process.value is None
+
+    def test_windows_split_at_max_batch(self, env):
+        store, batcher = make_batcher(env, max_batch=4)
+        for index in range(10):
+            store.put_sync("c", {"id": f"k{index}"})
+
+        def reader(key):
+            yield from batcher.read(key)
+
+        for index in range(10):
+            env.process(reader(f"k{index}"))
+        env.run(until=2.0)
+        assert batcher.batch_ops >= 3  # ceil(10 / 4)
+        assert batcher.keys_fetched == 10
+
+    def test_idle_batcher_schedules_nothing(self, env):
+        make_batcher(env)
+        env.run()  # must terminate: the runner parks on the arrival gate
+        assert env.now == 0.0
+
+    def test_stop_resolves_pending_to_none(self, env):
+        _, batcher = make_batcher(env, linger_s=10.0)
+
+        def reader():
+            value = yield from batcher.read("k")
+            return value
+
+        process = env.process(reader())
+        env.run(until=0.1)
+        batcher.stop()
+        env.run(until=0.2)
+        assert process.value is None
+
+    def test_read_after_stop_raises(self, env):
+        _, batcher = make_batcher(env)
+        batcher.stop()
+
+        def reader():
+            yield from batcher.read("k")
+
+        env.process(reader())
+        with pytest.raises(SimulationError, match="stopped"):
+            env.run(until=1.0)
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_share_one_store_read(self, env):
+        dht, store, _ = make_dht(env, coalescing=True)
+        store.put_sync(dht.collection, doc("obj", v=1))
+
+        def reader(caller):
+            got = yield dht.get("obj", caller=caller)
+            return got
+
+        processes = [env.process(reader(f"n{i % 3}")) for i in range(6)]
+        env.run(until=2.0)
+        assert all(p.value["state"]["v"] == 1 for p in processes)
+        assert store.read_ops == 1  # six concurrent misses, ONE store read
+        assert dht.read_coalesced == 5
+
+    def test_property_one_read_per_miss_window(self, env):
+        # Property-style sweep: whatever the fan-in, each miss window
+        # costs exactly one store read and every waiter gets the doc.
+        dht, store, _ = make_dht(env, coalescing=True)
+
+        def reader(key, caller):
+            got = yield dht.get(key, caller=caller)
+            return got
+
+        for wave, fan_in in enumerate((2, 5, 9, 17)):
+            key = f"obj{wave}"
+            store.put_sync(dht.collection, doc(key, v=wave))
+            reads_before = store.read_ops
+            processes = [
+                env.process(reader(key, f"n{i % 3}")) for i in range(fan_in)
+            ]
+            env.run(until=env.now + 2.0)
+            assert store.read_ops - reads_before == 1
+            values = [p.value["state"]["v"] for p in processes]
+            assert values == [wave] * fan_in
+
+    def test_waiters_get_private_copies(self, env):
+        dht, store, _ = make_dht(env, coalescing=True)
+        store.put_sync(dht.collection, doc("obj", v=1))
+
+        def reader(caller):
+            got = yield dht.get("obj", caller=caller)
+            return got
+
+        first = env.process(reader("n0"))
+        second = env.process(reader("n1"))
+        env.run(until=2.0)
+        first.value["state"]["v"] = 999
+        assert second.value["state"]["v"] == 1
+
+    def test_disabled_coalescing_reads_per_miss(self, env):
+        dht, store, _ = make_dht(env, coalescing=False)
+        store.put_sync(dht.collection, doc("obj", v=1))
+
+        def reader(caller):
+            yield dht.get("obj", caller=caller)
+
+        for index in range(4):
+            env.process(reader(f"n{index % 3}"))
+        env.run(until=2.0)
+        assert store.read_ops == 4  # the baseline herd this PR kills
+        assert dht.read_coalesced == 0
+
+    def test_coalesced_with_batching_uses_multi_get(self, env):
+        dht, store, _ = make_dht(
+            env, coalescing=True, batch=ReadBatchConfig(max_batch=8, linger_s=0.005)
+        )
+        for index in range(4):
+            store.put_sync(dht.collection, doc(f"obj{index}", v=index))
+
+        def reader(key, caller):
+            got = yield dht.get(key, caller=caller)
+            return got
+
+        processes = [
+            env.process(reader(f"obj{i}", f"n{(i + j) % 3}"))
+            for i in range(4)
+            for j in range(3)
+        ]
+        env.run(until=2.0)
+        assert all(p.value is not None for p in processes)
+        assert store.multi_read_ops >= 1
+        assert store.read_ops <= 2  # 12 concurrent misses, 1-2 multi-gets
+        assert dht.read_coalesced == 8
+
+
+class TestNearCache:
+    def _non_owner(self, dht, key):
+        owners = dht.owners(key)
+        return next(n for n in dht.nodes if n not in owners)
+
+    def test_repeat_read_served_from_near_cache(self, env):
+        dht, store, network = make_dht(env, near=16)
+        dht.seed(doc("obj", v=1))
+        caller = self._non_owner(dht, "obj")
+
+        def scenario(env):
+            yield dht.get("obj", caller=caller)
+            remote_before = network.remote_transfers
+            got = yield dht.get("obj", caller=caller)
+            return got, remote_before
+
+        got, remote_before = run(env, scenario(env))
+        assert got["state"]["v"] == 1
+        assert dht.near_hits == 1
+        # The near-cache hit stays on the caller: no new remote transfer.
+        assert network.remote_transfers == remote_before
+
+    def test_owner_callers_never_near_cache(self, env):
+        dht, _, _ = make_dht(env, near=16)
+        dht.seed(doc("obj", v=1))
+        owner = dht.owner("obj")
+
+        def scenario(env):
+            yield dht.get("obj", caller=owner)
+            yield dht.get("obj", caller=owner)
+
+        run(env, scenario(env))
+        assert dht.near_hits == 0
+        assert dht.read_path_stats["near_resident"] == 0
+
+    def test_cas_commit_invalidates_near_copies(self, env):
+        dht, _, _ = make_dht(env, near=16)
+        dht.seed(doc("obj", version=1, v=1))
+        caller = self._non_owner(dht, "obj")
+
+        def scenario(env):
+            yield dht.get("obj", caller=caller)  # populates the near cache
+            yield dht.compare_and_put(
+                doc("obj", version=2, v=2), expected_version=1, caller=dht.owner("obj")
+            )
+            got = yield dht.get("obj", caller=caller)
+            return got
+
+        got = run(env, scenario(env))
+        assert got["version"] == 2
+        assert got["state"]["v"] == 2
+        assert dht.near_invalidations >= 1
+        assert dht.near_hits == 0  # the stale copy was never served
+
+    def test_delete_invalidates_near_copies(self, env):
+        dht, _, _ = make_dht(env, near=16)
+        dht.seed(doc("obj", v=1))
+        caller = self._non_owner(dht, "obj")
+
+        def scenario(env):
+            yield dht.get("obj", caller=caller)
+            yield dht.delete("obj", caller=dht.owner("obj"))
+            got = yield dht.get("obj", caller=caller)
+            return got
+
+        assert run(env, scenario(env)) is None
+        assert dht.near_invalidations >= 1
+        assert dht.near_hits == 0
+
+    def test_fresh_read_bypasses_near_cache(self, env):
+        dht, _, network = make_dht(env, near=16)
+        dht.seed(doc("obj", v=1))
+        caller = self._non_owner(dht, "obj")
+
+        def scenario(env):
+            yield dht.get("obj", caller=caller)
+            remote_before = network.remote_transfers
+            got = yield dht.get("obj", caller=caller, fresh=True)
+            return got, remote_before
+
+        got, remote_before = run(env, scenario(env))
+        assert got is not None
+        assert dht.near_hits == 0
+        assert network.remote_transfers > remote_before  # went to the owner
+
+    def test_near_cache_bounded_lru(self, env):
+        dht, _, _ = make_dht(env, near=2)
+        keys = []
+        for index in range(40):
+            key = f"obj{index}"
+            dht.seed(doc(key, v=index))
+            keys.append(key)
+        # One caller that owns none of three chosen keys.
+        picked = []
+        caller = None
+        for node in dht.nodes:
+            candidates = [k for k in keys if node not in dht.owners(k)]
+            if len(candidates) >= 3:
+                caller = node
+                picked = candidates[:3]
+                break
+        assert caller is not None
+
+        def scenario(env):
+            for key in picked:
+                yield dht.get(key, caller=caller)
+
+        run(env, scenario(env))
+        assert dht.read_path_stats["near_resident"] == 2
+        assert dht.near_evictions == 1
+
+    def test_membership_change_drops_near_caches(self, env):
+        dht, _, _ = make_dht(env, nodes=3, near=16)
+        dht.seed(doc("obj", v=1))
+        caller = self._non_owner(dht, "obj")
+
+        def scenario(env):
+            yield dht.get("obj", caller=caller)
+
+        run(env, scenario(env))
+        assert dht.read_path_stats["near_resident"] == 1
+        victim = next(n for n in dht.nodes if n != caller)
+        dht.fail_node(victim)
+        assert dht.read_path_stats["near_resident"] == 0

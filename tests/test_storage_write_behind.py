@@ -132,3 +132,71 @@ class TestBackpressure:
         env.run(until=30.0)
         rate = len(accepted) / 30.0
         assert rate == pytest.approx(3.3, rel=0.25)
+
+
+class TestCrashLossAccounting:
+    def test_stop_counts_inflight_retry_batch(self, env):
+        # Regression: a batch popped by _take_batch() and stuck in the
+        # _flush retry loop was dropped uncounted by stop().
+        store, queue = make(env, batch_size=10, linger_s=0.01)
+        store.set_write_fault(1.0)
+        for i in range(3):
+            queue.enqueue({"id": f"k{i}"})
+        env.run(until=0.2)  # flusher popped the batch; every write faults
+        assert queue.flush_failures >= 1
+        assert queue.pending == 0  # the three docs are in flight, not buffered
+        for i in range(2):
+            queue.enqueue({"id": f"x{i}"})
+        report = queue.stop()
+        assert report["lost"] == 5  # 3 in-flight + 2 buffered
+        store.clear_write_fault()
+        env.run(until=5.0)
+        assert store.count("objects") == 0  # the crash really dropped them
+
+    def test_stop_without_inflight_counts_buffer_only(self, env):
+        store, queue = make(env, linger_s=10.0)
+        for i in range(4):
+            queue.enqueue({"id": f"k{i}"})
+        assert queue.stop() == {"lost": 4}
+
+
+class TestDrainVsRetry:
+    def test_drain_not_overtaken_by_retried_batch(self, env):
+        # Regression: drain() used to write directly while the flusher
+        # held an older batch in its retry loop; once the store healed,
+        # the retried (older) version overwrote the newer one the drain
+        # had already flushed.  Routing drain through the flusher keeps
+        # batches in pop order: v1 lands before v2, last write wins.
+        store, queue = make(env, batch_size=5, linger_s=0.01)
+        queue.enqueue({"id": "k", "v": 1})
+        store.set_write_fault(1.0)
+        env.run(until=0.2)  # flusher popped [v1] and is failing/backing off
+        assert queue.flush_failures >= 1
+        store.clear_write_fault()
+        queue.enqueue({"id": "k", "v": 2})
+        env.run(until=env.process(iter_drain(queue)))
+        assert store.get_sync("objects", "k")["v"] == 2
+        assert queue.pending == 0
+
+    def test_drain_waits_for_inflight_retry(self, env):
+        store, queue = make(env, batch_size=5, linger_s=0.01)
+        queue.enqueue({"id": "a", "v": 1})
+        store.set_write_fault(1.0)
+        env.run(until=0.1)
+        assert queue.pending == 0  # batch is in flight, buffer empty
+        store.clear_write_fault()
+        # Drain must not resolve before the retried batch is durable.
+        env.run(until=env.process(iter_drain(queue)))
+        assert store.get_sync("objects", "a")["v"] == 1
+
+    def test_discard_reaches_inflight_batch(self, env):
+        # A delete racing a retry must not resurrect the object.
+        store, queue = make(env, batch_size=5, linger_s=0.01)
+        queue.enqueue({"id": "doomed", "v": 1})
+        store.set_write_fault(1.0)
+        env.run(until=0.1)
+        assert queue.pending == 0  # in the retry loop
+        assert queue.discard("doomed") is True
+        store.clear_write_fault()
+        env.run(until=env.process(iter_drain(queue)))
+        assert store.get_sync("objects", "doomed") is None
