@@ -18,12 +18,16 @@
 * :func:`run_readpath_ablation` (ABL-READPATH) — the read-side levers
   (single-flight coalescing, miss-read batching, near cache) under the
   thundering-herd miss storm that follows a node failure.
+* :func:`run_qos_ablation` (ABL-QOS) — the QoS enforcement plane under
+  a noisy neighbour: a latency-declared class sharing the async path
+  with a flooding batch class, with the plane off (FIFO) vs on
+  (admission + weighted-fair queueing + load shedding).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Iterable
+from typing import Any, Generator, Iterable
 
 from repro.bench.config import Fig3Config
 from repro.bench.systems import OprcSystem
@@ -35,7 +39,7 @@ from repro.orchestrator.resources import ResourceSpec
 from repro.orchestrator.scheduler import Scheduler
 from repro.faas.registry import FunctionRegistry
 from repro.faas.runtime import InvocationTask
-from repro.sim.kernel import Environment
+from repro.sim.kernel import Environment, all_of, any_of
 from repro.sim.network import Network, NetworkModel
 from repro.sim.workload import ClosedLoopGenerator
 from repro.storage.object_store import ObjectStore, ObjectStoreModel
@@ -55,6 +59,8 @@ __all__ = [
     "run_burst_ablation",
     "ReadPathRow",
     "run_readpath_ablation",
+    "QosRow",
+    "run_qos_ablation",
 ]
 
 
@@ -601,4 +607,181 @@ def run_presigned_ablation(
         env.run(until=env.process(proxied()))
         proxied_ms = (env.now - started) * 1000.0
         rows.append(PresignRow(size_bytes=size, direct_ms=direct_ms, proxied_ms=proxied_ms))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# ABL-QOS
+# ---------------------------------------------------------------------------
+
+
+#: Two-class noisy-neighbour package: Hot declares the full NFR triple
+#: (throughput guarantee, latency target, high priority); Noisy is a
+#: budget-capped batch class with no declarations at all.
+QOS_PACKAGE = """
+name: qos-bench
+classes:
+  - name: Hot
+    qos: {throughput: 100, latency: 50, priority: 8}
+    functions:
+      - name: work
+        image: bench/hot
+  - name: Noisy
+    constraint: {budget: 10}
+    functions:
+      - name: work
+        image: bench/noisy
+"""
+
+
+@dataclass(frozen=True)
+class QosRow:
+    """One ABL-QOS cell: the Hot class's fate next to a flooding Noisy
+    neighbour, with the QoS plane off (``fifo``) or on (``qos``)."""
+
+    mode: str
+    hot_p95_ms: float
+    hot_target_ms: float
+    hot_completed: int
+    hot_failed: int
+    noisy_completed: int
+    noisy_rejected: int
+    noisy_shed: int
+
+    @property
+    def hot_met(self) -> bool:
+        """Did Hot's observed p95 stay within its declared target?"""
+        return self.hot_p95_ms <= self.hot_target_ms
+
+
+def run_qos_ablation(
+    modes: Iterable[str] = ("fifo", "qos"),
+    seed: int = 0,
+    chaos: bool = False,
+    noisy_backlog: int = 800,
+    hot_rps: float = 80.0,
+    hot_duration_s: float = 5.0,
+    hot_objects: int = 16,
+    noisy_objects: int = 64,
+) -> list[QosRow]:
+    """The noisy-neighbour experiment behind the QoS enforcement plane.
+
+    A latency-sensitive class (``Hot``: declares ``throughput: 100``,
+    ``latency: 50``, priority 8) shares the async invocation path with a
+    budget-capped batch class (``Noisy``) that dumps ``noisy_backlog``
+    fire-and-forget invocations at t=0.  Hot then offers a steady
+    ``hot_rps`` for ``hot_duration_s``.
+
+    * ``fifo`` — the plane off (baseline): Hot's requests queue behind
+      the entire Noisy backlog, so its completion p95 blows far past
+      the declared 50 ms.
+    * ``qos`` — the plane on: deficit-round-robin weights (8 vs the
+      economy tier's 1) serve Hot around the backlog, and the overload
+      controller sheds queued Noisy work once total depth trips the
+      watermark.  Hot holds its p95; Noisy pays with shed work.
+
+    With ``chaos`` set, the builtin ``overload`` fault plan (every node
+    slowed 6x plus a cold-start storm) plays out on top — shed counts
+    must then still be identical run-to-run for one seed, which is what
+    the determinism gate in CI asserts.
+    """
+    from repro.platform.oparaca import Oparaca, PlatformConfig
+    from repro.qos.plane import QosConfig
+
+    rows: list[QosRow] = []
+    for mode in modes:
+        platform = Oparaca(
+            PlatformConfig(
+                nodes=3,
+                seed=seed,
+                qos=QosConfig(enabled=(mode == "qos")),
+            )
+        )
+        env = platform.env
+        platform.register_image("bench/hot", lambda ctx: {"ok": True}, 0.002)
+        platform.register_image("bench/noisy", lambda ctx: {"ok": True}, 0.02)
+        platform.deploy(QOS_PACKAGE)
+        # Explicit object ids: the platform's default ids are uuid4-based,
+        # which would randomize DHT placement (and so latency) run-to-run.
+        hot_ids = [
+            platform.new_object("Hot", object_id=f"hot-{index}")
+            for index in range(hot_objects)
+        ]
+        noisy_ids = [
+            platform.new_object("Noisy", object_id=f"noisy-{index}")
+            for index in range(noisy_objects)
+        ]
+        # Warm both classes so the measured phase exercises queueing, not
+        # first-touch cold starts.
+        for oid in (hot_ids[0], noisy_ids[0]):
+            platform.invoke(oid, "work")
+        platform.advance(1.0)
+
+        if chaos:
+            from repro.chaos.plans import named_plan
+
+            platform.inject_chaos(
+                named_plan("overload", list(platform.cluster.node_names))
+            )
+
+        hot_results: list[tuple[float, Any]] = []
+        noisy_results: list[tuple[float, Any]] = []
+
+        def waiter(completion, submitted_at: float, sink: list) -> Generator:
+            result = yield completion
+            sink.append((env.now - submitted_at, result))
+
+        waiters = []
+        for index in range(noisy_backlog):
+            completion = platform.invoke_async(
+                noisy_ids[index % len(noisy_ids)], "work"
+            )
+            waiters.append(
+                env.process(waiter(completion, env.now, noisy_results))
+            )
+
+        def hot_driver() -> Generator:
+            interval = 1.0 / hot_rps
+            for index in range(int(hot_rps * hot_duration_s)):
+                completion = platform.invoke_async(
+                    hot_ids[index % len(hot_ids)], "work"
+                )
+                waiters.append(
+                    env.process(waiter(completion, env.now, hot_results))
+                )
+                yield env.timeout(interval)
+
+        driver = env.process(hot_driver())
+        env.run(until=driver)
+        done = all_of(env, waiters)
+        env.run(until=any_of(env, [done, env.timeout(120.0)]))
+
+        hot_ok = sorted(
+            latency for latency, result in hot_results if result.ok
+        )
+        if hot_ok:
+            rank = max(0, min(len(hot_ok) - 1, int(0.95 * len(hot_ok))))
+            hot_p95_ms = hot_ok[rank] * 1000.0
+        else:
+            hot_p95_ms = 0.0
+        noisy_ok = sum(1 for _, r in noisy_results if r.ok)
+        noisy_rejected = sum(
+            1 for _, r in noisy_results if r.error_type == "RateLimitedError"
+        )
+        noisy_shed = sum(
+            1 for _, r in noisy_results if r.error_type == "OverloadError"
+        )
+        rows.append(
+            QosRow(
+                mode=mode,
+                hot_p95_ms=hot_p95_ms,
+                hot_target_ms=50.0,
+                hot_completed=len(hot_ok),
+                hot_failed=sum(1 for _, r in hot_results if not r.ok),
+                noisy_completed=noisy_ok,
+                noisy_rejected=noisy_rejected,
+                noisy_shed=noisy_shed,
+            )
+        )
+        platform.shutdown()
     return rows

@@ -63,6 +63,18 @@ def _cold_start_storm(nodes: Sequence[str]) -> FaultPlan:
     return FaultPlan("cold-start-storm", (ColdStartStorm(at=2.0),))
 
 
+def _overload(nodes: Sequence[str]) -> FaultPlan:
+    """Capacity collapse without hard failures: every node's pods slow
+    down while a cold-start storm flushes warm replicas.  Service rates
+    fall far below offered load, so backlog builds and the QoS plane's
+    overload controller (when enabled) must shed — deterministically,
+    since nothing here is random."""
+    slow = tuple(
+        SlowPods(at=2.0, duration_s=10.0, factor=6.0, node=node) for node in nodes
+    )
+    return FaultPlan("overload", slow + (ColdStartStorm(at=2.0),))
+
+
 def _mixed(nodes: Sequence[str]) -> FaultPlan:
     """The kitchen sink: a crash, a partition, slow pods, lossy storage,
     and a degraded link, overlapping the way real incidents do."""
@@ -84,6 +96,7 @@ _BUILDERS: dict[str, Callable[[Sequence[str]], FaultPlan]] = {
     "slow-pods": _slow_pods,
     "storage-errors": _storage_errors,
     "cold-start-storm": _cold_start_storm,
+    "overload": _overload,
     "mixed": _mixed,
 }
 

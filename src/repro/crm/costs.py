@@ -22,9 +22,45 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 from repro.sim.kernel import Environment
 from repro.storage.kv import DocumentStore
 
-__all__ = ["CostModel", "ClassCostMeter", "CostTracker"]
+__all__ = [
+    "CostModel",
+    "ClassCostMeter",
+    "CostTracker",
+    "budget_tier",
+    "TIER_ECONOMY",
+    "TIER_STANDARD",
+    "TIER_PREMIUM",
+]
 
 HOURS_PER_MONTH = 730.0
+
+#: Budget tiers consumed by the QoS plane (shed order, fair-share weight).
+TIER_ECONOMY = 1
+TIER_STANDARD = 2
+TIER_PREMIUM = 3
+
+#: Monthly-budget floors for the paid tiers.
+PREMIUM_BUDGET_USD = 100.0
+STANDARD_BUDGET_USD = 25.0
+
+
+def budget_tier(budget_usd_per_month: float | None) -> int:
+    """Map a class's declared monthly budget to a service tier.
+
+    The ``budget`` constraint (§II-C) caps spend, but it also signals
+    how much the owner is paying for the deployment — which is what the
+    QoS plane needs when overload forces it to rank classes: capped
+    cheap deployments brown out first, premium ones last.  No declared
+    budget means the default (standard) tier, matching the constraint's
+    "unrestricted" semantics.
+    """
+    if budget_usd_per_month is None:
+        return TIER_STANDARD
+    if budget_usd_per_month >= PREMIUM_BUDGET_USD:
+        return TIER_PREMIUM
+    if budget_usd_per_month >= STANDARD_BUDGET_USD:
+        return TIER_STANDARD
+    return TIER_ECONOMY
 
 
 @dataclass(frozen=True)

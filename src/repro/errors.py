@@ -70,6 +70,21 @@ class ServiceUnavailableError(InvocationError):
     """No healthy replica could accept the request (all shed or down)."""
 
 
+class RateLimitedError(InvocationError):
+    """Admission control rejected the request (per-class token bucket or
+    the platform concurrency ceiling).  Gateways map this to HTTP 429
+    and carry a ``retry_after_s`` hint in the response body."""
+
+
+class OverloadError(InvocationError):
+    """Queued work was shed by the overload controller (brownout).  The
+    request never executed; callers may resubmit once load subsides."""
+
+
+class NoRouteError(OaasError):
+    """An HTTP request matched no gateway route (method/path pair)."""
+
+
 class FunctionExecutionError(InvocationError):
     """The user function raised an exception.
 

@@ -6,18 +6,39 @@ serializing writers per object without locks.  Workers consume
 partitions and run requests through the invocation engine; callers can
 await the result through the returned completion event or poll the
 result log by request id.
+
+With a QoS plane attached (``PlatformConfig(qos=QosConfig(enabled=True))``)
+the FIFO topic drain is replaced by per-partition weighted-fair queues:
+requests are admission-checked at submit, partitioned by the *same*
+object-id hash (per-object ordering is untouched), and served deficit-
+round-robin across classes with EDF inside latency-declared classes.
+Queued work may be shed by the overload controller; shed and rejected
+requests resolve their completion events with failed
+:class:`~repro.invoker.request.InvocationResult`\\ s (``RateLimitedError``
+/ ``OverloadError``), never silently.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Generator
 
-from repro.invoker.engine import InvocationEngine
+from repro.invoker.engine import InvocationEngine, split_object_id
 from repro.invoker.request import InvocationRequest, InvocationResult
 from repro.messaging.topic import ConsumerGroup, Message, Topic
+from repro.qos.fairqueue import QueuedItem, WeightedFairQueue
+from repro.qos.plane import QosPlane
 from repro.sim.kernel import Environment, Event
 
 __all__ = ["AsyncInvoker"]
+
+
+def _partition_of(key: str, partitions: int) -> int:
+    """Same hash as :meth:`Topic.partition_for` — the fair-queue path
+    must agree with the topic path on object placement so per-object
+    ordering semantics are identical in both modes."""
+    digest = hashlib.md5(key.encode()).digest()
+    return int.from_bytes(digest[:4], "big") % partitions
 
 
 class AsyncInvoker:
@@ -29,21 +50,57 @@ class AsyncInvoker:
         engine: InvocationEngine,
         partitions: int = 8,
         topic_name: str = "oaas-invocations",
+        qos: QosPlane | None = None,
     ) -> None:
         self.env = env
         self.engine = engine
-        self.topic = Topic(env, topic_name, partitions=partitions)
+        self.qos = qos
         self.results: dict[str, InvocationResult] = {}
         self._completions: dict[str, Event] = {}
         self.submitted = 0
-        self._group = ConsumerGroup(env, self.topic, self._handle)
+        self.completed = 0
+        self.rejected = 0
+        self.shed = 0
+        self._running = True
+        self._use_wfq = qos is not None and qos.config.fair_queue_enabled
+        if self._use_wfq:
+            self.topic = None
+            self._group = None
+            self._queues = [qos.new_fair_queue() for _ in range(partitions)]
+            self._workers = [
+                env.process(self._qworker(queue)) for queue in self._queues
+            ]
+            qos.start_shedder(self._on_shed)
+        else:
+            self.topic = Topic(env, topic_name, partitions=partitions)
+            self._group = ConsumerGroup(env, self.topic, self._handle)
 
     def submit(self, request: InvocationRequest) -> Event:
         """Enqueue a request; returns an event resolving to its result."""
         self.submitted += 1
         completion = self.env.event()
         self._completions[request.request_id] = completion
-        self.topic.publish(request.object_id, request)
+        if self.qos is not None:
+            cls = request.cls or split_object_id(request.object_id)[0]
+            decision = self.qos.admit_async(cls)
+            if not decision.admitted:
+                self.rejected += 1
+                self._resolve(
+                    request,
+                    InvocationResult.failure(
+                        request,
+                        f"admission rejected ({decision.reason}); "
+                        f"retry after {decision.retry_after_s:.3f}s",
+                        error_type="RateLimitedError",
+                    ),
+                )
+                return completion
+        if self._use_wfq:
+            cls = self._cls_of(request)
+            queue = self._queues[_partition_of(request.object_id, len(self._queues))]
+            queue.push(cls, request, deadline_s=self.qos.deadline_for(cls))
+        else:
+            self.topic.publish(request.object_id, request)
         return completion
 
     def result(self, request_id: str) -> InvocationResult | None:
@@ -52,15 +109,67 @@ class AsyncInvoker:
 
     @property
     def pending(self) -> int:
+        if self._use_wfq:
+            return sum(queue.depth() for queue in self._queues)
         return self.topic.depth()
 
-    def _handle(self, message: Message) -> Generator:
-        request: InvocationRequest = message.value
-        result = yield self.engine.invoke(request)
+    @staticmethod
+    def _cls_of(request: InvocationRequest) -> str:
+        return request.cls or split_object_id(request.object_id)[0] or ""
+
+    def _resolve(self, request: InvocationRequest, result: InvocationResult) -> None:
         self.results[request.request_id] = result
         completion = self._completions.pop(request.request_id, None)
         if completion is not None and not completion.triggered:
             completion.succeed(result)
 
-    def stop(self) -> None:
-        self._group.stop()
+    # -- FIFO topic path ---------------------------------------------------
+
+    def _handle(self, message: Message) -> Generator:
+        request: InvocationRequest = message.value
+        result = yield self.engine.invoke(request)
+        self.completed += 1
+        self._resolve(request, result)
+
+    # -- weighted-fair path ------------------------------------------------
+
+    def _qworker(self, queue: WeightedFairQueue) -> Generator:
+        while self._running:
+            item = yield queue.get()
+            if not self._running:
+                return
+            request: InvocationRequest = item.value
+            self.qos.record_queue_delay(
+                self._cls_of(request), item.queue_delay(self.env.now)
+            )
+            result = yield self.engine.invoke(request)
+            self.completed += 1
+            self._resolve(request, result)
+
+    def _on_shed(self, item: QueuedItem) -> None:
+        """Overload-controller callback: fail a shed request's completion."""
+        request: InvocationRequest = item.value
+        self.shed += 1
+        self._resolve(
+            request,
+            InvocationResult.failure(
+                request,
+                "shed by overload controller (queue brownout)",
+                error_type="OverloadError",
+            ),
+        )
+
+    def stop(self) -> dict[str, int]:
+        """Stop draining; returns ``{"pending": n}`` — submissions not
+        fully processed (queued, fetched-in-flight, or mid-handler) at
+        stop time, mirroring ``WriteBehindQueue.stop()``'s loss report."""
+        self._running = False
+        if self._use_wfq:
+            self.qos.stop()
+            return {
+                "pending": self.submitted
+                - self.completed
+                - self.rejected
+                - self.shed
+            }
+        return self._group.stop()

@@ -112,6 +112,10 @@ class ConsumerGroup:
         self.topic = topic
         self.handler = handler
         self.consumed = 0
+        #: Records fetched from a partition after :meth:`stop` but never
+        #: handled.  They are counted, not silently dropped, so the stop
+        #: report's ``pending`` number stays truthful.
+        self.stranded = 0
         self._running = True
         count = topic.partitions if workers is None else min(workers, topic.partitions)
         if count < 1:
@@ -124,8 +128,16 @@ class ConsumerGroup:
             env.process(self._worker(parts)) for parts in assignments if parts
         ]
 
-    def stop(self) -> None:
+    def stop(self) -> dict[str, int]:
+        """Stop draining; returns ``{"pending": n}`` — records accepted
+        by the topic but not fully handled at stop time (still queued,
+        fetched-in-flight, or mid-handler), mirroring
+        :meth:`~repro.storage.write_behind.WriteBehindQueue.stop`'s loss
+        report.  In-flight records that a worker has already pulled off
+        a partition are part of this count; without it they would vanish
+        from ``topic.depth()`` without ever reaching the handler."""
         self._running = False
+        return {"pending": self.topic.published - self.consumed}
 
     def _worker(self, partitions: list[int]) -> Generator:
         # A worker owning several partitions drains them round-robin,
@@ -144,6 +156,11 @@ class ConsumerGroup:
                     # balanced loads, and avoids busy-waiting.
                     message = yield self.topic.get(partitions[0])
             if not self._running:
+                # The fetch already removed the record from its
+                # partition queue; account for it rather than letting it
+                # disappear between depth() and consumed.
+                if message is not None:
+                    self.stranded += 1
                 return
             yield from self.handler(message)
             self.consumed += 1

@@ -10,11 +10,34 @@ optimizer enforces them at run time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields
 
 from repro.errors import ValidationError
 
-__all__ = ["QosRequirement", "Constraint", "NonFunctionalRequirements"]
+__all__ = ["QosRequirement", "Constraint", "NonFunctionalRequirements", "MAX_PRIORITY"]
+
+#: Upper bound of the declared scheduling priority scale (1 = lowest).
+MAX_PRIORITY = 10
+
+
+def _checked_number(name: str, value, allow_bool: bool = False) -> float:
+    """A finite ``float`` from a declared QoS value, or a clear error.
+
+    YAML happily hands us strings, booleans, NaN, and infinities; every
+    one of them would otherwise slip past a plain ``<= 0`` comparison
+    (NaN compares false with everything) and surface later as a broken
+    enforcement decision."""
+    if isinstance(value, bool) and not allow_bool:
+        raise ValidationError(f"{name} must be a number, got a boolean")
+    if not isinstance(value, (int, float)):
+        raise ValidationError(
+            f"{name} must be a number, got {type(value).__name__} {value!r}"
+        )
+    result = float(value)
+    if not math.isfinite(result):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return result
 
 
 @dataclass(frozen=True)
@@ -29,21 +52,42 @@ class QosRequirement:
         availability: required availability as a fraction in (0, 1],
             e.g. ``0.999``.
         latency_ms: p99 end-to-end invocation latency bound.
+        priority: scheduling priority relative to other classes
+            (1 = lowest, :data:`MAX_PRIORITY` = highest).  Consumed by
+            the QoS enforcement plane: it sets the class's weighted-fair
+            share and its shed order under overload.
     """
 
     throughput_rps: float | None = None
     availability: float | None = None
     latency_ms: float | None = None
+    priority: int | None = None
 
     def __post_init__(self) -> None:
-        if self.throughput_rps is not None and self.throughput_rps <= 0:
-            raise ValidationError(f"throughput must be > 0, got {self.throughput_rps}")
-        if self.availability is not None and not 0 < self.availability <= 1:
-            raise ValidationError(
-                f"availability must be in (0, 1], got {self.availability}"
-            )
-        if self.latency_ms is not None and self.latency_ms <= 0:
-            raise ValidationError(f"latency bound must be > 0, got {self.latency_ms}")
+        if self.throughput_rps is not None:
+            if _checked_number("throughput", self.throughput_rps) <= 0:
+                raise ValidationError(
+                    f"throughput must be > 0, got {self.throughput_rps}"
+                )
+        if self.availability is not None:
+            if not 0 < _checked_number("availability", self.availability) <= 1:
+                raise ValidationError(
+                    f"availability must be in (0, 1], got {self.availability}"
+                )
+        if self.latency_ms is not None:
+            if _checked_number("latency bound", self.latency_ms) <= 0:
+                raise ValidationError(
+                    f"latency bound must be > 0, got {self.latency_ms}"
+                )
+        if self.priority is not None:
+            if isinstance(self.priority, bool) or not isinstance(self.priority, int):
+                raise ValidationError(
+                    f"priority must be an integer, got {self.priority!r}"
+                )
+            if not 1 <= self.priority <= MAX_PRIORITY:
+                raise ValidationError(
+                    f"priority must be in [1, {MAX_PRIORITY}], got {self.priority}"
+                )
 
     @property
     def is_empty(self) -> bool:
@@ -121,6 +165,11 @@ class NonFunctionalRequirements:
                 self.qos.latency_ms
                 if self.qos.latency_ms is not None
                 else base.qos.latency_ms
+            ),
+            priority=(
+                self.qos.priority
+                if self.qos.priority is not None
+                else base.qos.priority
             ),
         )
         constraint = self.constraint if not self.constraint.is_default else base.constraint

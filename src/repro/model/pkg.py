@@ -118,6 +118,7 @@ _QOS_KEYS = {
     "latency": "latency",
     "latencyMs": "latency",
     "latency_ms": "latency",
+    "priority": "priority",
 }
 
 _CONSTRAINT_KEYS = {
@@ -145,6 +146,7 @@ def parse_nfr(node: Mapping[str, Any], what: str) -> NonFunctionalRequirements:
             throughput_rps=qos_node.get("throughput"),
             availability=qos_node.get("availability"),
             latency_ms=qos_node.get("latency"),
+            priority=qos_node.get("priority"),
         )
         constraint = Constraint(
             persistent=bool(constraint_node.get("persistent", True)),

@@ -38,6 +38,14 @@ class ClassObservations:
     def latency_p99_ms(self) -> float:
         return self.window.latency_percentile(self.env.now, 99) * 1000.0
 
+    def latency_pct_ms(self, pct: float) -> float:
+        """Windowed latency percentile in milliseconds (0 when empty).
+
+        The overload controller watches p95 rather than p99 so a
+        brownout triggers on sustained degradation, not one straggler.
+        """
+        return self.window.latency_percentile(self.env.now, pct) * 1000.0
+
 
 class MonitoringSystem:
     """The platform's metrics hub: per-class observations + a registry."""

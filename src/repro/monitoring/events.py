@@ -37,6 +37,8 @@ resilience.stale_read          InvocationEngine — cls, object
 resilience.breaker_open        BreakerBoard — cls, node, failures[, probe]
 resilience.breaker_half_open   BreakerBoard — cls, node
 resilience.breaker_close       BreakerBoard — cls, node
+qos.reject                     QosPlane — cls, reason, path, retry_after_s
+qos.shed                       OverloadController — cls, count, depth, tier[, brownout]
 =============================  ======================================================
 """
 

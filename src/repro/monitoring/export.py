@@ -180,6 +180,35 @@ def format_summary(report: Mapping[str, Any]) -> str:
             lines.append(f"  {etype:<22} {event_counts[etype]}")
     elif "event_count" in report:
         lines.append("\nno control-plane events recorded (is the event log enabled?)")
+    qos = report.get("qos") or {}
+    if qos:
+        admission = qos.get("admission") or {}
+        fair_queue = qos.get("fair_queue") or {}
+        shedder = qos.get("shedder") or {}
+        lines.append("\nqos enforcement plane:")
+        for cls in sorted(admission):
+            row = admission[cls]
+            lines.append(
+                f"  {cls:<16} admitted={row['admitted']} "
+                f"rejected_rate={row['rejected_rate']} "
+                f"rejected_concurrency={row['rejected_concurrency']}"
+            )
+        if fair_queue:
+            lines.append(
+                f"  fair queue: pushed={fair_queue.get('pushed', 0)} "
+                f"served={fair_queue.get('served', 0)} "
+                f"depth={fair_queue.get('depth', 0)}"
+            )
+        if shedder:
+            shed_by_class = shedder.get("shed_by_class") or {}
+            shed = " ".join(
+                f"{cls}={count}" for cls, count in sorted(shed_by_class.items())
+            )
+            lines.append(
+                f"  shedder: passes={shedder.get('passes', 0)} "
+                f"shed={shedder.get('shed_total', 0)}"
+                + (f" ({shed})" if shed else "")
+            )
     classes = report.get("classes") or {}
     if classes:
         lines.append("\nper-class data plane:")

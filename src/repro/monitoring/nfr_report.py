@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.chaos.injector import ChaosInjector
     from repro.monitoring.collector import MonitoringSystem
+    from repro.qos.plane import QosPlane
 
 __all__ = ["NfrVerdict", "nfr_compliance_report", "format_nfr_report"]
 
@@ -70,6 +71,7 @@ def nfr_compliance_report(
     runtimes: Mapping[str, Any],
     monitoring: "MonitoringSystem",
     chaos: "ChaosInjector | None" = None,
+    qos: "QosPlane | None" = None,
 ) -> list[NfrVerdict]:
     """Judge every deployed class's declared QoS against observations.
 
@@ -84,8 +86,14 @@ def nfr_compliance_report(
     while the injector held at least one fault active — the number that
     separates a replicated class riding out a crash from an ephemeral
     one losing its state.
+
+    With a ``qos`` plane supplied, latency-declared classes also get a
+    ``latency_p95_ms`` verdict against the same target — the percentile
+    the overload controller's brownout trigger watches, so the report
+    shows the exact signal that drives shedding.
     """
     fault_counts = chaos.fault_counts() if chaos is not None else {}
+    qos_plane = qos  # the loop below rebinds ``qos`` to each class's block
     verdicts: list[NfrVerdict] = []
     for cls in sorted(runtimes):
         runtime = runtimes[cls]
@@ -113,6 +121,19 @@ def nfr_compliance_report(
                     detail=source,
                 )
             )
+            if qos_plane is not None and window_samples:
+                observed_p95 = obs.latency_pct_ms(95)
+                verdicts.append(
+                    NfrVerdict(
+                        cls=cls,
+                        requirement="latency_p95_ms",
+                        target=qos.latency_ms,
+                        observed=observed_p95,
+                        met=observed_p95 <= qos.latency_ms,
+                        margin=qos.latency_ms - observed_p95,
+                        detail=f"brownout signal over {window_samples} samples",
+                    )
+                )
 
         if qos.throughput_rps is not None:
             observed = obs.throughput_rps

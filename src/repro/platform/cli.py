@@ -21,8 +21,13 @@ Commands:
   compliance verdicts.
 * ``ocli chaos <package> --new CLS --plan NAME [...]`` — run a steady
   workload while a named fault plan (node crash, partition, slow pods,
-  storage errors, cold-start storm, mixed) plays out, then print the
-  chaos summary and the NFR report with availability-under-fault rows.
+  storage errors, cold-start storm, overload, mixed) plays out, then
+  print the chaos summary and the NFR report with
+  availability-under-fault rows.
+* ``ocli qos <package> --new CLS [...]`` — run the workload with the
+  QoS enforcement plane on (admission control, weighted-fair async
+  scheduling, load shedding) and print the resolved policies plus
+  admission / fair-queue / shedding statistics.
 """
 
 from __future__ import annotations
@@ -125,6 +130,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated seconds between rounds",
     )
     chaos.add_argument("--seed", type=int, default=0, help="platform RNG seed")
+
+    qos = sub.add_parser(
+        "qos",
+        help="run a workload with the QoS enforcement plane on and print "
+        "admission / fair-queue / shedding statistics",
+    )
+    add_workload_args(qos)
+    qos.add_argument(
+        "--rounds", type=int, default=60, help="workload rounds to drive"
+    )
+    qos.add_argument(
+        "--interval",
+        type=float,
+        default=0.05,
+        help="simulated seconds between rounds",
+    )
+    qos.add_argument(
+        "--async-per-round",
+        type=int,
+        default=4,
+        help="fire-and-forget invocations submitted per round "
+        "(exercises the weighted-fair queue)",
+    )
+    qos.add_argument(
+        "--concurrency-limit",
+        type=int,
+        default=None,
+        help="platform-wide in-flight HTTP ceiling",
+    )
+    qos.add_argument("--seed", type=int, default=0, help="platform RNG seed")
     return parser
 
 
@@ -207,10 +242,17 @@ def _register_stub_handlers(platform, package: Package) -> None:
         platform.register_image(image, make_stub(image), service_time_s=0.001)
 
 
-def _build_platform(args: argparse.Namespace, package: Package, tracing: bool = False, events: bool = False):
+def _build_platform(
+    args: argparse.Namespace,
+    package: Package,
+    tracing: bool = False,
+    events: bool = False,
+    qos_config=None,
+):
     """An ephemeral platform with the workload's handlers registered, or
     ``None`` (after printing the error) when handler wiring is invalid."""
     from repro.platform.oparaca import Oparaca, PlatformConfig
+    from repro.qos.plane import QosConfig
 
     platform = Oparaca(
         PlatformConfig(
@@ -218,6 +260,7 @@ def _build_platform(args: argparse.Namespace, package: Package, tracing: bool = 
             seed=getattr(args, "seed", 0),
             tracing_enabled=tracing,
             events_enabled=events,
+            qos=qos_config if qos_config is not None else QosConfig(),
         )
     )
     if args.handlers:
@@ -394,6 +437,102 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_qos(args: argparse.Namespace) -> int:
+    from repro.monitoring.nfr_report import format_nfr_report
+    from repro.qos.plane import QosConfig
+
+    package = _load_pkg(args.package)
+    platform = _build_platform(
+        args,
+        package,
+        events=True,
+        qos_config=QosConfig(enabled=True, concurrency_limit=args.concurrency_limit),
+    )
+    if platform is None:
+        return 2
+    platform.deploy(package)
+
+    body = {"state": json.loads(args.state)} if args.state != "{}" else {}
+    created = platform.http("POST", f"/api/classes/{args.new_cls}", body)
+    if not created.ok:
+        raise OaasError(f"object creation failed: {created.body.get('error')}")
+    object_id = created.body["id"]
+    invokes = args.invoke or ["get"]
+    ok = failed = rejected = 0
+    completions = []
+    for _round in range(args.rounds):
+        for spec in invokes:
+            fn, _, payload_text = spec.partition(":")
+            payload = json.loads(payload_text) if payload_text else {}
+            response = platform.http(
+                "POST", f"/api/objects/{object_id}/invokes/{fn}", payload
+            )
+            if response.ok:
+                ok += 1
+            elif response.status in (429, 503):
+                rejected += 1
+            else:
+                failed += 1
+        fn0, _, payload_text0 = invokes[0].partition(":")
+        for _ in range(args.async_per_round):
+            completions.append(
+                platform.invoke_async(
+                    object_id,
+                    fn0,
+                    json.loads(payload_text0) if payload_text0 else {},
+                )
+            )
+        platform.advance(args.interval)
+    platform.advance(2.0)  # drain the async backlog
+    platform.shutdown()
+
+    print(
+        f"workload: {ok} ok / {rejected} rejected / {failed} failed "
+        f"over {args.rounds} rounds "
+        f"(+{len(completions)} async submissions)"
+    )
+    stats = platform.qos_report()
+    print("\nresolved policies:")
+    print(
+        f"  {'class':<16} {'rate_rps':>9} {'burst':>7} {'weight':>7} "
+        f"{'tier':>5} {'deadline_ms':>12}"
+    )
+    for row in stats["policies"]:
+        rate = "-" if row["rate_rps"] is None else f"{row['rate_rps']:.0f}"
+        deadline = "-" if row["deadline_ms"] is None else f"{row['deadline_ms']:.0f}"
+        print(
+            f"  {row['class']:<16} {rate:>9} {row['burst']:>7.1f} "
+            f"{row['weight']:>7} {row['tier']:>5} {deadline:>12}"
+        )
+    print("\nadmission:")
+    for cls, row in stats["admission"].items():
+        print(
+            f"  {cls:<16} admitted={row['admitted']} "
+            f"rejected_rate={row['rejected_rate']} "
+            f"rejected_concurrency={row['rejected_concurrency']}"
+        )
+    fq = stats["fair_queue"]
+    print(
+        f"\nfair queue: pushed={fq['pushed']} served={fq['served']} "
+        f"depth={fq['depth']}"
+    )
+    if "shedder" in stats:
+        shed = stats["shedder"]
+        print(
+            f"shedder: passes={shed['passes']} shed={shed['shed_total']} "
+            f"by_class={shed['shed_by_class']}"
+        )
+    delay = platform.monitoring.registry.histogram("qos.queue_delay_s")
+    if delay.count:
+        print(
+            f"queue delay: n={delay.count} mean={delay.mean * 1000:.2f}ms "
+            f"p95={delay.percentile(95) * 1000:.2f}ms"
+        )
+    print("\nNFR compliance:")
+    print(format_nfr_report(platform.nfr_report()))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -406,6 +545,7 @@ def main(argv: list[str] | None = None) -> int:
         "events": _cmd_events,
         "report": _cmd_report,
         "chaos": _cmd_chaos,
+        "qos": _cmd_qos,
     }
     try:
         return handlers[args.command](args)

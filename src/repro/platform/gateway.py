@@ -28,9 +28,11 @@ from dataclasses import dataclass, field
 from typing import Any, Generator, Mapping
 
 from repro.errors import OaasError
-from repro.invoker.engine import InvocationEngine
+from repro.invoker.engine import InvocationEngine, split_object_id
 from repro.invoker.request import InvocationRequest
 from repro.monitoring.tracing import Tracer
+from repro.qos.admission import REJECT_CONCURRENCY
+from repro.qos.plane import QosPlane
 from repro.sim.kernel import Environment, Process
 
 __all__ = ["HttpRequest", "HttpResponse", "Gateway"]
@@ -39,16 +41,19 @@ _STATUS_BY_ERROR = {
     "UnknownObjectError": 404,
     "UnknownClassError": 404,
     "UnknownFunctionError": 404,
+    "NoRouteError": 404,
     "ValidationError": 400,
     "PackageError": 400,
     "InvocationError": 403,
     "DataflowError": 400,
     "ConcurrentModificationError": 409,
+    "RateLimitedError": 429,
     "FunctionExecutionError": 500,
     "InvocationTimeoutError": 504,
     "NetworkPartitionError": 503,
     "TransportError": 503,
     "ServiceUnavailableError": 503,
+    "OverloadError": 503,
     "StorageError": 500,
     "InternalError": 500,
 }
@@ -91,13 +96,16 @@ class Gateway:
         engine: InvocationEngine,
         overhead_s: float = 0.0002,
         tracer: Tracer | None = None,
+        qos: QosPlane | None = None,
     ) -> None:
         self.env = env
         self.engine = engine
         self.overhead_s = overhead_s
         # Explicit None check: an empty Tracer is falsy (it has __len__).
         self.tracer = tracer if tracer is not None else Tracer(env)
+        self.qos = qos
         self.requests = 0
+        self.rejected = 0
 
     def handle(self, request: HttpRequest) -> Process:
         """Process one HTTP request; resolves to an :class:`HttpResponse`."""
@@ -123,38 +131,71 @@ class Gateway:
 
     def _handle_inner(self, http: HttpRequest) -> Generator[Any, Any, HttpResponse]:
         invocation = self._route(http)
-        span = None
-        if (
-            self.tracer.enabled
-            and invocation is not None
-            and isinstance(invocation, InvocationRequest)
-        ):
-            trace_id = invocation.trace_id or invocation.request_id
-            span = self.tracer.start(
-                trace_id,
-                f"gateway {http.method} {http.path}",
-                parent=invocation.trace_parent,
-            )
-            invocation = dataclasses.replace(
-                invocation, trace_id=trace_id, trace_parent=span.span_id
-            )
-        if self.overhead_s:
-            yield self.env.timeout(self.overhead_s)
-        if invocation is None:
-            return HttpResponse(404, {"error": f"no route {http.method} {http.path}"})
-        if isinstance(invocation, HttpResponse):
-            return invocation
-        result = yield self.engine.invoke(invocation)
-        if result.ok:
-            status = 201 if invocation.fn_name == "new" else 200
-            body: dict[str, Any] = dict(result.output)
-            if result.created_object_id is not None:
-                body.setdefault("id", result.created_object_id)
+        admitted = False
+        if isinstance(invocation, InvocationRequest) and self.qos is not None:
+            # Admission runs before any overhead is spent: a rejected
+            # request costs the platform (almost) nothing, which is what
+            # makes declared throughput enforceable under flood.
+            cls = invocation.cls or split_object_id(invocation.object_id)[0]
+            decision = self.qos.admit_http(cls)
+            if not decision.admitted:
+                self.rejected += 1
+                # Per-class rate refusals are the client's fault (429);
+                # a full platform ceiling is the platform's (503).
+                if decision.reason == REJECT_CONCURRENCY:
+                    status, error_type = 503, "OverloadError"
+                else:
+                    status, error_type = 429, "RateLimitedError"
+                return HttpResponse(
+                    status,
+                    {
+                        "error": (
+                            f"admission rejected ({decision.reason}) for "
+                            f"class {decision.cls or '?'}"
+                        ),
+                        "type": error_type,
+                        "retry_after_s": round(decision.retry_after_s, 6),
+                    },
+                )
+            admitted = True
+        try:
+            span = None
+            if self.tracer.enabled and isinstance(invocation, InvocationRequest):
+                trace_id = invocation.trace_id or invocation.request_id
+                span = self.tracer.start(
+                    trace_id,
+                    f"gateway {http.method} {http.path}",
+                    parent=invocation.trace_parent,
+                )
+                invocation = dataclasses.replace(
+                    invocation, trace_id=trace_id, trace_parent=span.span_id
+                )
+            if self.overhead_s:
+                yield self.env.timeout(self.overhead_s)
+            if invocation is None:
+                return HttpResponse(
+                    404,
+                    {
+                        "error": f"no route {http.method} {http.path}",
+                        "type": "NoRouteError",
+                    },
+                )
+            if isinstance(invocation, HttpResponse):
+                return invocation
+            result = yield self.engine.invoke(invocation)
+            if result.ok:
+                status = 201 if invocation.fn_name == "new" else 200
+                body: dict[str, Any] = dict(result.output)
+                if result.created_object_id is not None:
+                    body.setdefault("id", result.created_object_id)
+                self.tracer.finish(span, status=status)
+                return HttpResponse(status, body)
+            status = _STATUS_BY_ERROR.get(result.error_type or "", 500)
             self.tracer.finish(span, status=status)
-            return HttpResponse(status, body)
-        status = _STATUS_BY_ERROR.get(result.error_type or "", 500)
-        self.tracer.finish(span, status=status)
-        return HttpResponse(status, {"error": result.error, "type": result.error_type})
+            return HttpResponse(status, {"error": result.error, "type": result.error_type})
+        finally:
+            if admitted:
+                self.qos.release_http()
 
     def _route(self, http: HttpRequest) -> InvocationRequest | HttpResponse | None:
         parts = [p for p in http.path.split("/") if p]

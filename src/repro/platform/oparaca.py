@@ -53,6 +53,7 @@ from repro.orchestrator.cluster import Cluster
 from repro.orchestrator.resources import ResourceSpec
 from repro.orchestrator.scheduler import Scheduler
 from repro.platform.gateway import Gateway, HttpRequest, HttpResponse
+from repro.qos.plane import QosConfig, QosPlane
 from repro.sim.kernel import Environment, Event, Process, all_of
 from repro.sim.network import Network, NetworkModel
 from repro.sim.rng import RngStreams
@@ -93,6 +94,11 @@ class PlatformConfig:
     events_enabled: bool = False
     dht_op_cost_s: float = 0.00002
     gateway_overhead_s: float = 0.0002
+    #: QoS enforcement plane (admission control, weighted-fair async
+    #: scheduling, load shedding).  Off by default: with
+    #: ``qos.enabled == False`` no plane is constructed and the data
+    #: paths run their original (baseline) code.
+    qos: QosConfig = field(default_factory=QosConfig)
 
 
 class Oparaca:
@@ -149,14 +155,28 @@ class Oparaca:
             rng=self.rng,
             events=self.events,
         )
+        self.qos: QosPlane | None = None
+        if self.config.qos.enabled:
+            self.qos = QosPlane(
+                self.env,
+                self.crm,
+                monitoring=self.monitoring,
+                events=self.events,
+                tracer=self.tracer,
+                config=self.config.qos,
+            )
         self.queue = AsyncInvoker(
-            self.env, self.engine, partitions=self.config.async_partitions
+            self.env,
+            self.engine,
+            partitions=self.config.async_partitions,
+            qos=self.qos,
         )
         self.gateway = Gateway(
             self.env,
             self.engine,
             overhead_s=self.config.gateway_overhead_s,
             tracer=self.tracer,
+            qos=self.qos,
         )
         self.chaos: ChaosInjector | None = None
         self.optimizer: RequirementOptimizer | None = None
@@ -449,7 +469,15 @@ class Oparaca:
 
     def nfr_report(self) -> list[NfrVerdict]:
         """Per-class QoS compliance verdicts from live observations."""
-        return nfr_compliance_report(self.crm.runtimes, self.monitoring, chaos=self.chaos)
+        return nfr_compliance_report(
+            self.crm.runtimes, self.monitoring, chaos=self.chaos, qos=self.qos
+        )
+
+    def qos_report(self) -> dict[str, Any]:
+        """QoS-plane statistics: resolved policies, admission counters,
+        fair-queue depths, and shed totals.  Empty when the plane is
+        disabled."""
+        return self.qos.stats() if self.qos is not None else {}
 
     def observability_report(self) -> dict[str, Any]:
         """The full observability summary: span latency breakdowns,
@@ -464,6 +492,8 @@ class Oparaca:
         report["nfr"] = [verdict.to_dict() for verdict in self.nfr_report()]
         if self.chaos is not None:
             report["chaos"] = self.chaos.summary()
+        if self.qos is not None:
+            report["qos"] = self.qos.stats()
         return report
 
     def snapshot(self) -> dict[str, float]:
@@ -479,6 +509,12 @@ class Oparaca:
         snap["engine.timeouts"] = float(self.engine.timeouts)
         snap["engine.stale_reads"] = float(self.engine.stale_reads)
         snap["engine.open_breakers"] = float(self.engine.breakers.open_count())
+        if self.qos is not None:
+            snap["gateway.rejected"] = float(self.gateway.rejected)
+            snap["qos.in_flight"] = float(self.qos.admission.in_flight)
+            snap["qos.queue_depth"] = float(self.qos.queue_depth())
+            snap["qos.shed"] = float(self.queue.shed)
+            snap["qos.rejected_async"] = float(self.queue.rejected)
         return snap
 
     def shutdown(self) -> None:

@@ -1,0 +1,304 @@
+"""The QoS plane facade: policies, admission, fair queues, shedder.
+
+One object owns the whole enforcement pipeline so the gateway and the
+async invoker each wire against a single dependency:
+
+* :meth:`QosPlane.policy_for` resolves (and caches) a class's
+  :class:`~repro.qos.policy.QosPolicy` from its deployed NFRs, exactly
+  as the CRM derives resilience policies at deploy time.
+* :meth:`admit_http` / :meth:`admit_async` run admission control in
+  front of the synchronous and asynchronous paths.
+* :meth:`new_fair_queue` builds the per-partition weighted-fair queues
+  the async invoker drains, pre-seeded with resolved weights.
+* :meth:`start_shedder` launches the overload controller over those
+  queues.
+
+The plane is **off by default**: ``PlatformConfig().qos.enabled`` is
+False and a disabled plane is never even constructed, so the Fig. 3
+baseline configurations execute byte-identically with or without this
+module imported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.errors import UnknownClassError, ValidationError
+from repro.model.nfr import NonFunctionalRequirements
+from repro.monitoring.collector import MonitoringSystem
+from repro.monitoring.events import EventLog
+from repro.monitoring.tracing import Tracer
+from repro.qos.admission import AdmissionController, AdmissionDecision
+from repro.qos.fairqueue import QueuedItem, WeightedFairQueue
+from repro.qos.policy import DEFAULT_QOS_POLICY, QosPolicy
+from repro.qos.shedder import OverloadController, QOS_TRACE_ID
+from repro.sim.kernel import Environment
+
+__all__ = ["QosConfig", "QosPlane"]
+
+#: Decision reason used when an admission stage is configured off.
+BYPASS = "bypass"
+
+
+class NfrDirectory(Protocol):
+    """The slice of the CRM the plane needs: resolved NFRs per class."""
+
+    def resolved(self, cls: str) -> Any:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """Construction-time knobs of the QoS enforcement plane.
+
+    Attributes:
+        enabled: master switch; when False the platform never builds a
+            plane and both data paths run their original code.
+        admission_enabled: token-bucket + ceiling checks at the gateway
+            and async submit.
+        fair_queue_enabled: weighted-fair (DRR/EDF) drain of the async
+            topic instead of FIFO.
+        shedder_enabled: the overload controller process.
+        burst_window_s: token-bucket burst credit, as seconds of the
+            declared rate.
+        concurrency_limit: platform-wide in-flight HTTP ceiling
+            (``None`` = unbounded).
+        shed_queue_depth: total async backlog that trips a shed pass.
+        shed_target_fraction: shed down to this fraction of the trip
+            depth.
+        shed_check_interval_s: overload-controller wake-up period.
+    """
+
+    enabled: bool = False
+    admission_enabled: bool = True
+    fair_queue_enabled: bool = True
+    shedder_enabled: bool = True
+    burst_window_s: float = 0.25
+    concurrency_limit: int | None = None
+    shed_queue_depth: int = 256
+    shed_target_fraction: float = 0.5
+    shed_check_interval_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.burst_window_s <= 0:
+            raise ValidationError(
+                f"burst_window_s must be > 0, got {self.burst_window_s}"
+            )
+        if self.concurrency_limit is not None and self.concurrency_limit < 1:
+            raise ValidationError(
+                f"concurrency_limit must be >= 1, got {self.concurrency_limit}"
+            )
+        if self.shed_queue_depth < 1:
+            raise ValidationError(
+                f"shed_queue_depth must be >= 1, got {self.shed_queue_depth}"
+            )
+        if not 0.0 <= self.shed_target_fraction < 1.0:
+            raise ValidationError(
+                f"shed_target_fraction must be in [0, 1), got "
+                f"{self.shed_target_fraction}"
+            )
+        if self.shed_check_interval_s <= 0:
+            raise ValidationError(
+                f"shed_check_interval_s must be > 0, got "
+                f"{self.shed_check_interval_s}"
+            )
+
+
+class QosPlane:
+    """Owns admission, fair queuing, and shedding for one platform."""
+
+    def __init__(
+        self,
+        env: Environment,
+        directory: NfrDirectory,
+        monitoring: MonitoringSystem | None = None,
+        events: EventLog | None = None,
+        tracer: Tracer | None = None,
+        config: QosConfig | None = None,
+    ) -> None:
+        self.env = env
+        self.directory = directory
+        self.monitoring = monitoring
+        self.events = events
+        self.tracer = tracer
+        self.config = config or QosConfig(enabled=True)
+        self.admission = AdmissionController(
+            env, concurrency_limit=self.config.concurrency_limit
+        )
+        self.queues: list[WeightedFairQueue] = []
+        self.shedder: OverloadController | None = None
+        self._policies: dict[str, QosPolicy] = {}
+
+    # -- policies ----------------------------------------------------------
+
+    def policy_for(self, cls: str | None) -> QosPolicy:
+        """The enforcement policy for ``cls`` (cached after first resolve).
+
+        Requests whose class is unknown or not yet deployed get the
+        default policy *without* caching it, so a later deployment is
+        picked up.
+        """
+        if not cls:
+            return DEFAULT_QOS_POLICY
+        policy = self._policies.get(cls)
+        if policy is not None:
+            return policy
+        try:
+            nfr: NonFunctionalRequirements = self.directory.resolved(cls).nfr
+        except UnknownClassError:
+            return dataclasses.replace(DEFAULT_QOS_POLICY, cls=cls)
+        policy = QosPolicy.from_nfr(
+            cls, nfr, burst_window_s=self.config.burst_window_s
+        )
+        self._policies[cls] = policy
+        self._propagate_weight(policy)
+        return policy
+
+    def set_policy(self, policy: QosPolicy) -> None:
+        """Operator override of a class's enforcement policy."""
+        self._policies[policy.cls] = policy
+        self._propagate_weight(policy)
+
+    def _propagate_weight(self, policy: QosPolicy) -> None:
+        for queue in self.queues:
+            queue.set_weight(policy.cls, policy.weight)
+
+    # -- admission ---------------------------------------------------------
+
+    def admit_http(self, cls: str | None) -> AdmissionDecision:
+        """Admission check for one synchronous (gateway) request.
+
+        The caller owns an in-flight slot on admission and must call
+        :meth:`release_http` when the request completes.
+        """
+        if not self.config.admission_enabled:
+            self.admission.in_flight += 1
+            return AdmissionDecision(admitted=True, reason=BYPASS, cls=cls or "")
+        decision = self.admission.check(self.policy_for(cls))
+        if not decision.admitted:
+            self._emit_reject(decision, path="http")
+        return decision
+
+    def release_http(self) -> None:
+        self.admission.release()
+
+    def admit_async(self, cls: str | None) -> AdmissionDecision:
+        """Admission check for one asynchronous submit (rate only: queued
+        work is bounded by the shedder, not the in-flight ceiling)."""
+        if not self.config.admission_enabled:
+            return AdmissionDecision(admitted=True, reason=BYPASS, cls=cls or "")
+        decision = self.admission.check(self.policy_for(cls), use_ceiling=False)
+        if not decision.admitted:
+            self._emit_reject(decision, path="async")
+        return decision
+
+    def _emit_reject(self, decision: AdmissionDecision, path: str) -> None:
+        fields = {
+            "cls": decision.cls,
+            "reason": decision.reason,
+            "path": path,
+            "retry_after_s": round(decision.retry_after_s, 6),
+        }
+        if self.events is not None:
+            self.events.record("qos.reject", **fields)
+        if self.tracer is not None and self.tracer.enabled:
+            span = self.tracer.start(QOS_TRACE_ID, "qos.reject", **fields)
+            self.tracer.finish(span)
+
+    # -- fair queues -------------------------------------------------------
+
+    def new_fair_queue(self) -> WeightedFairQueue:
+        """A fair queue pre-seeded with every resolved class weight."""
+        queue = WeightedFairQueue(self.env)
+        for policy in self._policies.values():
+            queue.set_weight(policy.cls, policy.weight)
+        self.queues.append(queue)
+        return queue
+
+    def deadline_for(self, cls: str | None) -> float | None:
+        """Absolute EDF deadline for a request arriving now (or None)."""
+        policy = self.policy_for(cls)
+        if policy.deadline_ms is None:
+            return None
+        return self.env.now + policy.deadline_ms / 1000.0
+
+    def record_queue_delay(self, cls: str, delay_s: float) -> None:
+        """Feed the per-class queue-delay histogram (and overall)."""
+        if self.monitoring is None:
+            return
+        registry = self.monitoring.registry
+        registry.histogram("qos.queue_delay_s").record(delay_s)
+        registry.histogram(f"qos.queue_delay_s.{cls}").record(delay_s)
+
+    # -- shedding ----------------------------------------------------------
+
+    def start_shedder(
+        self, on_shed: Callable[[QueuedItem], None] | None = None
+    ) -> OverloadController | None:
+        """Build and start the overload controller over the fair queues.
+
+        Returns ``None`` when shedding is configured off.
+        """
+        if not self.config.shedder_enabled:
+            return None
+        self.shedder = OverloadController(
+            self.env,
+            self.queues,
+            self.policy_for,
+            on_shed=on_shed,
+            monitoring=self.monitoring,
+            events=self.events,
+            tracer=self.tracer,
+            queue_depth_high=self.config.shed_queue_depth,
+            target_fraction=self.config.shed_target_fraction,
+            check_interval_s=self.config.shed_check_interval_s,
+        )
+        self.shedder.start()
+        return self.shedder
+
+    def stop(self) -> None:
+        if self.shedder is not None:
+            self.shedder.stop()
+
+    # -- reporting ---------------------------------------------------------
+
+    def policies(self) -> list[QosPolicy]:
+        """Resolved/overridden policies, sorted by class."""
+        return [self._policies[cls] for cls in sorted(self._policies)]
+
+    def queue_depth(self) -> int:
+        return sum(queue.depth() for queue in self.queues)
+
+    def stats(self) -> dict[str, Any]:
+        """The full enforcement picture, JSON-friendly."""
+        queue_stats: dict[str, Any] = {
+            "pushed": sum(q.pushed for q in self.queues),
+            "served": sum(q.served for q in self.queues),
+            "depth": self.queue_depth(),
+        }
+        shed_by_class: dict[str, int] = {}
+        for queue in self.queues:
+            for cls, count in queue.shed_count.items():
+                shed_by_class[cls] = shed_by_class.get(cls, 0) + count
+        queue_stats["shed_by_class"] = dict(sorted(shed_by_class.items()))
+        out: dict[str, Any] = {
+            "policies": [
+                {
+                    "class": p.cls,
+                    "rate_rps": p.rate_rps,
+                    "burst": p.burst,
+                    "weight": p.weight,
+                    "tier": p.tier,
+                    "deadline_ms": p.deadline_ms,
+                }
+                for p in self.policies()
+            ],
+            "admission": self.admission.stats(),
+            "in_flight": self.admission.in_flight,
+            "fair_queue": queue_stats,
+        }
+        if self.shedder is not None:
+            out["shedder"] = self.shedder.stats()
+        return out

@@ -1,0 +1,114 @@
+"""Per-class QoS enforcement policies.
+
+The NFR interface (§II-C) lets a class *declare* ``throughput: 100``
+and a latency target; §III-B promises the platform — not the developer
+— enforces them.  A :class:`QosPolicy` is the enforcement side of that
+contract, derived once per class from its resolved NFR block:
+
+* ``rate_rps`` / ``burst`` — the admission token bucket: the declared
+  throughput is the rate the platform *guarantees*, so it is also the
+  rate beyond which the platform may refuse (429) rather than degrade
+  every other class.
+* ``weight`` — the class's deficit-round-robin share of the async
+  invocation queue.  Declared ``priority`` wins; otherwise the budget
+  constraint sets the tier (premium deployments outweigh economy ones).
+* ``tier`` — shed order under overload: lowest tier browns out first.
+* ``deadline_ms`` — earliest-deadline-first ordering within the class
+  when a latency target is declared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crm.costs import budget_tier
+from repro.errors import ValidationError
+from repro.model.nfr import NonFunctionalRequirements
+
+__all__ = ["QosPolicy", "DEFAULT_QOS_POLICY"]
+
+#: Token-bucket burst credit as a fraction of one second of the rate.
+DEFAULT_BURST_WINDOW_S = 0.25
+
+#: Minimum burst credit: even a 1 rps class may send one full request.
+MIN_BURST = 1.0
+
+
+@dataclass(frozen=True)
+class QosPolicy:
+    """How the QoS plane treats one class's traffic.
+
+    Attributes:
+        cls: the class this policy applies to.
+        rate_rps: sustained admission rate; ``None`` = unlimited.
+        burst: token-bucket capacity (requests admitted above the rate
+            in a burst before throttling engages).
+        weight: deficit-round-robin weight in the weighted-fair queue
+            (items served per DRR round relative to other classes).
+        tier: shed precedence under overload; *lower* tiers are shed
+            first.
+        deadline_ms: per-request deadline for EDF ordering within the
+            class; ``None`` = FIFO within the class.
+    """
+
+    cls: str
+    rate_rps: float | None = None
+    burst: float = MIN_BURST
+    weight: int = 2
+    tier: int = 2
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise ValidationError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if self.burst < 1:
+            raise ValidationError(f"burst must be >= 1, got {self.burst}")
+        if self.weight < 1:
+            raise ValidationError(f"weight must be >= 1, got {self.weight}")
+        if self.tier < 1:
+            raise ValidationError(f"tier must be >= 1, got {self.tier}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValidationError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        """True when admission never throttles this class."""
+        return self.rate_rps is None
+
+    @classmethod
+    def from_nfr(
+        cls,
+        name: str,
+        nfr: NonFunctionalRequirements,
+        burst_window_s: float = DEFAULT_BURST_WINDOW_S,
+    ) -> "QosPolicy":
+        """Derive the enforcement knobs from a class's declared NFRs.
+
+        A declared throughput becomes the admission rate with
+        ``burst_window_s`` worth of burst credit on top.  A declared
+        priority sets both the fair-share weight and the shed tier;
+        without one, the budget constraint's tier stands in (premium
+        budgets buy a bigger share and later shedding).
+        """
+        qos = nfr.qos
+        rate = qos.throughput_rps
+        burst = MIN_BURST if rate is None else max(MIN_BURST, rate * burst_window_s)
+        if qos.priority is not None:
+            weight = tier = qos.priority
+        else:
+            weight = tier = budget_tier(nfr.constraint.budget_usd_per_month)
+        return cls(
+            cls=name,
+            rate_rps=rate,
+            burst=burst,
+            weight=weight,
+            tier=tier,
+            deadline_ms=qos.latency_ms,
+        )
+
+
+#: Policy applied to classes that declare nothing (and to requests whose
+#: class cannot be determined): unlimited admission, standard tier.
+DEFAULT_QOS_POLICY = QosPolicy(cls="")

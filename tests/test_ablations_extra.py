@@ -96,3 +96,23 @@ class TestBurstAblation:
         assert cold.burst_p99_ms > warm.burst_p99_ms * 2
         assert warm.degradation < 3.0
         assert cold.peak_replicas >= warm.peak_replicas
+
+
+class TestQosAblation:
+    def test_plane_protects_hot_class(self):
+        from repro.bench.ablations import run_qos_ablation
+
+        rows = run_qos_ablation(
+            noisy_backlog=200,
+            hot_rps=40.0,
+            hot_duration_s=2.0,
+            hot_objects=4,
+            noisy_objects=8,
+        )
+        fifo, qos = rows
+        assert fifo.hot_completed == qos.hot_completed == 80
+        assert not fifo.hot_met  # head-of-line blocking behind the flood
+        assert qos.hot_met
+        assert qos.hot_p95_ms < fifo.hot_p95_ms / 5
+        assert fifo.noisy_shed == 0
+        assert fifo.noisy_completed == 200  # baseline drains everything

@@ -84,3 +84,53 @@ class TestMerging:
 
     def test_none_factory(self):
         assert NonFunctionalRequirements.none().is_default
+
+
+class TestPriority:
+    def test_valid_priority_accepted(self):
+        assert QosRequirement(priority=1).priority == 1
+        assert QosRequirement(priority=10).priority == 10
+
+    @pytest.mark.parametrize("value", [0, 11, -3])
+    def test_out_of_range_rejected(self, value):
+        with pytest.raises(ValidationError):
+            QosRequirement(priority=value)
+
+    @pytest.mark.parametrize("value", [2.5, "high", True])
+    def test_non_integer_rejected(self, value):
+        with pytest.raises(ValidationError):
+            QosRequirement(priority=value)
+
+    def test_priority_alone_not_empty(self):
+        assert not QosRequirement(priority=5).is_empty
+
+    def test_child_priority_overrides_parent(self):
+        parent = NonFunctionalRequirements(qos=QosRequirement(priority=3))
+        child = NonFunctionalRequirements(qos=QosRequirement(priority=9))
+        assert child.merged_over(parent).qos.priority == 9
+
+    def test_child_inherits_parent_priority(self):
+        parent = NonFunctionalRequirements(qos=QosRequirement(priority=3))
+        child = NonFunctionalRequirements(qos=QosRequirement(latency_ms=20))
+        merged = child.merged_over(parent)
+        assert merged.qos.priority == 3
+        assert merged.qos.latency_ms == 20
+
+
+class TestCheckedNumbers:
+    """YAML can hand the NFR block NaN, infinities, strings, booleans."""
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), "fast", True])
+    def test_throughput_garbage_rejected(self, value):
+        with pytest.raises(ValidationError):
+            QosRequirement(throughput_rps=value)
+
+    @pytest.mark.parametrize("value", [float("nan"), float("-inf"), "low", False])
+    def test_latency_garbage_rejected(self, value):
+        with pytest.raises(ValidationError):
+            QosRequirement(latency_ms=value)
+
+    @pytest.mark.parametrize("value", [float("nan"), "three nines", True])
+    def test_availability_garbage_rejected(self, value):
+        with pytest.raises(ValidationError):
+            QosRequirement(availability=value)

@@ -263,3 +263,17 @@ class TestFeatures:
         )
         steps = package.cls("A").binding("m").function.dataflow.steps
         assert steps[0].id == "s"
+
+
+class TestPriorityParsing:
+    def test_priority_parsed_from_yaml(self):
+        package = parse_package(
+            {"classes": [{"name": "A", "qos": {"priority": 7, "latency": 50}}]}
+        )
+        qos = package.cls("A").nfr.qos
+        assert qos.priority == 7
+        assert qos.latency_ms == 50
+
+    def test_invalid_priority_rejected_at_parse(self):
+        with pytest.raises(ValidationError):
+            parse_package({"classes": [{"name": "A", "qos": {"priority": 99}}]})

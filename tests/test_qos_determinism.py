@@ -1,0 +1,85 @@
+"""Shed decisions must be a pure function of the seed.
+
+Shedding discards work; if the victims varied run-to-run at one seed,
+chaos experiments (and the ABL-QOS ablation) would stop being
+reproducible.  These tests run the same overloaded workload twice on
+fresh platforms and require identical outcomes — including the exact
+event sequence, not just totals.
+"""
+
+from repro.chaos.plans import named_plan
+from repro.platform.oparaca import Oparaca, PlatformConfig
+from repro.qos.plane import QosConfig
+
+PACKAGE = """
+name: det
+classes:
+  - name: Hot
+    qos: {throughput: 50, latency: 50, priority: 8}
+    functions:
+      - name: work
+        image: d/hot
+  - name: Noisy
+    constraint: {budget: 10}
+    functions:
+      - name: work
+        image: d/noisy
+"""
+
+
+def run_overloaded(seed: int, chaos: bool = False):
+    platform = Oparaca(
+        PlatformConfig(
+            nodes=2,
+            seed=seed,
+            events_enabled=True,
+            qos=QosConfig(
+                enabled=True, shed_queue_depth=32, shed_check_interval_s=0.1
+            ),
+        )
+    )
+    platform.register_image("d/hot", lambda ctx: {}, 0.002)
+    platform.register_image("d/noisy", lambda ctx: {}, 0.02)
+    platform.deploy(PACKAGE)
+    # Explicit ids: default object ids are uuid4-based, which would
+    # randomize DHT placement independently of the seed.
+    hot = platform.new_object("Hot", object_id="hot-0")
+    noisy = [
+        platform.new_object("Noisy", object_id=f"noisy-{i}") for i in range(8)
+    ]
+    if chaos:
+        platform.inject_chaos(
+            named_plan("overload", list(platform.cluster.node_names))
+        )
+    for i in range(200):
+        platform.invoke_async(noisy[i % 8], "work")
+    for _ in range(20):
+        platform.invoke_async(hot, "work")
+    platform.advance(15.0)
+    outcome = {
+        "shed": platform.queue.shed,
+        "rejected": platform.queue.rejected,
+        "completed": platform.queue.completed,
+        "shed_events": [
+            (event.at, dict(event.fields))
+            for event in platform.platform_events("qos.shed")
+        ],
+        "snapshot": platform.snapshot(),
+    }
+    platform.shutdown()
+    return outcome
+
+
+class TestShedDeterminism:
+    def test_identical_outcomes_without_chaos(self):
+        first = run_overloaded(seed=5)
+        second = run_overloaded(seed=5)
+        assert first["shed"] > 0
+        assert first == second
+
+    def test_identical_outcomes_under_overload_chaos(self):
+        first = run_overloaded(seed=5, chaos=True)
+        second = run_overloaded(seed=5, chaos=True)
+        assert first["shed"] > 0
+        assert first["shed_events"] == second["shed_events"]
+        assert first == second

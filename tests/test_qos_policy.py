@@ -1,0 +1,159 @@
+"""Unit tests for QoS policy derivation and admission control."""
+
+import pytest
+
+from repro.crm.costs import TIER_ECONOMY, TIER_PREMIUM, TIER_STANDARD
+from repro.errors import ValidationError
+from repro.model.nfr import Constraint, NonFunctionalRequirements, QosRequirement
+from repro.qos.admission import (
+    REJECT_CONCURRENCY,
+    REJECT_RATE,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.qos.policy import DEFAULT_QOS_POLICY, QosPolicy
+
+
+def nfr(qos=None, constraint=None) -> NonFunctionalRequirements:
+    return NonFunctionalRequirements(
+        qos=qos or QosRequirement(), constraint=constraint or Constraint()
+    )
+
+
+class TestQosPolicy:
+    def test_default_policy_is_unlimited_standard(self):
+        assert DEFAULT_QOS_POLICY.unlimited
+        assert DEFAULT_QOS_POLICY.weight == TIER_STANDARD
+        assert DEFAULT_QOS_POLICY.tier == TIER_STANDARD
+        assert DEFAULT_QOS_POLICY.deadline_ms is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_rps": 0},
+            {"rate_rps": -5},
+            {"burst": 0.5},
+            {"weight": 0},
+            {"tier": 0},
+            {"deadline_ms": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValidationError):
+            QosPolicy(cls="C", **kwargs)
+
+    def test_from_nfr_throughput_sets_rate_and_burst(self):
+        policy = QosPolicy.from_nfr("C", nfr(QosRequirement(throughput_rps=100)))
+        assert policy.rate_rps == 100
+        assert policy.burst == 25.0  # 0.25 s of the rate
+        assert not policy.unlimited
+
+    def test_from_nfr_small_rate_keeps_min_burst(self):
+        policy = QosPolicy.from_nfr("C", nfr(QosRequirement(throughput_rps=1)))
+        assert policy.burst == 1.0
+
+    def test_from_nfr_priority_sets_weight_and_tier(self):
+        policy = QosPolicy.from_nfr("C", nfr(QosRequirement(priority=8)))
+        assert policy.weight == 8
+        assert policy.tier == 8
+
+    @pytest.mark.parametrize(
+        "budget,tier",
+        [(10, TIER_ECONOMY), (25, TIER_STANDARD), (500, TIER_PREMIUM), (None, TIER_STANDARD)],
+    )
+    def test_from_nfr_budget_tier_fallback(self, budget, tier):
+        constraint = Constraint(budget_usd_per_month=budget) if budget else Constraint()
+        policy = QosPolicy.from_nfr("C", nfr(constraint=constraint))
+        assert policy.weight == tier
+        assert policy.tier == tier
+
+    def test_from_nfr_latency_becomes_deadline(self):
+        policy = QosPolicy.from_nfr("C", nfr(QosRequirement(latency_ms=50)))
+        assert policy.deadline_ms == 50
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self, env):
+        bucket = TokenBucket(env, rate=10, capacity=3)
+        assert bucket.tokens == 3
+        assert all(bucket.try_take() for _ in range(3))
+        assert not bucket.try_take()
+
+    def test_refills_with_sim_time(self, env):
+        bucket = TokenBucket(env, rate=10, capacity=5)
+        for _ in range(5):
+            bucket.try_take()
+        env.run(until=0.2)  # 2 tokens accrue
+        assert bucket.tokens == pytest.approx(2.0)
+        assert bucket.try_take()
+
+    def test_never_exceeds_capacity(self, env):
+        bucket = TokenBucket(env, rate=100, capacity=2)
+        env.run(until=10.0)
+        assert bucket.tokens == 2
+
+    def test_retry_after_estimates_refill(self, env):
+        bucket = TokenBucket(env, rate=10, capacity=1)
+        bucket.try_take()
+        assert bucket.retry_after_s() == pytest.approx(0.1)
+        env.run(until=0.1)
+        assert bucket.retry_after_s() == 0.0
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            TokenBucket(env, rate=0, capacity=1)
+        with pytest.raises(ValueError):
+            TokenBucket(env, rate=1, capacity=0.5)
+
+
+class TestAdmissionController:
+    def test_unlimited_policy_always_admitted(self, env):
+        controller = AdmissionController(env)
+        policy = QosPolicy(cls="C")
+        for _ in range(1000):
+            assert controller.check(policy, use_ceiling=False).admitted
+
+    def test_rate_limit_rejects_with_retry_hint(self, env):
+        controller = AdmissionController(env)
+        policy = QosPolicy(cls="C", rate_rps=10, burst=2)
+        assert controller.check(policy).admitted
+        assert controller.check(policy).admitted
+        decision = controller.check(policy)
+        assert not decision.admitted
+        assert decision.reason == REJECT_RATE
+        assert decision.retry_after_s > 0
+
+    def test_ceiling_rejects_and_release_frees_slot(self, env):
+        controller = AdmissionController(env, concurrency_limit=2)
+        policy = QosPolicy(cls="C")
+        assert controller.check(policy).admitted
+        assert controller.check(policy).admitted
+        decision = controller.check(policy)
+        assert not decision.admitted
+        assert decision.reason == REJECT_CONCURRENCY
+        controller.release()
+        assert controller.check(policy).admitted
+
+    def test_ceiling_rejection_refunds_rate_token(self, env):
+        controller = AdmissionController(env, concurrency_limit=1)
+        policy = QosPolicy(cls="C", rate_rps=10, burst=2)
+        assert controller.check(policy).admitted
+        before = controller.tokens("C")
+        assert not controller.check(policy).admitted  # ceiling, not rate
+        assert controller.tokens("C") == pytest.approx(before)
+
+    def test_async_path_skips_ceiling(self, env):
+        controller = AdmissionController(env, concurrency_limit=1)
+        policy = QosPolicy(cls="C")
+        assert controller.check(policy).admitted
+        assert controller.check(policy, use_ceiling=False).admitted
+        assert controller.in_flight == 1
+
+    def test_stats_by_class(self, env):
+        controller = AdmissionController(env)
+        policy = QosPolicy(cls="C", rate_rps=10, burst=1)
+        controller.check(policy, use_ceiling=False)
+        controller.check(policy, use_ceiling=False)
+        assert controller.stats() == {
+            "C": {"admitted": 1, "rejected_rate": 1, "rejected_concurrency": 0}
+        }
