@@ -22,6 +22,11 @@
   a noisy neighbour: a latency-declared class sharing the async path
   with a flooding batch class, with the plane off (FIFO) vs on
   (admission + weighted-fair queueing + load shedding).
+* :func:`run_durability_ablation` (ABL-DURABILITY) — a crash drill over
+  a ``persistence: strong`` ledger and a ``persistence: standard``
+  write-behind-backed cart, with the durability plane off vs on:
+  acknowledged increments are audited against post-crash state, and the
+  plane's measured RPO/RTO is reported per class.
 """
 
 from __future__ import annotations
@@ -61,6 +66,8 @@ __all__ = [
     "run_readpath_ablation",
     "QosRow",
     "run_qos_ablation",
+    "DurabilityRow",
+    "run_durability_ablation",
 ]
 
 
@@ -783,5 +790,215 @@ def run_qos_ablation(
                 noisy_shed=noisy_shed,
             )
         )
+        platform.shutdown()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# ABL-DURABILITY
+# ---------------------------------------------------------------------------
+
+
+#: Two-class crash-drill package: Ledger declares ``persistence: strong``
+#: (every commit synchronously durable — RPO must be 0), Cart declares
+#: ``persistence: standard`` (periodic snapshot cuts over the write-behind
+#: store path — RPO bounded by the cut interval).
+DURABILITY_PACKAGE = """
+name: durability-bench
+classes:
+  - name: Ledger
+    constraint: {persistence: strong}
+    keySpecs:
+      - { name: count, type: INT, default: 0 }
+    functions:
+      - name: bump
+        image: bench/bump
+  - name: Cart
+    constraint: {persistence: standard}
+    keySpecs:
+      - { name: count, type: INT, default: 0 }
+    functions:
+      - name: bump
+        image: bench/bump
+"""
+
+
+@dataclass(frozen=True)
+class DurabilityRow:
+    """One class of one ABL-DURABILITY cell: acknowledged increments
+    audited against the state that survived a node crash."""
+
+    mode: str  # "off" (no durability plane) | "on"
+    cls: str
+    policy: str  # resolved durability mode ("on_commit"/"periodic"/"-")
+    acked_writes: int
+    surviving_count: int
+    readable_objects: int
+    objects: int
+    cuts: int
+    epoch_writes: int
+    #: Measured by the recovery pass (0.0 and no recovery when "off").
+    recovered: bool
+    rpo_s: float
+    rto_s: float
+    lost_writes: int
+    restored_docs: int
+
+    @property
+    def lost_acked(self) -> int:
+        """Acknowledged increments missing from the surviving state."""
+        return self.acked_writes - self.surviving_count
+
+
+def run_durability_ablation(
+    modes: Iterable[str] = ("off", "on"),
+    seed: int = 0,
+    objects_per_class: int = 8,
+    rounds: int = 24,
+    crash_round: int = 18,
+    burst_rounds: int = 6,
+    interval_s: float = 0.02,
+    snapshot_interval_s: float = 0.25,
+) -> list[DurabilityRow]:
+    """The crash-restore drill behind the durability plane.
+
+    Every round bumps a counter on each object of both classes through
+    the synchronous invoke path (each ``ok`` result is an acknowledged
+    write), then at ``crash_round`` one node fails: its DHT partition
+    memory and unflushed write-behind buffer are gone.  Right before the
+    crash the drill bursts ``burst_rounds`` extra bumps onto the keys
+    the victim owns, so acknowledged-but-unflushed writes are provably
+    in its buffer when it dies — the window the write-behind trade-off
+    exposes.
+
+    * ``off`` — no durability plane: what survives is whatever the
+      write-behind flusher happened to persist plus other replicas;
+      recently acknowledged Cart increments are silently lost and
+      nothing measures the damage.
+    * ``on`` — the plane recovers each class from its best durable
+      source (snapshot generations, commit epochs, flushed store
+      copies), replays the commit log to the crash point, and reports
+      measured RPO/RTO.  Ledger (``strong``) must come back with RPO 0;
+      Cart's RPO is bounded by the snapshot/flush cadence.
+
+    Deterministic for a fixed seed: object ids are explicit so DHT
+    placement never depends on uuid4.
+    """
+    from repro.durability.plane import DurabilityConfig
+    from repro.platform.oparaca import Oparaca, PlatformConfig
+
+    def bump(ctx):
+        ctx.state["count"] = int(ctx.state.get("count") or 0) + 1
+        return {"count": ctx.state["count"]}
+
+    rows: list[DurabilityRow] = []
+    for mode in modes:
+        platform = Oparaca(
+            PlatformConfig(
+                nodes=3,
+                seed=seed,
+                events_enabled=True,
+                durability=DurabilityConfig(
+                    enabled=(mode == "on"),
+                    default_interval_s=snapshot_interval_s,
+                ),
+            )
+        )
+        env = platform.env
+        platform.register_image("bench/bump", bump, 0.001)
+        platform.deploy(DURABILITY_PACKAGE)
+        ids = {
+            cls: [
+                platform.new_object(cls, object_id=f"{cls.lower()}-{index}")
+                for index in range(objects_per_class)
+            ]
+            for cls in ("Ledger", "Cart")
+        }
+        acked = {cls: 0 for cls in ids}
+        for round_index in range(rounds):
+            for cls in ("Ledger", "Cart"):
+                for oid in ids[cls]:
+                    result = platform.invoke(oid, "bump", raise_on_error=False)
+                    if result.ok:
+                        acked[cls] += 1
+            if round_index == crash_round:
+                # The victim is the node owning the first Cart object, so
+                # the burst below provably lands in its write-behind
+                # buffer (and its partition memory) before it dies.
+                victim = platform.crm.runtime("Cart").dht.owner(ids["Cart"][0])
+                victim_keys = {
+                    cls: [
+                        oid
+                        for oid in ids[cls]
+                        if platform.crm.runtime(cls).dht.owner(oid) == victim
+                    ]
+                    for cls in ("Ledger", "Cart")
+                }
+                # Interleave the classes so both have acknowledged writes
+                # still in the victim's buffer at the instant it dies.
+                burst_targets = [
+                    (cls, keys[index])
+                    for index in range(
+                        max(len(keys) for keys in victim_keys.values())
+                    )
+                    for cls, keys in victim_keys.items()
+                    if index < len(keys)
+                ]
+                for _burst in range(burst_rounds):
+                    for cls, oid in burst_targets:
+                        result = platform.invoke(oid, "bump", raise_on_error=False)
+                        if result.ok:
+                            acked[cls] += 1
+                platform.fail_node(victim)
+                if platform.durability is not None:
+                    recoveries = platform.durability.recoveries()
+                    if recoveries:
+                        env.run(until=all_of(env, recoveries))
+            else:
+                platform.advance(interval_s)
+        platform.advance(1.0)  # drain write-behind before the audit
+        for cls in ("Ledger", "Cart"):
+            surviving = 0
+            readable = 0
+            for oid in ids[cls]:
+                result = platform.invoke(oid, "get", raise_on_error=False)
+                if result.ok:
+                    readable += 1
+                    surviving += int(result.output["state"].get("count") or 0)
+            policy = "-"
+            cuts = epoch_writes = lost_writes = restored_docs = 0
+            recovered = False
+            rpo_s = rto_s = 0.0
+            if platform.durability is not None:
+                policy_obj = platform.durability.policy_for(cls)
+                policy = policy_obj.mode if policy_obj is not None else "-"
+                tracker = platform.durability.tracker_for(cls)
+                if tracker is not None:
+                    cuts = tracker.cuts_taken
+                    epoch_writes = tracker.epoch_writes
+                    if tracker.last_recovery is not None:
+                        recovered = True
+                        rpo_s = tracker.last_recovery["rpo_s"]
+                        rto_s = tracker.last_recovery["rto_s"]
+                        lost_writes = tracker.last_recovery["lost_writes"]
+                        restored_docs = tracker.last_recovery["restored_docs"]
+            rows.append(
+                DurabilityRow(
+                    mode=mode,
+                    cls=cls,
+                    policy=policy,
+                    acked_writes=acked[cls],
+                    surviving_count=surviving,
+                    readable_objects=readable,
+                    objects=objects_per_class,
+                    cuts=cuts,
+                    epoch_writes=epoch_writes,
+                    recovered=recovered,
+                    rpo_s=rpo_s,
+                    rto_s=rto_s,
+                    lost_writes=lost_writes,
+                    restored_docs=restored_docs,
+                )
+            )
         platform.shutdown()
     return rows

@@ -86,6 +86,10 @@ class ClassRuntimeManager:
         #: Services exposed to function handlers through ``ctx.service``.
         self.handler_services: dict[str, Any] = {"object_store": object_store}
         self.costs = CostTracker(env, store, CostModel())
+        #: The durability plane, set by the platform when enabled; the
+        #: CRM attaches every (re)deployed class to it.  ``None`` in the
+        #: baseline — deployment takes the original code path.
+        self.durability: Any | None = None
         self._runtimes: dict[str, ClassRuntime] = {}
         self._resolved: dict[str, ResolvedClass] = {}
 
@@ -192,6 +196,8 @@ class ClassRuntimeManager:
         self._runtimes[resolved.name] = runtime
         self._resolved[resolved.name] = resolved
         self.costs.register(runtime)
+        if self.durability is not None:
+            self.durability.attach(runtime)
         if self.events.enabled:
             self.events.record(
                 "class.deploy",
@@ -276,6 +282,8 @@ class ClassRuntimeManager:
         )
         self._runtimes[resolved.name] = runtime
         self._resolved[resolved.name] = resolved
+        if self.durability is not None:
+            self.durability.attach(runtime)
         if self.events.enabled:
             self.events.record(
                 "class.deploy",
@@ -293,6 +301,8 @@ class ClassRuntimeManager:
             raise UnknownClassError(f"class {cls!r} is not deployed")
         self._resolved.pop(cls, None)
         self.costs.unregister(cls)
+        if self.durability is not None:
+            self.durability.detach(cls, runtime=runtime)
         engine = self.knative if runtime.engine_name == "knative" else self.deployment
         for svc in runtime.services.values():
             engine.delete(svc.name)

@@ -35,6 +35,9 @@ class ClassRuntime:
     engine_name: str = "knative"
     #: Data-plane fault-tolerance knobs, derived from the class's NFRs.
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    #: Durability policy derived from the ``persistence`` constraint;
+    #: ``None`` until (and unless) the durability plane attaches.
+    durability: Any | None = None
 
     def service(self, fn_name: str) -> FunctionService:
         svc = self.services.get(fn_name)
@@ -50,6 +53,12 @@ class ClassRuntime:
 
     def describe(self) -> dict[str, Any]:
         """A human-readable summary (used by the CLI and tests)."""
+        summary = self._describe_base()
+        if self.durability is not None:
+            summary["durability"] = self.durability.mode
+        return summary
+
+    def _describe_base(self) -> dict[str, Any]:
         return {
             "class": self.cls,
             "template": self.template.name,

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import TemplateSelectionError, ValidationError
 from repro.invoker.router import PlacementPolicy
-from repro.model.nfr import NonFunctionalRequirements
+from repro.model.nfr import NonFunctionalRequirements, _checked_number
 from repro.storage.read_path import ReadBatchConfig
 from repro.storage.write_behind import WriteBehindConfig
 
@@ -86,6 +86,12 @@ class RuntimeConfig:
             = point reads).
         near_cache_entries: per-node near cache of remotely-fetched
             records for non-owner callers (``0`` = disabled).
+        snapshot_interval_s: periodic-cut interval the durability plane
+            uses for ``persistence: standard`` classes stamped from this
+            template (``None`` = plane-wide default).
+        retention_s: how long superseded snapshot generations are kept
+            before garbage collection (``None`` = plane-wide default /
+            keep forever).
     """
 
     engine: str = "knative"
@@ -98,6 +104,8 @@ class RuntimeConfig:
     read_coalescing: bool = False
     read_batch: ReadBatchConfig | None = None
     near_cache_entries: int = 0
+    snapshot_interval_s: float | None = None
+    retention_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ("knative", "deployment"):
@@ -114,6 +122,16 @@ class RuntimeConfig:
             raise ValidationError(
                 f"near_cache_entries must be >= 0, got {self.near_cache_entries}"
             )
+        if self.snapshot_interval_s is not None:
+            if _checked_number("snapshot_interval_s", self.snapshot_interval_s) <= 0:
+                raise ValidationError(
+                    f"snapshot_interval_s must be > 0, got {self.snapshot_interval_s}"
+                )
+        if self.retention_s is not None:
+            if _checked_number("retention_s", self.retention_s) <= 0:
+                raise ValidationError(
+                    f"retention_s must be > 0, got {self.retention_s}"
+                )
 
 
 @dataclass(frozen=True)

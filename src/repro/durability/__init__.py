@@ -1,0 +1,29 @@
+"""Durability plane: NFR-driven snapshots, restore, and crash recovery.
+
+Turns the declared ``persistence`` constraint (§II-C) into enforced
+durability: consistent snapshot cuts of a class's DHT partitions,
+point-in-time restore, and a recovery path off ``Dht.fail_node`` that
+reports measured RPO/RTO.  Off by default — with
+``DurabilityConfig(enabled=False)`` no plane is constructed and every
+data path runs its original (baseline) code.
+"""
+
+from repro.durability.plane import DurabilityConfig, DurabilityPlane
+from repro.durability.policy import (
+    MODE_DISABLED,
+    MODE_ON_COMMIT,
+    MODE_PERIODIC,
+    DurabilityPolicy,
+)
+from repro.durability.snapshot import ClassDurabilityState, SnapshotCoordinator
+
+__all__ = [
+    "DurabilityConfig",
+    "DurabilityPlane",
+    "DurabilityPolicy",
+    "ClassDurabilityState",
+    "SnapshotCoordinator",
+    "MODE_ON_COMMIT",
+    "MODE_PERIODIC",
+    "MODE_DISABLED",
+]

@@ -1,0 +1,284 @@
+"""The durability plane facade: policies, coordinators, restore, recovery.
+
+One object owns the whole subsystem so the platform wires a single
+dependency, exactly like the QoS plane (PR 4): the CRM calls
+:meth:`DurabilityPlane.attach` as classes deploy, the platform calls
+:meth:`on_node_failed` from ``fail_node``, and the gateway/CLI call the
+snapshot/restore entry points.
+
+The plane is **off by default**: ``PlatformConfig().durability.enabled``
+is False and a disabled plane is never constructed, so the Fig. 3
+baseline configurations execute byte-identically with or without this
+module imported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.durability.policy import DurabilityPolicy
+from repro.durability.restore import RestoreManager
+from repro.durability.snapshot import ClassDurabilityState, SnapshotCoordinator
+from repro.errors import UnknownClassError, ValidationError
+from repro.model.nfr import _checked_number
+from repro.monitoring.collector import MonitoringSystem
+from repro.monitoring.events import EventLog
+from repro.monitoring.tracing import Tracer
+from repro.sim.kernel import Environment, Process
+from repro.storage.object_store import ObjectStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.crm.manager import ClassRuntimeManager
+    from repro.crm.runtime import ClassRuntime
+
+__all__ = ["DurabilityConfig", "DurabilityPlane"]
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Construction-time knobs of the durability plane.
+
+    Attributes:
+        enabled: master switch; when False the platform never builds a
+            plane and the storage write path runs its original code.
+        bucket: object-store bucket holding snapshot generations,
+            manifests, and commit epochs.
+        default_interval_s: periodic-cut interval for classes whose
+            template does not set ``snapshot_interval_s``.
+        default_retention_s: generation retention for classes whose
+            template does not set ``retention_s`` (``None`` = keep every
+            generation).
+    """
+
+    enabled: bool = False
+    bucket: str = "oparaca-snapshots"
+    default_interval_s: float = 1.0
+    default_retention_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.bucket:
+            raise ValidationError("durability bucket must be non-empty")
+        if _checked_number("default_interval_s", self.default_interval_s) <= 0:
+            raise ValidationError(
+                f"default_interval_s must be > 0, got {self.default_interval_s}"
+            )
+        if self.default_retention_s is not None:
+            if _checked_number("default_retention_s", self.default_retention_s) <= 0:
+                raise ValidationError(
+                    f"default_retention_s must be > 0, got "
+                    f"{self.default_retention_s}"
+                )
+
+
+class DurabilityPlane:
+    """Owns snapshots, restore, and crash recovery for one platform."""
+
+    def __init__(
+        self,
+        env: Environment,
+        crm: "ClassRuntimeManager",
+        object_store: ObjectStore,
+        monitoring: MonitoringSystem | None = None,
+        events: EventLog | None = None,
+        tracer: Tracer | None = None,
+        config: DurabilityConfig | None = None,
+    ) -> None:
+        self.env = env
+        self.crm = crm
+        self.object_store = object_store
+        self.monitoring = monitoring
+        self.events = events
+        self.tracer = tracer
+        self.config = config or DurabilityConfig(enabled=True)
+        object_store.create_bucket(self.config.bucket)
+        self.restorer = RestoreManager(env, monitoring, events, tracer)
+        self._trackers: dict[str, ClassDurabilityState] = {}
+        self._coordinators: dict[str, SnapshotCoordinator] = {}
+        self._policies: dict[str, DurabilityPolicy] = {}
+        #: Per-class loop identity token: replaced on re-attach/detach so
+        #: a superseded periodic loop notices and exits.
+        self._loop_tokens: dict[str, object] = {}
+        self._recoveries: list[Process] = []
+        self._running = True
+
+    # -- class lifecycle (called by the CRM) --------------------------------
+
+    def attach(self, runtime: "ClassRuntime") -> DurabilityPolicy:
+        """Derive and enforce the durability policy for a (re)deployed
+        class: hook its DHT write path and start the periodic-cut loop.
+        Classes whose level is ``none`` get a disabled policy and no
+        tracker — their data path is untouched."""
+        policy = DurabilityPolicy.from_nfr(
+            runtime.resolved.nfr, runtime.template.config, self.config
+        )
+        runtime.durability = policy
+        self._policies[runtime.cls] = policy
+        if not policy.enabled:
+            self.detach(runtime.cls, runtime=runtime, forget=True)
+            self._policies[runtime.cls] = policy
+            return policy
+        tracker = self._trackers.get(runtime.cls)
+        if tracker is None:
+            tracker = ClassDurabilityState(
+                self.env,
+                runtime.cls,
+                policy,
+                self.object_store,
+                self.config.bucket,
+                events=self.events,
+            )
+            self._trackers[runtime.cls] = tracker
+        else:
+            # Class update: state (and its durability history) carries
+            # over with the DHT; only the policy is re-derived.
+            tracker.policy = policy
+        runtime.dht.attach_durability(tracker)
+        coordinator = SnapshotCoordinator(self.env, runtime.dht, tracker, self.tracer)
+        self._coordinators[runtime.cls] = coordinator
+        token = object()
+        self._loop_tokens[runtime.cls] = token
+        self.env.process(self._periodic(runtime.cls, coordinator, policy, token))
+        return policy
+
+    def detach(
+        self,
+        cls: str,
+        runtime: "ClassRuntime | None" = None,
+        forget: bool = True,
+    ) -> None:
+        """Stop enforcing durability for ``cls`` (undeploy, or an update
+        that dropped the persistence level)."""
+        self._loop_tokens.pop(cls, None)
+        self._coordinators.pop(cls, None)
+        self._policies.pop(cls, None)
+        if forget:
+            self._trackers.pop(cls, None)
+        if runtime is not None:
+            runtime.dht.attach_durability(None)
+
+    def _periodic(
+        self,
+        cls: str,
+        coordinator: SnapshotCoordinator,
+        policy: DurabilityPolicy,
+        token: object,
+    ):
+        while self._running and self._loop_tokens.get(cls) is token:
+            yield self.env.timeout(policy.interval_s)
+            if not self._running or self._loop_tokens.get(cls) is not token:
+                return
+            yield from coordinator._cut()
+
+    # -- operator entry points ----------------------------------------------
+
+    def snapshot_class(self, cls: str) -> Process:
+        """Take a consistent cut of ``cls`` now; resolves to the manifest
+        (or ``None`` when nothing changed since the last cut)."""
+        return self._coordinator(cls).cut()
+
+    def restore_class(self, cls: str, at: float | None = None) -> Process:
+        """Point-in-time restore of a whole class."""
+        runtime = self.crm.runtime(cls)
+        tracker = self._tracker(cls)
+        return self.env.process(self.restorer.restore_class(runtime, tracker, at))
+
+    def restore_object(
+        self, cls: str, object_id: str, at: float | None = None
+    ) -> Process:
+        """Point-in-time restore of one object."""
+        runtime = self.crm.runtime(cls)
+        tracker = self._tracker(cls)
+        return self.env.process(
+            self.restorer.restore_object(runtime, tracker, object_id, at)
+        )
+
+    def generations(self, cls: str) -> list[dict[str, Any]]:
+        """Retained snapshot generations of ``cls`` (oldest first)."""
+        return [dict(entry) for entry in self._tracker(cls).generations]
+
+    # -- platform hooks ------------------------------------------------------
+
+    def on_node_failed(
+        self, node: str, stats: dict[str, dict[str, int]]
+    ) -> list[Process]:
+        """Launch crash recovery for every enforced class that lost the
+        node.  Recovery runs as simulation processes alongside the
+        workload; the returned handles let drills wait for completion."""
+        crashed_at = self.env.now
+        launched: list[Process] = []
+        for cls in sorted(stats):
+            tracker = self._trackers.get(cls)
+            if tracker is None:
+                continue
+            runtime = self.crm.runtimes.get(cls)
+            if runtime is None:
+                continue
+            process = self.env.process(
+                self.restorer.recover(runtime, tracker, node, crashed_at)
+            )
+            launched.append(process)
+        self._recoveries.extend(launched)
+        return launched
+
+    def on_node_joined(self, node: str) -> None:
+        """Membership growth needs no durability action — the DHT
+        rebalance re-spreads live state and the next cut captures it —
+        but the hook keeps the platform seam explicit."""
+
+    def stop(self) -> None:
+        """Stop every periodic-cut loop (platform shutdown)."""
+        self._running = False
+        self._loop_tokens.clear()
+
+    # -- reporting -----------------------------------------------------------
+
+    def policy_for(self, cls: str) -> DurabilityPolicy | None:
+        return self._policies.get(cls)
+
+    def tracker_for(self, cls: str) -> ClassDurabilityState | None:
+        return self._trackers.get(cls)
+
+    def recoveries(self) -> list[Process]:
+        return list(self._recoveries)
+
+    def stats(self) -> dict[str, Any]:
+        """Plane-wide statistics for the observability report."""
+        classes: dict[str, Any] = {}
+        for cls in sorted(self._policies):
+            tracker = self._trackers.get(cls)
+            if tracker is not None:
+                classes[cls] = tracker.describe()
+            else:
+                classes[cls] = {"policy": self._policies[cls].describe()}
+        return {
+            "bucket": self.config.bucket,
+            "classes": classes,
+            "cuts_total": sum(t.cuts_taken for t in self._trackers.values()),
+            "epoch_writes_total": sum(
+                t.epoch_writes for t in self._trackers.values()
+            ),
+            "recoveries_total": sum(
+                t.recoveries for t in self._trackers.values()
+            ),
+            "restores_total": sum(t.restores for t in self._trackers.values()),
+        }
+
+    # -- helpers -------------------------------------------------------------
+
+    def _tracker(self, cls: str) -> ClassDurabilityState:
+        tracker = self._trackers.get(cls)
+        if tracker is None:
+            self.crm.runtime(cls)  # raises UnknownClassError when undeployed
+            raise ValidationError(
+                f"durability is not enforced for class {cls!r} "
+                f"(persistence level 'none' or plane attached after deploy)"
+            )
+        return tracker
+
+    def _coordinator(self, cls: str) -> SnapshotCoordinator:
+        coordinator = self._coordinators.get(cls)
+        if coordinator is None:
+            self._tracker(cls)  # raises with the right error type
+            raise UnknownClassError(f"class {cls!r} has no snapshot coordinator")
+        return coordinator

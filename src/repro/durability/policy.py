@@ -1,0 +1,132 @@
+"""Per-class durability policy, derived from the ``persistence`` NFR.
+
+The mapping mirrors how the CRM derives resilience policies at deploy
+time (PR 2): the declared constraint picks the *mode*, and the selected
+template's knobs (``snapshot_interval_s``, ``retention_s``) tune it.
+
+=============  ==============================================  ==========
+persistence    snapshot behaviour                              RPO budget
+=============  ==============================================  ==========
+``strong``     synchronous epoch write on every commit plus    0
+               periodic cuts (point-in-time manifests)
+``standard``   periodic consistent cuts at ``interval_s``      interval_s
+``none``       disabled (class is ephemeral)                   —
+=============  ==============================================  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ValidationError
+from repro.model.nfr import NonFunctionalRequirements
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.crm.template import RuntimeConfig
+    from repro.durability.plane import DurabilityConfig
+
+__all__ = ["DurabilityPolicy", "MODE_ON_COMMIT", "MODE_PERIODIC", "MODE_DISABLED"]
+
+#: Synchronous snapshot-on-commit epochs (``persistence: strong``).
+MODE_ON_COMMIT = "on_commit"
+#: Periodic consistent cuts (``persistence: standard``).
+MODE_PERIODIC = "periodic"
+#: No durability plane involvement (``persistence: none``).
+MODE_DISABLED = "disabled"
+
+_MODES = (MODE_ON_COMMIT, MODE_PERIODIC, MODE_DISABLED)
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """What the plane enforces for one deployed class.
+
+    Attributes:
+        mode: one of :data:`MODE_ON_COMMIT` / :data:`MODE_PERIODIC` /
+            :data:`MODE_DISABLED`.
+        interval_s: periodic-cut interval (also taken by strong classes
+            for their point-in-time manifests).
+        retention_s: how long superseded snapshot generations survive
+            before GC; ``None`` keeps every generation.
+        rpo_budget_s: the recovery-point objective the class accepted by
+            declaring its level — 0 for strong, the cut interval for
+            periodic.  The NFR report scores measured RPO against it.
+    """
+
+    mode: str = MODE_DISABLED
+    interval_s: float = 1.0
+    retention_s: float | None = None
+    rpo_budget_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValidationError(
+                f"durability mode must be one of {list(_MODES)}, got {self.mode!r}"
+            )
+        if self.interval_s <= 0:
+            raise ValidationError(
+                f"interval_s must be > 0, got {self.interval_s}"
+            )
+        if self.retention_s is not None and self.retention_s <= 0:
+            raise ValidationError(
+                f"retention_s must be > 0, got {self.retention_s}"
+            )
+        if self.rpo_budget_s < 0:
+            raise ValidationError(
+                f"rpo_budget_s must be >= 0, got {self.rpo_budget_s}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != MODE_DISABLED
+
+    @classmethod
+    def from_nfr(
+        cls,
+        nfr: NonFunctionalRequirements,
+        runtime_config: "RuntimeConfig | None" = None,
+        defaults: "DurabilityConfig | None" = None,
+    ) -> "DurabilityPolicy":
+        """Derive the policy for a class from its declared constraint.
+
+        The template's ``snapshot_interval_s``/``retention_s`` knobs win
+        over the plane-wide defaults; both were validated at
+        construction, so no re-checking here.
+        """
+        level = nfr.constraint.persistence_level
+        interval = None
+        retention = None
+        if runtime_config is not None:
+            interval = runtime_config.snapshot_interval_s
+            retention = runtime_config.retention_s
+        if defaults is not None:
+            if interval is None:
+                interval = defaults.default_interval_s
+            if retention is None:
+                retention = defaults.default_retention_s
+        if interval is None:
+            interval = 1.0
+        if level == "none":
+            return cls(mode=MODE_DISABLED, interval_s=interval, retention_s=retention)
+        if level == "strong":
+            return cls(
+                mode=MODE_ON_COMMIT,
+                interval_s=interval,
+                retention_s=retention,
+                rpo_budget_s=0.0,
+            )
+        return cls(
+            mode=MODE_PERIODIC,
+            interval_s=interval,
+            retention_s=retention,
+            rpo_budget_s=interval,
+        )
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "mode": self.mode,
+            "interval_s": self.interval_s,
+            "retention_s": self.retention_s,
+            "rpo_budget_s": self.rpo_budget_s,
+        }

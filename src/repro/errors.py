@@ -118,6 +118,12 @@ class PresignedUrlError(StorageError):
     """A presigned URL failed verification (bad signature or expired)."""
 
 
+class SnapshotNotFoundError(StorageError):
+    """No snapshot generation satisfies a restore request (unknown
+    generation, a point-in-time before the first cut, or an object that
+    was never captured by any cut)."""
+
+
 class ConcurrentModificationError(StorageError):
     """An optimistic-concurrency write lost the race (version mismatch)."""
 

@@ -28,6 +28,7 @@ from repro.errors import (
     ConcurrentModificationError,
     InvocationError,
     InvocationTimeoutError,
+    KeyNotFoundError,
     OaasError,
     TransportError,
     UnknownClassError,
@@ -783,7 +784,12 @@ class InvocationEngine:
                 lambda caller: dht.delete(record.id, caller=caller),
             )
             for object_key in record.files.values():
-                self.object_store.delete_object(self.bucket, object_key)
+                try:
+                    self.object_store.delete_object(self.bucket, object_key)
+                except KeyNotFoundError:
+                    # A never-uploaded or already-removed file key is not
+                    # an error for the object deletion as a whole.
+                    pass
             return ok({"deleted": record.id})
         if fn == "file-url":
             key = request.payload.get("key")

@@ -15,10 +15,22 @@ from dataclasses import dataclass, field, fields
 
 from repro.errors import ValidationError
 
-__all__ = ["QosRequirement", "Constraint", "NonFunctionalRequirements", "MAX_PRIORITY"]
+__all__ = [
+    "QosRequirement",
+    "Constraint",
+    "NonFunctionalRequirements",
+    "MAX_PRIORITY",
+    "PERSISTENCE_LEVELS",
+]
 
 #: Upper bound of the declared scheduling priority scale (1 = lowest).
 MAX_PRIORITY = 10
+
+#: Valid values of the ``persistence`` constraint level.  ``strong``
+#: demands synchronous durability on every commit, ``standard`` accepts
+#: the write-behind/periodic-snapshot window, ``none`` declares the
+#: class ephemeral (equivalent to ``persistent: false``).
+PERSISTENCE_LEVELS = ("strong", "standard", "none")
 
 
 def _checked_number(name: str, value, allow_bool: bool = False) -> float:
@@ -103,12 +115,20 @@ class Constraint:
             (Listing 1: ``persistent: true``).  Non-persistent classes
             skip database write-behind entirely — the
             ``oprc-bypass-nonpersist`` configuration of Fig. 3.
+        persistence: the declared durability *level* refining the
+            boolean — one of :data:`PERSISTENCE_LEVELS`.  ``strong``
+            asks for synchronous snapshot-on-commit epochs (RPO = 0),
+            ``standard`` accepts the write-behind / periodic-cut window,
+            ``none`` is ephemeral.  ``None`` (unset) derives the level
+            from ``persistent``: ``standard`` when true, ``none`` when
+            false.
         budget_usd_per_month: upper bound on monthly deployment cost.
         jurisdictions: datacenter regions where state may reside; empty
             means unrestricted.
     """
 
     persistent: bool = True
+    persistence: str | None = None
     budget_usd_per_month: float | None = None
     jurisdictions: tuple[str, ...] = field(default_factory=tuple)
 
@@ -117,11 +137,36 @@ class Constraint:
             raise ValidationError(
                 f"budget must be > 0, got {self.budget_usd_per_month}"
             )
+        if self.persistence is not None:
+            if self.persistence not in PERSISTENCE_LEVELS:
+                raise ValidationError(
+                    f"persistence must be one of {list(PERSISTENCE_LEVELS)}, "
+                    f"got {self.persistence!r}"
+                )
+            # The level and the boolean must not contradict: an
+            # ephemeral level on a persistent class (or vice versa)
+            # would make template matching and durability policy
+            # disagree about the same declaration.
+            if (self.persistence == "none") == self.persistent:
+                raise ValidationError(
+                    f"persistence={self.persistence!r} contradicts "
+                    f"persistent={self.persistent}"
+                )
+
+    @property
+    def persistence_level(self) -> str:
+        """The effective durability level (always one of
+        :data:`PERSISTENCE_LEVELS`), deriving unset levels from the
+        ``persistent`` boolean."""
+        if self.persistence is not None:
+            return self.persistence
+        return "standard" if self.persistent else "none"
 
     @property
     def is_default(self) -> bool:
         return (
             self.persistent
+            and self.persistence is None
             and self.budget_usd_per_month is None
             and not self.jurisdictions
         )

@@ -123,6 +123,7 @@ _QOS_KEYS = {
 
 _CONSTRAINT_KEYS = {
     "persistent": "persistent",
+    "persistence": "persistence",
     "budget": "budget",
     "budgetUsdPerMonth": "budget",
     "budget_usd_per_month": "budget",
@@ -148,8 +149,16 @@ def parse_nfr(node: Mapping[str, Any], what: str) -> NonFunctionalRequirements:
             latency_ms=qos_node.get("latency"),
             priority=qos_node.get("priority"),
         )
+        persistence = constraint_node.get("persistence")
+        if persistence is not None:
+            persistence = str(persistence)
+        # An explicit persistence level implies the matching persistent
+        # flag unless the document also sets it (contradictions are
+        # rejected by the Constraint validator).
+        persistent_default = (persistence != "none") if persistence is not None else True
         constraint = Constraint(
-            persistent=bool(constraint_node.get("persistent", True)),
+            persistent=bool(constraint_node.get("persistent", persistent_default)),
+            persistence=persistence,
             budget_usd_per_month=constraint_node.get("budget"),
             jurisdictions=tuple(jurisdictions),
         )

@@ -39,6 +39,9 @@ resilience.breaker_half_open   BreakerBoard — cls, node
 resilience.breaker_close       BreakerBoard — cls, node
 qos.reject                     QosPlane — cls, reason, path, retry_after_s
 qos.shed                       OverloadController — cls, count, depth, tier[, brownout]
+durability.commit              ClassDurabilityState — cls, object, version
+durability.snapshot            SnapshotCoordinator — cls, generation, docs, tombstones
+durability.restore             RestoreManager — cls, kind, plus kind-specific fields
 =============================  ======================================================
 """
 

@@ -209,6 +209,32 @@ def format_summary(report: Mapping[str, Any]) -> str:
                 f"shed={shedder.get('shed_total', 0)}"
                 + (f" ({shed})" if shed else "")
             )
+    durability = report.get("durability") or {}
+    if durability:
+        dur_classes = durability.get("classes") or {}
+        lines.append("\ndurability plane:")
+        lines.append(
+            f"  cuts={durability.get('cuts_total', 0)} "
+            f"epoch_writes={durability.get('epoch_writes_total', 0)} "
+            f"recoveries={durability.get('recoveries_total', 0)} "
+            f"restores={durability.get('restores_total', 0)}"
+        )
+        for cls in sorted(dur_classes):
+            row = dur_classes[cls]
+            policy = row.get("policy") or {}
+            parts = [f"  {cls:<16} mode={policy.get('mode', '?')}"]
+            if "cuts_taken" in row:
+                parts.append(
+                    f"cuts={row['cuts_taken']} generations={row['generation_count']} "
+                    f"bytes={row['snapshot_bytes']}"
+                )
+            recovery = row.get("last_recovery")
+            if recovery:
+                parts.append(
+                    f"rpo={recovery['rpo_s']:.4f}s rto={recovery['rto_s']:.4f}s "
+                    f"lost={recovery['lost_writes']}"
+                )
+            lines.append(" ".join(parts))
     classes = report.get("classes") or {}
     if classes:
         lines.append("\nper-class data plane:")

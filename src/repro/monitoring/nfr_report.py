@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.chaos.injector import ChaosInjector
+    from repro.durability.plane import DurabilityPlane
     from repro.monitoring.collector import MonitoringSystem
     from repro.qos.plane import QosPlane
 
@@ -72,6 +73,7 @@ def nfr_compliance_report(
     monitoring: "MonitoringSystem",
     chaos: "ChaosInjector | None" = None,
     qos: "QosPlane | None" = None,
+    durability: "DurabilityPlane | None" = None,
 ) -> list[NfrVerdict]:
     """Judge every deployed class's declared QoS against observations.
 
@@ -91,12 +93,20 @@ def nfr_compliance_report(
     ``latency_p95_ms`` verdict against the same target — the percentile
     the overload controller's brownout trigger watches, so the report
     shows the exact signal that drives shedding.
+
+    With a ``durability`` plane supplied, classes that have gone through
+    a measured crash recovery get a ``durability_rpo_s`` verdict: the
+    sim-seconds of acknowledged writes lost, judged against the policy's
+    RPO budget (0 for ``persistence: strong``, one snapshot interval for
+    ``standard``).
     """
     fault_counts = chaos.fault_counts() if chaos is not None else {}
     qos_plane = qos  # the loop below rebinds ``qos`` to each class's block
     verdicts: list[NfrVerdict] = []
     for cls in sorted(runtimes):
         runtime = runtimes[cls]
+        if durability is not None:
+            verdicts.extend(_durability_verdicts(cls, durability))
         qos = runtime.resolved.nfr.qos
         if qos.is_empty:
             continue
@@ -191,6 +201,36 @@ def nfr_compliance_report(
                     )
                 )
     return verdicts
+
+
+def _durability_verdicts(
+    cls: str, durability: "DurabilityPlane"
+) -> list[NfrVerdict]:
+    """RPO verdict for a class whose crash recovery has been measured."""
+    policy = durability.policy_for(cls)
+    tracker = durability.tracker_for(cls)
+    if policy is None or not policy.enabled or tracker is None:
+        return []
+    recovery = tracker.last_recovery
+    if recovery is None:
+        return []
+    observed = float(recovery["rpo_s"])
+    target = float(policy.rpo_budget_s)
+    return [
+        NfrVerdict(
+            cls=cls,
+            requirement="durability_rpo_s",
+            target=target,
+            observed=observed,
+            met=observed <= target,
+            margin=target - observed,
+            detail=(
+                f"{recovery['lost_writes']} write(s) lost, "
+                f"RTO {recovery['rto_s']:.4f}s after node "
+                f"{recovery['node']} crash"
+            ),
+        )
+    ]
 
 
 def format_nfr_report(verdicts: list[NfrVerdict]) -> str:

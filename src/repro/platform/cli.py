@@ -28,6 +28,12 @@ Commands:
   QoS enforcement plane on (admission control, weighted-fair async
   scheduling, load shedding) and print the resolved policies plus
   admission / fair-queue / shedding statistics.
+* ``ocli snapshot <package> --new CLS [...]`` — run the workload with
+  the durability plane on, take a consistent snapshot cut through the
+  gateway, and print the retained generations.
+* ``ocli restore <package> --new CLS [...]`` — run the workload, cut a
+  snapshot, mutate further, then point-in-time restore the class back
+  to the cut and print the restore summary plus the rewound state.
 """
 
 from __future__ import annotations
@@ -160,6 +166,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="platform-wide in-flight HTTP ceiling",
     )
     qos.add_argument("--seed", type=int, default=0, help="platform RNG seed")
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="run a workload with the durability plane on and take a "
+        "consistent snapshot cut",
+    )
+    add_workload_args(snapshot)
+    snapshot.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=1.0,
+        help="periodic cut interval (simulated seconds)",
+    )
+
+    restore = sub.add_parser(
+        "restore",
+        help="run a workload, snapshot, mutate further, then restore the "
+        "class to the snapshot point",
+    )
+    add_workload_args(restore)
+    restore.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=1.0,
+        help="periodic cut interval (simulated seconds)",
+    )
+    restore.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        help="restore point in simulated seconds (default: latest cut)",
+    )
     return parser
 
 
@@ -248,9 +286,11 @@ def _build_platform(
     tracing: bool = False,
     events: bool = False,
     qos_config=None,
+    durability_config=None,
 ):
     """An ephemeral platform with the workload's handlers registered, or
     ``None`` (after printing the error) when handler wiring is invalid."""
+    from repro.durability.plane import DurabilityConfig
     from repro.platform.oparaca import Oparaca, PlatformConfig
     from repro.qos.plane import QosConfig
 
@@ -261,6 +301,11 @@ def _build_platform(
             tracing_enabled=tracing,
             events_enabled=events,
             qos=qos_config if qos_config is not None else QosConfig(),
+            durability=(
+                durability_config
+                if durability_config is not None
+                else DurabilityConfig()
+            ),
         )
     )
     if args.handlers:
@@ -533,6 +578,107 @@ def _cmd_qos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _durability_platform(args: argparse.Namespace, package: Package):
+    from repro.durability.plane import DurabilityConfig
+
+    return _build_platform(
+        args,
+        package,
+        events=True,
+        durability_config=DurabilityConfig(
+            enabled=True, default_interval_s=args.snapshot_interval
+        ),
+    )
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    package = _load_pkg(args.package)
+    platform = _durability_platform(args, package)
+    if platform is None:
+        return 2
+    platform.deploy(package)
+    _run_workload(platform, args, quiet=True)
+    cut = platform.http("POST", f"/api/classes/{args.new_cls}/snapshots")
+    if cut.status not in (200, 201):
+        print(f"error: snapshot failed: {cut.body.get('error')}", file=sys.stderr)
+        return 1
+    if cut.body.get("generation") is None:
+        print(f"nothing to capture for {args.new_cls} (no changes since last cut)")
+    else:
+        print(
+            f"cut generation {cut.body['generation']} at "
+            f"t={cut.body['cut_time']:.4f}s: {cut.body['captured']} object(s)"
+        )
+    listing = platform.http("GET", f"/api/classes/{args.new_cls}/snapshots")
+    print(f"\nretained generations ({listing.body.get('count', 0)}):")
+    for entry in listing.body.get("generations", []):
+        print(
+            f"  gen {entry['generation']:>4} cut_time={entry['cut_time']:.4f}s "
+            f"captured={entry['captured']} tombstones={entry['tombstones']}"
+        )
+    stats = platform.durability_report()
+    row = stats["classes"].get(args.new_cls, {})
+    print(
+        f"\ndurability: cuts={row.get('cuts_taken', 0)} "
+        f"skipped={row.get('cuts_skipped', 0)} "
+        f"bytes={row.get('snapshot_bytes', 0)} "
+        f"epoch_writes={row.get('epoch_writes', 0)}"
+    )
+    platform.shutdown()
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    package = _load_pkg(args.package)
+    platform = _durability_platform(args, package)
+    if platform is None:
+        return 2
+    platform.deploy(package)
+    object_id = _run_workload(platform, args, quiet=True)
+    cut = platform.http("POST", f"/api/classes/{args.new_cls}/snapshots")
+    if cut.status not in (200, 201):
+        print(f"error: snapshot failed: {cut.body.get('error')}", file=sys.stderr)
+        return 1
+    if cut.body.get("generation") is None:
+        # The periodic loop already covered the workload; restore from
+        # the latest retained generation instead.
+        listing = platform.http("GET", f"/api/classes/{args.new_cls}/snapshots")
+        generations = listing.body.get("generations", [])
+        if not generations:
+            print(f"error: no snapshot generation of {args.new_cls}", file=sys.stderr)
+            return 1
+        latest = generations[-1]
+        print(
+            f"periodic cut already current: generation {latest['generation']} "
+            f"at t={latest['cut_time']:.4f}s"
+        )
+    else:
+        print(
+            f"cut generation {cut.body['generation']} at t={cut.body['cut_time']:.4f}s"
+        )
+    # Mutate past the cut so the rewind is visible.
+    for spec in args.invoke:
+        fn, _, payload_text = spec.partition(":")
+        payload = json.loads(payload_text) if payload_text else {}
+        platform.http("POST", f"/api/objects/{object_id}/invokes/{fn}", payload)
+    before = platform.get_object(object_id)
+    body = {} if args.at is None else {"at": args.at}
+    restored = platform.http("POST", f"/api/classes/{args.new_cls}/restore", body)
+    if not restored.ok:
+        print(f"error: restore failed: {restored.body.get('error')}", file=sys.stderr)
+        return 1
+    print(
+        f"restored {restored.body.get('restored', 0)} object(s) from generation "
+        f"{restored.body.get('generation')} "
+        f"(purged {restored.body.get('purged', 0)} newer)"
+    )
+    after = platform.get_object(object_id)
+    print(f"state before restore: {json.dumps(before['state'], default=str)}")
+    print(f"state after restore:  {json.dumps(after['state'], default=str)}")
+    platform.shutdown()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -546,6 +692,8 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "chaos": _cmd_chaos,
         "qos": _cmd_qos,
+        "snapshot": _cmd_snapshot,
+        "restore": _cmd_restore,
     }
     try:
         return handlers[args.command](args)

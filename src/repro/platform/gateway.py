@@ -14,7 +14,14 @@ DELETE    /api/objects/{oid}                         delete object
 POST      /api/objects/{oid}/invokes/{fn}            invoke function
 GET       /api/objects/{oid}/files/{key}             presigned GET URL
 PUT       /api/objects/{oid}/files/{key}             presigned PUT URL
+POST      /api/classes/{cls}/snapshots               snapshot cut [d]
+GET       /api/classes/{cls}/snapshots               list generations [d]
+POST      /api/classes/{cls}/restore                 PIT restore [d]
 ========  =========================================  ==================
+
+Routes marked ``[d]`` exist only when the durability plane is enabled;
+otherwise they fall through to the usual 404 ``NoRouteError`` body, so
+a baseline platform's route surface is unchanged.
 
 Responses carry HTTP-ish status codes mapped from the invocation
 result's error type, so clients behave as they would against the real
@@ -27,7 +34,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Generator, Mapping
 
-from repro.errors import OaasError
+from repro.errors import OaasError, ValidationError
 from repro.invoker.engine import InvocationEngine, split_object_id
 from repro.invoker.request import InvocationRequest
 from repro.monitoring.tracing import Tracer
@@ -42,6 +49,9 @@ _STATUS_BY_ERROR = {
     "UnknownClassError": 404,
     "UnknownFunctionError": 404,
     "NoRouteError": 404,
+    "KeyNotFoundError": 404,
+    "BucketNotFoundError": 404,
+    "SnapshotNotFoundError": 404,
     "ValidationError": 400,
     "PackageError": 400,
     "InvocationError": 403,
@@ -97,6 +107,7 @@ class Gateway:
         overhead_s: float = 0.0002,
         tracer: Tracer | None = None,
         qos: QosPlane | None = None,
+        durability: Any | None = None,
     ) -> None:
         self.env = env
         self.engine = engine
@@ -104,6 +115,7 @@ class Gateway:
         # Explicit None check: an empty Tracer is falsy (it has __len__).
         self.tracer = tracer if tracer is not None else Tracer(env)
         self.qos = qos
+        self.durability = durability
         self.requests = 0
         self.rejected = 0
 
@@ -130,6 +142,13 @@ class Gateway:
             )
 
     def _handle_inner(self, http: HttpRequest) -> Generator[Any, Any, HttpResponse]:
+        admin = self._durability_route(http)
+        if admin is not None:
+            if self.overhead_s:
+                yield self.env.timeout(self.overhead_s)
+            if isinstance(admin, HttpResponse):
+                return admin
+            return (yield from admin)
         invocation = self._route(http)
         admitted = False
         if isinstance(invocation, InvocationRequest) and self.qos is not None:
@@ -196,6 +215,65 @@ class Gateway:
         finally:
             if admitted:
                 self.qos.release_http()
+
+    def _durability_route(
+        self, http: HttpRequest
+    ) -> Generator | HttpResponse | None:
+        """Durability admin routes, live only when the plane is wired.
+
+        Returns ``None`` (fall through to the usual routing — and so the
+        baseline 404 ``NoRouteError``) when the plane is off or the path
+        does not match."""
+        if self.durability is None:
+            return None
+        parts = [p for p in http.path.split("/") if p]
+        if len(parts) != 4 or parts[0] != "api" or parts[1] != "classes":
+            return None
+        cls = parts[2]
+        if parts[3] == "snapshots":
+            if http.method == "POST":
+                return self._snapshot_class(cls)
+            if http.method == "GET":
+                generations = self.durability.generations(cls)
+                return HttpResponse(
+                    200,
+                    {"class": cls, "generations": generations, "count": len(generations)},
+                )
+            return None
+        if parts[3] == "restore" and http.method == "POST":
+            return self._restore_class(cls, http.body)
+        return None
+
+    def _snapshot_class(self, cls: str) -> Generator[Any, Any, HttpResponse]:
+        manifest = yield self.durability.snapshot_class(cls)
+        if manifest is None:
+            return HttpResponse(
+                200, {"class": cls, "generation": None, "captured": 0}
+            )
+        return HttpResponse(
+            201,
+            {
+                "class": cls,
+                "generation": manifest["generation"],
+                "captured": len(manifest["captured"]),
+                "cut_time": manifest["cut_time"],
+            },
+        )
+
+    def _restore_class(
+        self, cls: str, body: Mapping[str, Any]
+    ) -> Generator[Any, Any, HttpResponse]:
+        at = body.get("at")
+        if at is not None:
+            if isinstance(at, bool) or not isinstance(at, (int, float)):
+                raise ValidationError(f"restore 'at' must be a number, got {at!r}")
+            at = float(at)
+        object_id = body.get("object")
+        if object_id is not None:
+            summary = yield self.durability.restore_object(cls, str(object_id), at)
+        else:
+            summary = yield self.durability.restore_class(cls, at)
+        return HttpResponse(200, dict(summary))
 
     def _route(self, http: HttpRequest) -> InvocationRequest | HttpResponse | None:
         parts = [p for p in http.path.split("/") if p]

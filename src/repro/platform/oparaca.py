@@ -35,6 +35,7 @@ from repro.crm.manager import ClassRuntimeManager
 from repro.crm.optimizer import RequirementOptimizer
 from repro.crm.runtime import ClassRuntime
 from repro.crm.template import TemplateCatalog
+from repro.durability.plane import DurabilityConfig, DurabilityPlane
 from repro import errors
 from repro.errors import FunctionExecutionError, OaasError
 from repro.faas.deployment_engine import DeploymentModel
@@ -99,6 +100,11 @@ class PlatformConfig:
     #: ``qos.enabled == False`` no plane is constructed and the data
     #: paths run their original (baseline) code.
     qos: QosConfig = field(default_factory=QosConfig)
+    #: Durability plane (snapshots, point-in-time restore, measured
+    #: crash recovery).  Off by default: with
+    #: ``durability.enabled == False`` no plane is constructed and the
+    #: storage write path runs its original (baseline) code.
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
 
 
 class Oparaca:
@@ -155,6 +161,18 @@ class Oparaca:
             rng=self.rng,
             events=self.events,
         )
+        self.durability: DurabilityPlane | None = None
+        if self.config.durability.enabled:
+            self.durability = DurabilityPlane(
+                self.env,
+                self.crm,
+                self.object_store,
+                monitoring=self.monitoring,
+                events=self.events,
+                tracer=self.tracer,
+                config=self.config.durability,
+            )
+            self.crm.durability = self.durability
         self.qos: QosPlane | None = None
         if self.config.qos.enabled:
             self.qos = QosPlane(
@@ -177,6 +195,7 @@ class Oparaca:
             overhead_s=self.config.gateway_overhead_s,
             tracer=self.tracer,
             qos=self.qos,
+            durability=self.durability,
         )
         self.chaos: ChaosInjector | None = None
         self.optimizer: RequirementOptimizer | None = None
@@ -399,6 +418,8 @@ class Oparaca:
                 runtime.router.refresh()
             for svc in runtime.services.values():
                 svc.deployment.reconcile()
+        if self.durability is not None:
+            self.durability.on_node_failed(name, stats)
         return stats
 
     def add_node(self, name: str, region: str | None = None) -> None:
@@ -415,6 +436,8 @@ class Oparaca:
                 continue
             runtime.dht.add_node(name)
             runtime.router.refresh()
+        if self.durability is not None:
+            self.durability.on_node_joined(name)
 
     # -- chaos ------------------------------------------------------------------------
 
@@ -470,7 +493,11 @@ class Oparaca:
     def nfr_report(self) -> list[NfrVerdict]:
         """Per-class QoS compliance verdicts from live observations."""
         return nfr_compliance_report(
-            self.crm.runtimes, self.monitoring, chaos=self.chaos, qos=self.qos
+            self.crm.runtimes,
+            self.monitoring,
+            chaos=self.chaos,
+            qos=self.qos,
+            durability=self.durability,
         )
 
     def qos_report(self) -> dict[str, Any]:
@@ -478,6 +505,12 @@ class Oparaca:
         fair-queue depths, and shed totals.  Empty when the plane is
         disabled."""
         return self.qos.stats() if self.qos is not None else {}
+
+    def durability_report(self) -> dict[str, Any]:
+        """Durability-plane statistics: per-class policies, snapshot
+        generations, and the last measured recovery (RPO/RTO).  Empty
+        when the plane is disabled."""
+        return self.durability.stats() if self.durability is not None else {}
 
     def observability_report(self) -> dict[str, Any]:
         """The full observability summary: span latency breakdowns,
@@ -494,6 +527,8 @@ class Oparaca:
             report["chaos"] = self.chaos.summary()
         if self.qos is not None:
             report["qos"] = self.qos.stats()
+        if self.durability is not None:
+            report["durability"] = self.durability.stats()
         return report
 
     def snapshot(self) -> dict[str, float]:
@@ -515,12 +550,20 @@ class Oparaca:
             snap["qos.queue_depth"] = float(self.qos.queue_depth())
             snap["qos.shed"] = float(self.queue.shed)
             snap["qos.rejected_async"] = float(self.queue.rejected)
+        if self.durability is not None:
+            stats = self.durability.stats()
+            snap["durability.cuts"] = float(stats["cuts_total"])
+            snap["durability.epoch_writes"] = float(stats["epoch_writes_total"])
+            snap["durability.recoveries"] = float(stats["recoveries_total"])
+            snap["durability.restores"] = float(stats["restores_total"])
         return snap
 
     def shutdown(self) -> None:
         """Stop background loops and flush durable state."""
         if self.optimizer is not None:
             self.optimizer.stop()
+        if self.durability is not None:
+            self.durability.stop()
         self.queue.stop()
         for runtime in self.crm.runtimes.values():
             for svc in runtime.services.values():

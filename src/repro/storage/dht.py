@@ -146,6 +146,13 @@ class Dht:
                     name=f"wb-{node}",
                     tracer=tracer,
                 )
+        #: Durability tracker attached by the durability plane (``None``
+        #: keeps the write path byte-identical to the baseline).
+        self._durability = None
+        #: Class-wide quiescence gate held by a snapshot cut: while set,
+        #: writes and deletes park here so the cut observes a consistent
+        #: instant across every partition.
+        self._cut_gate: Gate | None = None
         self._read_batcher: ReadBatcher | None = None
         if (
             self.model.read_batch is not None
@@ -308,6 +315,8 @@ class Dht:
         key = doc.get("id")
         if not key:
             raise StorageError("DHT put of a document without 'id'")
+        while self._cut_gate is not None:
+            yield self._cut_gate.wait()
         self.puts += 1
         owners = self.owners(key)
         size = doc_size_bytes(doc)
@@ -356,6 +365,8 @@ class Dht:
         queue = self._queues.get(primary)
         if queue is not None:
             yield from queue.enqueue_blocking(copy.deepcopy(stored))
+        if self._durability is not None:
+            yield from self._durability.on_put(stored)
         return copy.deepcopy(stored)
 
     def stale_get(self, key: str) -> Process:
@@ -381,6 +392,8 @@ class Dht:
         return self.env.process(self._delete(key, caller))
 
     def _delete(self, key: str, caller: str | None) -> Generator:
+        while self._cut_gate is not None:
+            yield self._cut_gate.wait()
         owners = self.owners(key)
         yield self.network.transfer(caller, owners[0], 128)
         if self.model.op_cost_s:
@@ -397,6 +410,8 @@ class Dht:
             queue.discard(key)
         if self.store is not None and self.model.persistent:
             yield self.store.delete(self.collection, key)
+        if self._durability is not None:
+            self._durability.on_delete(key)
 
     # -- residency helpers -------------------------------------------------------
 
@@ -508,14 +523,19 @@ class Dht:
         if len(self.ring) == 1:
             raise StorageError("cannot fail the last DHT node")
         lost_pending = 0
+        lost_fenced = None
         queue = self._queues.pop(node, None)
         if queue is not None:
-            lost_pending = queue.stop()["lost"]
+            loss = queue.stop()
+            lost_pending = loss["lost"]
+            lost_fenced = loss.get("fenced")
         self._mem.pop(node, None)
         self._near.pop(node, None)
         self.ring.remove_node(node)
         stats = self.rebalance()
         stats["lost_pending"] = lost_pending
+        if lost_fenced is not None:
+            stats["lost_fenced"] = lost_fenced
         return stats
 
     def rebalance(self) -> dict[str, int]:
@@ -545,6 +565,40 @@ class Dht:
                 self._mem[owner][key] = copy.deepcopy(doc)
         return {"keys_moved": moved, "keys_resident": len(merged)}
 
+    # -- durability (snapshot/restore plane) ---------------------------------
+
+    def attach_durability(self, tracker) -> None:
+        """Hook a durability tracker into the write path.
+
+        Never called in the baseline; with no tracker attached the
+        write/delete paths are unchanged."""
+        self._durability = tracker
+
+    def begin_cut(self) -> None:
+        """Quiesce the write path for a consistent snapshot cut: every
+        put/delete that arrives while the cut is open parks on a gate
+        until :meth:`end_cut` fires it.  Reads are unaffected."""
+        if self._cut_gate is not None:
+            raise StorageError(f"collection {self.collection!r}: cut already open")
+        self._cut_gate = Gate(self.env)
+
+    def end_cut(self) -> None:
+        """Release writers parked by :meth:`begin_cut`."""
+        gate = self._cut_gate
+        if gate is None:
+            raise StorageError(f"collection {self.collection!r}: no cut open")
+        self._cut_gate = None
+        gate.fire()
+
+    def fence_queues(self) -> None:
+        """Open a snapshot fence on every node's write-behind queue."""
+        for queue in self._queues.values():
+            queue.begin_fence()
+
+    def unfence_queues(self) -> None:
+        for queue in self._queues.values():
+            queue.end_fence()
+
     # -- maintenance ---------------------------------------------------------
 
     def flush_all(self) -> Process:
@@ -567,6 +621,23 @@ class Dht:
             self._mem[node][key] = copy.deepcopy(doc)
         if persist and self.store is not None and self.model.persistent:
             self.store.put_sync(self.collection, doc)
+
+    def purge(self, key: str) -> Process:
+        """Remove a record from every node's memory and buffered queue,
+        then durably delete it from the store — restore bookkeeping for
+        objects that do not exist at the restore point.  Unlike
+        :meth:`delete` it pays no data-plane network cost and does not
+        notify the durability tracker."""
+        return self.env.process(self._purge(key))
+
+    def _purge(self, key: str) -> Generator:
+        for mem in self._mem.values():
+            mem.pop(key, None)
+        self._near_invalidate(key)
+        for queue in self._queues.values():
+            queue.discard(key)
+        if self.store is not None and self.model.persistent:
+            yield self.store.delete(self.collection, key)
 
     def peek(self, key: str) -> dict[str, Any] | None:
         """Instant read of the primary's memory (tests/diagnostics)."""

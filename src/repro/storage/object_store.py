@@ -161,7 +161,11 @@ class ObjectStore:
         return self._table(bucket).get(key)
 
     def delete_object(self, bucket: str, key: str) -> None:
-        self._table(bucket).pop(key, None)
+        """Delete an object; raises :class:`KeyNotFoundError` if absent
+        (and :class:`BucketNotFoundError` for an unknown bucket), so
+        callers see the same typed errors as :meth:`get_object`."""
+        if self._table(bucket).pop(key, None) is None:
+            raise KeyNotFoundError(f"no object {bucket!r}/{key!r}")
 
     def list_objects(self, bucket: str, prefix: str = "") -> list[str]:
         return sorted(k for k in self._table(bucket) if k.startswith(prefix))
@@ -201,7 +205,9 @@ class ObjectStore:
             raise PresignedUrlError(
                 f"presigned URL allows {parsed.method}, attempted {method.upper()}"
             )
-        if self.env.now > parsed.expires_at:
+        # Exact-boundary semantics: a URL presented at its expiry
+        # instant is already expired (the lifetime is [issue, expiry)).
+        if self.env.now >= parsed.expires_at:
             raise PresignedUrlError("presigned URL has expired")
         return parsed
 

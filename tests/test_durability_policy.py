@@ -1,0 +1,174 @@
+"""Unit tests for durability policy derivation and the ``persistence``
+constraint (declaration → validation → policy)."""
+
+import pytest
+
+from repro.crm.template import RuntimeConfig
+from repro.durability.plane import DurabilityConfig
+from repro.durability.policy import (
+    MODE_DISABLED,
+    MODE_ON_COMMIT,
+    MODE_PERIODIC,
+    DurabilityPolicy,
+)
+from repro.errors import PackageError, ValidationError
+from repro.model.nfr import Constraint, NonFunctionalRequirements
+from repro.model.pkg import parse_package
+
+
+def nfr(persistence=None, persistent=None) -> NonFunctionalRequirements:
+    kwargs = {}
+    if persistence is not None:
+        kwargs["persistence"] = persistence
+        kwargs["persistent"] = persistence != "none"
+    if persistent is not None:
+        kwargs["persistent"] = persistent
+    return NonFunctionalRequirements(constraint=Constraint(**kwargs))
+
+
+class TestConstraint:
+    def test_levels_accepted(self):
+        for level in ("strong", "standard"):
+            assert Constraint(persistence=level).persistence_level == level
+        ephemeral = Constraint(persistence="none", persistent=False)
+        assert ephemeral.persistence_level == "none"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValidationError, match="persistence"):
+            Constraint(persistence="eventual")
+
+    def test_contradiction_rejected(self):
+        with pytest.raises(ValidationError, match="contradicts"):
+            Constraint(persistence="none", persistent=True)
+        with pytest.raises(ValidationError, match="contradicts"):
+            Constraint(persistence="strong", persistent=False)
+
+    def test_unset_level_derives_from_boolean(self):
+        assert Constraint(persistent=True).persistence_level == "standard"
+        assert Constraint(persistent=False).persistence_level == "none"
+
+    def test_explicit_level_is_not_default(self):
+        assert Constraint().is_default
+        assert not Constraint(persistence="standard").is_default
+
+
+class TestPackageParsing:
+    def test_level_parsed_and_boolean_implied(self):
+        package = parse_package(
+            {
+                "classes": [
+                    {"name": "Ledger", "constraint": {"persistence": "strong"}},
+                    {"name": "Scratch", "constraint": {"persistence": "none"}},
+                ]
+            }
+        )
+        by_name = {cls.name: cls for cls in package.classes}
+        ledger = by_name["Ledger"].nfr.constraint
+        assert ledger.persistence == "strong" and ledger.persistent
+        scratch = by_name["Scratch"].nfr.constraint
+        assert scratch.persistence == "none" and not scratch.persistent
+
+    def test_contradictory_document_rejected(self):
+        with pytest.raises(PackageError):
+            parse_package(
+                {
+                    "classes": [
+                        {
+                            "name": "A",
+                            "constraint": {
+                                "persistence": "none",
+                                "persistent": True,
+                            },
+                        }
+                    ]
+                }
+            )
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(PackageError):
+            parse_package(
+                {"classes": [{"name": "A", "constraint": {"persistence": "tough"}}]}
+            )
+
+
+class TestPolicyFromNfr:
+    def test_strong_is_on_commit_with_zero_rpo_budget(self):
+        policy = DurabilityPolicy.from_nfr(nfr("strong"))
+        assert policy.mode == MODE_ON_COMMIT
+        assert policy.rpo_budget_s == 0.0
+        assert policy.enabled
+
+    def test_standard_is_periodic_with_interval_budget(self):
+        policy = DurabilityPolicy.from_nfr(
+            nfr("standard"), defaults=DurabilityConfig(default_interval_s=0.25)
+        )
+        assert policy.mode == MODE_PERIODIC
+        assert policy.interval_s == 0.25
+        assert policy.rpo_budget_s == 0.25
+
+    def test_none_is_disabled(self):
+        policy = DurabilityPolicy.from_nfr(nfr("none"))
+        assert policy.mode == MODE_DISABLED
+        assert not policy.enabled
+
+    def test_unset_level_follows_persistent_boolean(self):
+        assert DurabilityPolicy.from_nfr(nfr(persistent=True)).mode == MODE_PERIODIC
+        assert DurabilityPolicy.from_nfr(nfr(persistent=False)).mode == MODE_DISABLED
+
+    def test_template_knobs_win_over_plane_defaults(self):
+        policy = DurabilityPolicy.from_nfr(
+            nfr("standard"),
+            runtime_config=RuntimeConfig(snapshot_interval_s=0.5, retention_s=30.0),
+            defaults=DurabilityConfig(default_interval_s=2.0, default_retention_s=9.0),
+        )
+        assert policy.interval_s == 0.5
+        assert policy.retention_s == 30.0
+
+    def test_plane_defaults_fill_unset_template_knobs(self):
+        policy = DurabilityPolicy.from_nfr(
+            nfr("standard"),
+            runtime_config=RuntimeConfig(),
+            defaults=DurabilityConfig(default_interval_s=2.0, default_retention_s=9.0),
+        )
+        assert policy.interval_s == 2.0
+        assert policy.retention_s == 9.0
+
+    def test_without_any_source_interval_defaults_to_one_second(self):
+        assert DurabilityPolicy.from_nfr(nfr("standard")).interval_s == 1.0
+
+
+class TestValidation:
+    def test_policy_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            DurabilityPolicy(mode="sometimes")
+        with pytest.raises(ValidationError):
+            DurabilityPolicy(interval_s=0)
+        with pytest.raises(ValidationError):
+            DurabilityPolicy(retention_s=-1)
+        with pytest.raises(ValidationError):
+            DurabilityPolicy(rpo_budget_s=-0.1)
+
+    def test_config_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            DurabilityConfig(bucket="")
+        with pytest.raises(ValidationError):
+            DurabilityConfig(default_interval_s=0)
+        with pytest.raises(ValidationError):
+            DurabilityConfig(default_interval_s=True)
+        with pytest.raises(ValidationError):
+            DurabilityConfig(default_retention_s=0)
+
+    def test_runtime_config_validates_snapshot_knobs(self):
+        with pytest.raises(ValidationError):
+            RuntimeConfig(snapshot_interval_s=0)
+        with pytest.raises(ValidationError):
+            RuntimeConfig(retention_s=float("nan"))
+
+    def test_describe_shape(self):
+        policy = DurabilityPolicy.from_nfr(nfr("strong"))
+        assert policy.describe() == {
+            "mode": "on_commit",
+            "interval_s": 1.0,
+            "retention_s": None,
+            "rpo_budget_s": 0.0,
+        }

@@ -48,6 +48,26 @@ class TestHashRingProperties:
         ring.add_node(new_node)
         assert ring.owner(lookup) in (owner_before, new_node)
 
+    @given(nodes=node_sets, new_node=names)
+    @settings(max_examples=50)
+    def test_add_remove_round_trip_restores_owner_map(self, nodes, new_node):
+        if new_node in nodes:
+            return
+        ring = HashRing(nodes, vnodes=16)
+        probes = [f"probe-{i}" for i in range(64)]
+        before = {key: ring.owner(key) for key in probes}
+        ring.add_node(new_node)
+        ring.remove_node(new_node)
+        assert {key: ring.owner(key) for key in probes} == before
+
+    @given(nodes=node_sets, lookup=keys, extra=st.integers(0, 8))
+    def test_owners_saturate_to_full_membership(self, nodes, lookup, extra):
+        # Asking for at least as many replicas as there are nodes must
+        # return every node exactly once (dedup across vnodes).
+        ring = HashRing(nodes, vnodes=16)
+        owners = ring.owners(lookup, len(nodes) + extra)
+        assert sorted(owners) == sorted(nodes)
+
 
 json_values = st.recursive(
     st.none() | st.booleans() | st.integers(-1000, 1000) | st.text(max_size=10),

@@ -59,6 +59,18 @@ class TestObjects:
         with pytest.raises(KeyNotFoundError):
             store.get_object("media", "x")
 
+    def test_delete_missing_key_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.delete_object("media", "ghost")
+
+    def test_delete_missing_bucket_raises(self, store):
+        with pytest.raises(BucketNotFoundError):
+            store.delete_object("ghost", "k")
+
+    def test_list_missing_bucket_raises(self, store):
+        with pytest.raises(BucketNotFoundError):
+            store.list_objects("ghost")
+
     def test_list_with_prefix(self, store):
         for key in ("img/1", "img/2", "vid/1"):
             store.put_object("media", key, b"")
@@ -118,6 +130,16 @@ class TestPresignedUrls:
         url = store.presign("media", "file", "GET", expires_in_s=10)
         env.run(until=9.0)
         assert store.presigned_get(url).data == b"x"
+
+    def test_expired_exactly_at_boundary(self, env, store):
+        # The lifetime is the half-open interval [issue, expiry): a URL
+        # presented at its expiry instant is already expired.
+        store.put_object("media", "file", b"x")
+        url = store.presign("media", "file", "GET", expires_in_s=10)
+        env.run(until=10.0)
+        assert env.now == 10.0
+        with pytest.raises(PresignedUrlError, match="expired"):
+            store.presigned_get(url)
 
     def test_unknown_method_rejected(self, store):
         with pytest.raises(PresignedUrlError):
