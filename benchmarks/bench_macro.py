@@ -1,0 +1,321 @@
+"""Standing macro perf harness: the whole platform under one workload.
+
+Runs a seeded end-to-end workload with every plane on — QoS admission
+and fair queuing, durability snapshots, the metrics plane with its
+scraper and SLO evaluator, kernel profiling — and emits a
+``BENCH_<date>.json`` artifact with two kinds of numbers:
+
+* ``sim``  — deterministic simulation results (invocation counts,
+  simulated latency percentiles, kernel event dispatches).  A seeded
+  run replays these exactly, so any drift is a behavior change and the
+  regression gate compares them on every host.
+* ``wall`` — host-dependent harness cost (wall-clock events/sec,
+  invocations/sec, peak RSS).  Compared only when the baseline was
+  recorded on a matching host fingerprint, so a committed baseline from
+  one machine never fails CI on another.
+
+Usage::
+
+    python benchmarks/bench_macro.py                  # write BENCH_<today>.json
+    python benchmarks/bench_macro.py --out reports/bench.json
+    python benchmarks/bench_macro.py --check          # gate vs newest BENCH_*.json
+    python benchmarks/bench_macro.py --check --baseline benchmarks/BENCH_2026-08-07.json
+
+The gate fails (exit 1) when any gated metric regresses more than
+``--threshold`` (default 10%) against the baseline.  Intentional
+changes re-baseline by committing the new file; CI offers a
+``perf-intentional`` PR label to skip the gate for exactly that commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform as host_platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+PACKAGE = """
+name: bench-macro
+classes:
+  - name: Order
+    qos: {latency: 50, availability: 0.99, throughput: 200}
+    constraint: {persistent: true}
+    keySpecs:
+      - {name: total, type: INT, default: 0}
+    functions:
+      - name: add
+        image: bench/add
+  - name: Session
+    qos: {throughput: 400}
+    constraint: {persistent: false}
+    keySpecs:
+      - {name: hits, type: INT, default: 0}
+    functions:
+      - name: touch
+        image: bench/touch
+"""
+
+#: Metrics whose increase is a regression (simulated, deterministic).
+SIM_HIGHER_IS_WORSE = ("latency_p50_ms", "latency_p95_ms", "latency_p99_ms", "dispatches")
+#: Deterministic counts that must not shrink (lost work = regression).
+SIM_LOWER_IS_WORSE = ("invocations", "completed")
+#: Wall metrics where lower is a regression (throughput-style).
+WALL_LOWER_IS_WORSE = ("events_per_sec", "invocations_per_sec")
+#: Wall metrics where higher is a regression (footprint-style).
+WALL_HIGHER_IS_WORSE = ("peak_rss_kb",)
+
+
+def run_macro(seed: int = 0, objects: int = 6, rounds: int = 150) -> dict:
+    """One full-stack seeded run; returns the BENCH result document."""
+    from repro.durability.plane import DurabilityConfig
+    from repro.monitoring.plane import MetricsConfig
+    from repro.platform.oparaca import Oparaca, PlatformConfig
+    from repro.qos.plane import QosConfig
+
+    oparaca = Oparaca(
+        PlatformConfig(
+            seed=seed,
+            events_enabled=True,
+            qos=QosConfig(enabled=True),
+            durability=DurabilityConfig(enabled=True),
+            metrics=MetricsConfig(enabled=True),
+        )
+    )
+
+    @oparaca.function("bench/add", service_time_s=0.004)
+    def add(ctx):
+        ctx.state["total"] = ctx.state.get("total", 0) + ctx.payload.get("n", 1)
+        return {"total": ctx.state["total"]}
+
+    @oparaca.function("bench/touch", service_time_s=0.001)
+    def touch(ctx):
+        ctx.state["hits"] = ctx.state.get("hits", 0) + 1
+        return {"hits": ctx.state["hits"]}
+
+    started = time.perf_counter()
+    oparaca.deploy(PACKAGE)
+    # Explicit ids: the platform default is uuid4, which would make
+    # placement (and therefore the deterministic sim section) vary run to run.
+    orders = [
+        oparaca.new_object("Order", object_id=f"order-{i}") for i in range(objects)
+    ]
+    sessions = [
+        oparaca.new_object("Session", object_id=f"session-{i}") for i in range(objects)
+    ]
+    completions = []
+    for round_no in range(rounds):
+        oparaca.invoke(orders[round_no % objects], "add", {"n": round_no})
+        oparaca.invoke(sessions[round_no % objects], "touch")
+        completions.append(
+            oparaca.invoke_async(orders[(round_no + 1) % objects], "add", {"n": 1})
+        )
+        oparaca.advance(0.02)
+    oparaca.advance(2.0)  # drain async + let the scraper/SLO settle
+    oparaca.shutdown()
+    oparaca.metrics.scraper.scrape_once()
+    wall_seconds = time.perf_counter() - started
+
+    latencies = []
+    for cls in oparaca.monitoring.observed_classes:
+        obs = oparaca.monitoring.for_class(cls)
+        if obs.latency.count:
+            latencies.append(obs.latency)
+
+    def pct(p: float) -> float:
+        # Aggregate the per-class reservoirs: weighted merge by count.
+        merged: list[float] = []
+        for histogram in latencies:
+            merged.extend(histogram._values)  # bounded: reservoir size
+        merged.sort()
+        if not merged:
+            return 0.0
+        index = min(len(merged) - 1, int(round((p / 100.0) * (len(merged) - 1))))
+        return merged[index] * 1000.0
+
+    profile = oparaca.env.profile
+    dispatches = profile.total_dispatches if profile is not None else 0
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        peak_rss_kb //= 1024
+
+    engine = oparaca.engine
+    completed = sum(
+        oparaca.monitoring.for_class(cls).completed
+        for cls in oparaca.monitoring.observed_classes
+    )
+    return {
+        "bench": "macro",
+        "seed": seed,
+        "objects": objects,
+        "rounds": rounds,
+        "host": {
+            "platform": host_platform.platform(),
+            "python": host_platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "sim": {
+            "sim_time_s": round(oparaca.now, 6),
+            "invocations": engine.invocations,
+            "completed": completed,
+            "failed": sum(
+                oparaca.monitoring.for_class(cls).failed
+                for cls in oparaca.monitoring.observed_classes
+            ),
+            "latency_p50_ms": round(pct(50), 4),
+            "latency_p95_ms": round(pct(95), 4),
+            "latency_p99_ms": round(pct(99), 4),
+            "dispatches": dispatches,
+            "scrapes": oparaca.metrics.scraper.scrapes,
+            "slo_alerts": len(oparaca.metrics.slo.alerts)
+            if oparaca.metrics.slo is not None
+            else 0,
+        },
+        "wall": {
+            "wall_seconds": round(wall_seconds, 4),
+            "events_per_sec": round(dispatches / wall_seconds, 1)
+            if wall_seconds > 0
+            else 0.0,
+            "invocations_per_sec": round(engine.invocations / wall_seconds, 1)
+            if wall_seconds > 0
+            else 0.0,
+            "peak_rss_kb": int(peak_rss_kb),
+        },
+    }
+
+
+def _latest_baseline(bench_dir: Path, exclude: Path | None = None) -> Path | None:
+    candidates = sorted(
+        p
+        for p in bench_dir.glob("BENCH_*.json")
+        if exclude is None or p.resolve() != exclude.resolve()
+    )
+    return candidates[-1] if candidates else None
+
+
+def _gate(
+    current: dict, baseline: dict, threshold: float
+) -> list[str]:
+    """Regression messages (empty = gate passes)."""
+    failures: list[str] = []
+
+    def compare(section: str, name: str, higher_is_worse: bool) -> None:
+        base = baseline.get(section, {}).get(name)
+        new = current.get(section, {}).get(name)
+        if base is None or new is None or base == 0:
+            return
+        change = (new - base) / abs(base)
+        regressed = change > threshold if higher_is_worse else change < -threshold
+        if regressed:
+            failures.append(
+                f"{section}.{name}: {base} -> {new} "
+                f"({change:+.1%}, limit ±{threshold:.0%})"
+            )
+
+    for name in SIM_HIGHER_IS_WORSE:
+        compare("sim", name, higher_is_worse=True)
+    for name in SIM_LOWER_IS_WORSE:
+        compare("sim", name, higher_is_worse=False)
+    same_host = current.get("host") == baseline.get("host")
+    if same_host:
+        for name in WALL_LOWER_IS_WORSE:
+            compare("wall", name, higher_is_worse=False)
+        for name in WALL_HIGHER_IS_WORSE:
+            compare("wall", name, higher_is_worse=True)
+    else:
+        print(
+            "note: baseline recorded on a different host; "
+            "wall-clock metrics not gated",
+            file=sys.stderr,
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--objects", type=int, default=6)
+    parser.add_argument("--rounds", type=int, default=150)
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default benchmarks/BENCH_<today>.json; '-' for stdout)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate against the newest committed BENCH_*.json baseline",
+    )
+    parser.add_argument(
+        "--baseline", default=None, help="explicit baseline file for --check"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative regression tolerance (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_macro(seed=args.seed, objects=args.objects, rounds=args.rounds)
+    bench_dir = Path(__file__).resolve().parent
+
+    out_path: Path | None
+    if args.out == "-":
+        out_path = None
+        print(json.dumps(result, indent=2))
+    else:
+        if args.out is not None:
+            out_path = Path(args.out)
+        else:
+            today = datetime.date.today().isoformat()
+            out_path = bench_dir / f"BENCH_{today}.json"
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out_path}")
+    sim, wall = result["sim"], result["wall"]
+    print(
+        f"sim: invocations={sim['invocations']} "
+        f"p50={sim['latency_p50_ms']:.2f}ms p95={sim['latency_p95_ms']:.2f}ms "
+        f"p99={sim['latency_p99_ms']:.2f}ms dispatches={sim['dispatches']}"
+    )
+    print(
+        f"wall: {wall['wall_seconds']:.2f}s "
+        f"events/s={wall['events_per_sec']:.0f} "
+        f"invocations/s={wall['invocations_per_sec']:.0f} "
+        f"peak_rss={wall['peak_rss_kb']}kB"
+    )
+
+    if not args.check:
+        return 0
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = _latest_baseline(bench_dir, exclude=out_path)
+    if baseline_path is None or not baseline_path.exists():
+        print("no committed BENCH_*.json baseline; gate passes vacuously")
+        return 0
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures = _gate(result, baseline, args.threshold)
+    if failures:
+        print(f"\nPERF GATE FAILED vs {baseline_path.name}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "re-baseline by committing the new BENCH file if this is "
+            "intentional (CI: apply the 'perf-intentional' label)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf gate passed vs {baseline_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -315,6 +315,16 @@ class ChaosInjector:
             out[cls] = completed / total if total else None
         return out
 
+    def collect_metrics(self, registry) -> None:
+        """Metrics-plane pull hook: injection totals and live fault state."""
+        from repro.monitoring.plane import set_counter
+
+        labels = {"plane": "chaos"}
+        set_counter(registry, "chaos.injected", float(self.injected), labels)
+        set_counter(registry, "chaos.recovered", float(self.recovered), labels)
+        registry.gauge("chaos.active_faults", labels).set(float(self._active))
+        registry.gauge("chaos.fault_time_s", labels).set(self.fault_time_s())
+
     def summary(self) -> dict[str, Any]:
         return {
             "plan": self.plan.describe(),

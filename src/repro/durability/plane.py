@@ -242,6 +242,38 @@ class DurabilityPlane:
     def recoveries(self) -> list[Process]:
         return list(self._recoveries)
 
+    def collect_metrics(self, registry) -> None:
+        """Metrics-plane pull hook: per-class snapshot/epoch/recovery
+        counters and the last measured RPO/RTO, labeled by class."""
+        from repro.monitoring.plane import set_counter
+
+        for cls, tracker in self._trackers.items():
+            labels = {"class": cls, "plane": "durability"}
+            set_counter(registry, "durability.cuts", float(tracker.cuts_taken), labels)
+            set_counter(
+                registry, "durability.epoch_writes", float(tracker.epoch_writes), labels
+            )
+            set_counter(
+                registry, "durability.recoveries", float(tracker.recoveries), labels
+            )
+            set_counter(
+                registry, "durability.restores", float(tracker.restores), labels
+            )
+            set_counter(
+                registry,
+                "durability.snapshot_bytes",
+                float(tracker.snapshot_bytes),
+                labels,
+            )
+            recovery = tracker.last_recovery
+            if recovery is not None:
+                registry.gauge("durability.last_rpo_s", labels).set(
+                    float(recovery["rpo_s"])
+                )
+                registry.gauge("durability.last_rto_s", labels).set(
+                    float(recovery["rto_s"])
+                )
+
     def stats(self) -> dict[str, Any]:
         """Plane-wide statistics for the observability report."""
         classes: dict[str, Any] = {}

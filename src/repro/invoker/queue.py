@@ -107,6 +107,17 @@ class AsyncInvoker:
         """Poll a completed result by request id."""
         return self.results.get(request_id)
 
+    def collect_metrics(self, registry) -> None:
+        """Metrics-plane pull hook: async-path submission accounting."""
+        from repro.monitoring.plane import set_counter
+
+        labels = {"plane": "invoker", "path": "async"}
+        set_counter(registry, "async.submitted", float(self.submitted), labels)
+        set_counter(registry, "async.completed", float(self.completed), labels)
+        set_counter(registry, "async.rejected", float(self.rejected), labels)
+        set_counter(registry, "async.shed", float(self.shed), labels)
+        registry.gauge("async.pending", labels).set(float(self.pending))
+
     @property
     def pending(self) -> int:
         if self._use_wfq:

@@ -9,8 +9,12 @@ from repro.monitoring.export import (
     summary_report,
     to_chrome_trace,
 )
+from repro.monitoring.exposition import metrics_json, render_openmetrics
 from repro.monitoring.metrics import Counter, Gauge, Histogram, MetricsRegistry, SlidingWindow
 from repro.monitoring.nfr_report import NfrVerdict, format_nfr_report, nfr_compliance_report
+from repro.monitoring.plane import MetricsConfig, MetricsPlane
+from repro.monitoring.scraper import MetricsScraper, TimeSeries
+from repro.monitoring.slo import BurnWindow, SloAlert, SloConfig, SloEvaluator
 from repro.monitoring.tracing import Span, Tracer
 
 __all__ = [
@@ -25,6 +29,16 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SlidingWindow",
+    "MetricsScraper",
+    "TimeSeries",
+    "MetricsConfig",
+    "MetricsPlane",
+    "BurnWindow",
+    "SloAlert",
+    "SloConfig",
+    "SloEvaluator",
+    "render_openmetrics",
+    "metrics_json",
     "to_chrome_trace",
     "chrome_trace_json",
     "span_breakdown",

@@ -18,10 +18,22 @@ class ClassObservations:
         self.latency = Histogram(f"{cls}.latency_s")
         self.completed = 0
         self.failed = 0
+        #: Latency SLO threshold installed by the SLO evaluator; when
+        #: unset (the default, and always when the metrics plane is
+        #: off) the slow-request accounting is a single no-op branch.
+        self.slo_threshold_s: float | None = None
+        #: Invocations slower than the SLO threshold (cumulative).
+        self.slow = 0
+
+    def set_latency_slo(self, threshold_s: float) -> None:
+        """Start counting invocations slower than ``threshold_s``."""
+        self.slo_threshold_s = threshold_s
 
     def record_invocation(self, latency_s: float, ok: bool) -> None:
         self.window.record(self.env.now, latency_s, ok)
         self.latency.record(latency_s)
+        if self.slo_threshold_s is not None and latency_s > self.slo_threshold_s:
+            self.slow += 1
         if ok:
             self.completed += 1
         else:

@@ -4,6 +4,14 @@ The requirement-driven optimizer (§III-B: "Oparaca connects the runtime
 to the monitoring system and reacts to changes in workload or
 performance") consumes these through sliding windows; benchmarks read
 the same registry to report results.
+
+Instruments carry optional *labels* — `(name, labels)` identifies one
+time series, Prometheus-style — so a single metric name (say
+``qos.sheds``) fans out per class, node, or plane without inventing a
+new dotted name per dimension.  The :class:`MetricsRegistry` keys
+instruments by the full identity and the scraper/exposition layers
+(:mod:`repro.monitoring.scraper`, :mod:`repro.monitoring.exposition`)
+iterate it to build ring-buffered series and OpenMetrics text.
 """
 
 from __future__ import annotations
@@ -13,20 +21,72 @@ import random
 import zlib
 from collections import deque
 from dataclasses import dataclass
+from typing import Iterator, Mapping
 
 from repro.errors import ValidationError
 
-__all__ = ["Counter", "Gauge", "Histogram", "SlidingWindow", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SlidingWindow",
+    "MetricsRegistry",
+    "label_key",
+    "render_series_name",
+]
+
+#: Canonical form of a label set: sorted ``(key, value)`` string pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _checked_value(metric: str, value, *, what: str = "value") -> float:
+    """A finite ``float`` recorded into a metric, or a clear error.
+
+    The same discipline as ``repro.model.nfr._checked_number``: booleans,
+    NaN, and infinities all slip past plain comparisons (``NaN < 0`` is
+    False) and would silently poison every aggregate downstream — a
+    counter incremented by NaN never recovers."""
+    if isinstance(value, bool):
+        raise ValidationError(f"{metric} {what} must be a number, got a boolean")
+    if not isinstance(value, (int, float)):
+        raise ValidationError(
+            f"{metric} {what} must be a number, got {type(value).__name__} {value!r}"
+        )
+    result = float(value)
+    if not math.isfinite(result):
+        raise ValidationError(f"{metric} {what} must be finite, got {value!r}")
+    return result
+
+
+def label_key(labels: Mapping[str, str] | None) -> LabelKey:
+    """The canonical, hashable identity of a label set.
+
+    Keys and values are coerced to strings and sorted by key, so
+    ``{"class": "Img", "node": "vm-1"}`` and the same mapping in any
+    insertion order identify the same series."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_series_name(name: str, labels: LabelKey) -> str:
+    """``name{k=v,...}`` — the flat-snapshot key of a labeled series."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
     """A monotonically increasing count."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: Mapping[str, str] | None = None) -> None:
         self.name = name
+        self.labels: LabelKey = label_key(labels)
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        amount = _checked_value(f"counter {self.name!r}", amount, what="increment")
         if amount < 0:
             raise ValidationError(f"counter {self.name!r} cannot decrease")
         self.value += amount
@@ -35,15 +95,16 @@ class Counter:
 class Gauge:
     """A point-in-time value."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: Mapping[str, str] | None = None) -> None:
         self.name = name
+        self.labels: LabelKey = label_key(labels)
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        self.value = _checked_value(f"gauge {self.name!r}", value)
 
     def add(self, delta: float) -> None:
-        self.value += delta
+        self.value += _checked_value(f"gauge {self.name!r}", delta, what="delta")
 
 
 class Histogram:
@@ -59,21 +120,30 @@ class Histogram:
 
     DEFAULT_MAX_SAMPLES = 8192
 
-    def __init__(self, name: str, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+    def __init__(
+        self,
+        name: str,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
         if max_samples < 1:
             raise ValidationError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
+        self.labels: LabelKey = label_key(labels)
         self.max_samples = max_samples
         self._values: list[float] = []
         self._sorted = True
         self._count = 0
         self._sum = 0.0
         self._max: float | None = None
-        # Seeded per-name so runs stay reproducible (str hash is salted).
-        self._rng = random.Random(zlib.crc32(name.encode("utf-8", "replace")))
+        # Seeded per-(name, labels) so replayed runs produce identical
+        # percentile reports (str hash is salted; never use it).  An
+        # unlabeled histogram keeps the historical name-only seed.
+        seed_text = render_series_name(name, self.labels)
+        self._rng = random.Random(zlib.crc32(seed_text.encode("utf-8", "replace")))
 
     def record(self, value: float) -> None:
-        value = float(value)
+        value = _checked_value(f"histogram {self.name!r}", value)
         self._count += 1
         self._sum += value
         if self._max is None or value > self._max:
@@ -105,6 +175,11 @@ class Histogram:
             return 0.0
         return self._sum / self._count
 
+    @property
+    def sum(self) -> float:
+        """Exact running sum of every recorded value."""
+        return self._sum
+
     def percentile(self, pct: float) -> float:
         """Value at percentile ``pct`` (0 < pct <= 100)."""
         if not 0 < pct <= 100:
@@ -134,6 +209,12 @@ class SlidingWindow:
 
     Feeds the optimizer's live view of a class: throughput, error rate,
     and latency percentiles, all evicting samples older than the window.
+
+    Eviction semantics: a sample *exactly* at ``now - window_s`` is
+    retained (the cutoff comparison is strict), and eviction assumes
+    samples arrive in non-decreasing timestamp order — an out-of-order
+    ``record`` with an old timestamp parks behind newer samples and
+    survives until everything in front of it ages out.
     """
 
     def __init__(self, window_s: float = 30.0) -> None:
@@ -178,30 +259,66 @@ class SlidingWindow:
 
 
 class MetricsRegistry:
-    """Named metric instruments, created on first use."""
+    """Metric instruments keyed by ``(name, labels)``, created on first use.
+
+    ``registry.counter("qos.sheds")`` and
+    ``registry.counter("qos.sheds", {"class": "Img"})`` are distinct
+    series under one name; the exposition layer groups them.
+    """
 
     def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
-        return self._counters.setdefault(name, Counter(name))
+    def counter(self, name: str, labels: Mapping[str, str] | None = None) -> Counter:
+        key = (name, label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, labels)
+        return instrument
 
-    def gauge(self, name: str) -> Gauge:
-        return self._gauges.setdefault(name, Gauge(name))
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        key = (name, label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, labels)
+        return instrument
 
-    def histogram(self, name: str) -> Histogram:
-        return self._histograms.setdefault(name, Histogram(name))
+    def histogram(self, name: str, labels: Mapping[str, str] | None = None) -> Histogram:
+        key = (name, label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, labels=labels)
+        return instrument
+
+    # -- iteration (scraper / exposition) ---------------------------------
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def gauges(self) -> Iterator[Gauge]:
+        return iter(self._gauges.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
 
     def snapshot(self) -> dict[str, float]:
-        """A flat view of counters and gauges (histograms as mean/p99)."""
+        """A flat view of counters and gauges (histograms as mean/p99).
+
+        Unlabeled instruments keep their bare name (the historical
+        format); labeled series render as ``name{k=v,...}``.
+        """
         out: dict[str, float] = {}
-        for name, counter in self._counters.items():
-            out[name] = counter.value
-        for name, gauge in self._gauges.items():
-            out[name] = gauge.value
-        for name, histogram in self._histograms.items():
-            out[f"{name}.mean"] = histogram.mean
-            out[f"{name}.p99"] = histogram.percentile(99) if histogram.count else 0.0
+        for counter in self._counters.values():
+            out[render_series_name(counter.name, counter.labels)] = counter.value
+        for gauge in self._gauges.values():
+            out[render_series_name(gauge.name, gauge.labels)] = gauge.value
+        for histogram in self._histograms.values():
+            base = render_series_name(histogram.name, histogram.labels)
+            out[f"{base}.mean"] = histogram.mean
+            out[f"{base}.p99"] = histogram.percentile(99) if histogram.count else 0.0
         return out

@@ -28,6 +28,14 @@ Commands:
   QoS enforcement plane on (admission control, weighted-fair async
   scheduling, load shedding) and print the resolved policies plus
   admission / fair-queue / shedding statistics.
+* ``ocli metrics <package> --new CLS [...]`` — run the workload with
+  the metrics plane on (labeled instruments, deterministic sim-time
+  scraping) and print the registry as OpenMetrics/Prometheus text (or
+  the JSON snapshot with sampled series via ``--json``).
+* ``ocli slo <package> --new CLS [...]`` — run the workload with the
+  metrics plane and SLO evaluator on (optionally under a fault plan via
+  ``--chaos``) and print each declared objective's budget consumption
+  plus the burn-rate alert history.
 * ``ocli snapshot <package> --new CLS [...]`` — run the workload with
   the durability plane on, take a consistent snapshot cut through the
   gateway, and print the retained generations.
@@ -167,6 +175,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     qos.add_argument("--seed", type=int, default=0, help="platform RNG seed")
 
+    def add_steady_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--rounds", type=int, default=60, help="workload rounds to drive"
+        )
+        cmd.add_argument(
+            "--interval",
+            type=float,
+            default=0.1,
+            help="simulated seconds between rounds",
+        )
+        cmd.add_argument(
+            "--scrape-interval",
+            type=float,
+            default=0.5,
+            help="metrics scrape interval (simulated seconds)",
+        )
+        cmd.add_argument("--seed", type=int, default=0, help="platform RNG seed")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a workload with the metrics plane on and print the "
+        "registry as OpenMetrics text",
+    )
+    add_workload_args(metrics)
+    add_steady_args(metrics)
+    metrics.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit the JSON snapshot (instruments + sampled series) instead",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="run a workload with the SLO evaluator on and print burn-rate "
+        "alerts and budget consumption",
+    )
+    add_workload_args(slo)
+    add_steady_args(slo)
+    slo.add_argument(
+        "--chaos",
+        dest="chaos_plan",
+        default=None,
+        choices=PLAN_NAMES,
+        help="also inject this fault plan (burns error budget)",
+    )
+    slo.add_argument(
+        "--json", dest="as_json", action="store_true", help="emit JSON instead of text"
+    )
+
     snapshot = sub.add_parser(
         "snapshot",
         help="run a workload with the durability plane on and take a "
@@ -287,10 +345,12 @@ def _build_platform(
     events: bool = False,
     qos_config=None,
     durability_config=None,
+    metrics_config=None,
 ):
     """An ephemeral platform with the workload's handlers registered, or
     ``None`` (after printing the error) when handler wiring is invalid."""
     from repro.durability.plane import DurabilityConfig
+    from repro.monitoring.plane import MetricsConfig
     from repro.platform.oparaca import Oparaca, PlatformConfig
     from repro.qos.plane import QosConfig
 
@@ -305,6 +365,9 @@ def _build_platform(
                 durability_config
                 if durability_config is not None
                 else DurabilityConfig()
+            ),
+            metrics=(
+                metrics_config if metrics_config is not None else MetricsConfig()
             ),
         )
     )
@@ -578,6 +641,129 @@ def _cmd_qos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _drive_steady(platform, args: argparse.Namespace) -> tuple[str, int, int]:
+    """Create the object, then drive ``--invoke`` rounds on a fixed
+    cadence (the shape the scraper and SLO evaluator are built for).
+    Returns ``(object_id, ok, failed)``."""
+    body = {"state": json.loads(args.state)} if args.state != "{}" else {}
+    created = platform.http("POST", f"/api/classes/{args.new_cls}", body)
+    if not created.ok:
+        raise OaasError(f"object creation failed: {created.body.get('error')}")
+    object_id = created.body["id"]
+    invokes = args.invoke or ["get"]
+    ok = failed = 0
+    for _round in range(args.rounds):
+        for spec in invokes:
+            fn, _, payload_text = spec.partition(":")
+            payload = json.loads(payload_text) if payload_text else {}
+            response = platform.http(
+                "POST", f"/api/objects/{object_id}/invokes/{fn}", payload
+            )
+            if response.ok:
+                ok += 1
+            else:
+                failed += 1
+        platform.advance(args.interval)
+    return object_id, ok, failed
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.monitoring.plane import MetricsConfig
+
+    package = _load_pkg(args.package)
+    platform = _build_platform(
+        args,
+        package,
+        events=True,
+        metrics_config=MetricsConfig(
+            enabled=True, scrape_interval_s=args.scrape_interval
+        ),
+    )
+    if platform is None:
+        return 2
+    platform.deploy(package)
+    _, ok, failed = _drive_steady(platform, args)
+    platform.shutdown()
+    # One final scrape after the flush so the exported counters include
+    # everything the shutdown drained.
+    platform.metrics.scraper.scrape_once()
+    if args.as_json:
+        print(platform.metrics_report(indent=2))
+    else:
+        print(platform.metrics_exposition(), end="")
+    stats = platform.metrics.stats()
+    print(
+        f"workload: {ok} ok / {failed} failed; "
+        f"scrapes={stats['scrapes']} series={stats['series']} "
+        f"instruments={stats['instruments']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.monitoring.plane import MetricsConfig
+
+    package = _load_pkg(args.package)
+    platform = _build_platform(
+        args,
+        package,
+        events=True,
+        metrics_config=MetricsConfig(
+            enabled=True, scrape_interval_s=args.scrape_interval
+        ),
+    )
+    if platform is None:
+        return 2
+    platform.deploy(package)
+    if args.chaos_plan:
+        from repro.chaos import named_plan
+
+        plan = named_plan(args.chaos_plan, list(platform.cluster.node_names))
+        platform.inject_chaos(plan)
+        print(f"injecting plan {plan.name!r}", file=sys.stderr)
+    _, ok, failed = _drive_steady(platform, args)
+    platform.shutdown()
+    platform.metrics.scraper.scrape_once()
+    report = platform.slo_report()
+    if args.as_json:
+        print(json.dumps(report, indent=2, default=str))
+        return 0
+    print(f"workload: {ok} ok / {failed} failed over {args.rounds} rounds")
+    print(f"\nobjectives ({report['evaluations']} evaluations):")
+    for row in report["objectives"]:
+        if row["slo"] == "throughput":
+            print(
+                f"  {row['cls']:<16} {row['slo']:<13} target={row['target']:g}rps "
+                f"observed={row['observed_rps']:.1f}rps"
+            )
+            continue
+        print(
+            f"  {row['cls']:<16} {row['slo']:<13} target={row['target']:g} "
+            f"bad={row['bad']}/{row['total']} "
+            f"budget_consumed={row['budget_consumed']:.2f}"
+        )
+    alerts = report["alerts"]
+    if not alerts:
+        print("\nno SLO alerts fired")
+    else:
+        print(f"\nalerts ({len(alerts)}):")
+        for alert in alerts:
+            resolved = (
+                "firing"
+                if alert["resolved_at"] is None
+                else f"resolved at t={alert['resolved_at']:.2f}s"
+            )
+            print(
+                f"  [{alert['severity']}] {alert['cls']}/{alert['slo']} "
+                f"fired at t={alert['fired_at']:.2f}s ({resolved}) "
+                f"burn={alert['burn_long']:.1f}x/{alert['burn_short']:.1f}x"
+            )
+            if alert["detail"]:
+                print(f"      {alert['detail']}")
+    return 0
+
+
 def _durability_platform(args: argparse.Namespace, package: Package):
     from repro.durability.plane import DurabilityConfig
 
@@ -692,6 +878,8 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "chaos": _cmd_chaos,
         "qos": _cmd_qos,
+        "metrics": _cmd_metrics,
+        "slo": _cmd_slo,
         "snapshot": _cmd_snapshot,
         "restore": _cmd_restore,
     }

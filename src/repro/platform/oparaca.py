@@ -49,6 +49,7 @@ from repro.monitoring.collector import MonitoringSystem
 from repro.monitoring.events import EventLog, PlatformEvent
 from repro.monitoring.export import chrome_trace_json, summary_report
 from repro.monitoring.nfr_report import NfrVerdict, nfr_compliance_report
+from repro.monitoring.plane import MetricsConfig, MetricsPlane
 from repro.monitoring.tracing import Tracer
 from repro.orchestrator.cluster import Cluster
 from repro.orchestrator.resources import ResourceSpec
@@ -105,6 +106,11 @@ class PlatformConfig:
     #: ``durability.enabled == False`` no plane is constructed and the
     #: storage write path runs its original (baseline) code.
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
+    #: Metrics plane (labeled time-series scraping, OpenMetrics
+    #: exposition, NFR-derived SLO burn-rate alerts, kernel profiling).
+    #: Off by default: with ``metrics.enabled == False`` no scraper or
+    #: evaluator is constructed and no collector ever runs.
+    metrics: MetricsConfig = field(default_factory=MetricsConfig)
 
 
 class Oparaca:
@@ -207,6 +213,16 @@ class Oparaca:
                 interval_s=self.config.optimizer_interval_s,
                 events=self.events,
             )
+        self.metrics: MetricsPlane | None = None
+        if self.config.metrics.enabled:
+            self.metrics = MetricsPlane(
+                self.env,
+                self.monitoring,
+                events=self.events,
+                config=self.config.metrics,
+            )
+            self.metrics.install(self)
+            self.metrics.start()
 
     # -- function images ----------------------------------------------------------
 
@@ -512,6 +528,22 @@ class Oparaca:
         when the plane is disabled."""
         return self.durability.stats() if self.durability is not None else {}
 
+    def metrics_exposition(self) -> str:
+        """The metrics registry as OpenMetrics/Prometheus text.  Empty
+        when the metrics plane is disabled."""
+        return self.metrics.exposition() if self.metrics is not None else ""
+
+    def metrics_report(self, indent: int | None = None) -> str:
+        """Instruments plus scraped series history as JSON.  ``"{}"``
+        when the metrics plane is disabled."""
+        return self.metrics.json_report(indent=indent) if self.metrics is not None else "{}"
+
+    def slo_report(self) -> dict[str, Any]:
+        """Burn-rate SLO evaluation: objectives, budget consumption, and
+        the alert history.  Empty when the plane (or its evaluator) is
+        disabled."""
+        return self.metrics.slo_report() if self.metrics is not None else {}
+
     def observability_report(self) -> dict[str, Any]:
         """The full observability summary: span latency breakdowns,
         event counts, per-class workload stats, DHT/FaaS health, and
@@ -529,6 +561,11 @@ class Oparaca:
             report["qos"] = self.qos.stats()
         if self.durability is not None:
             report["durability"] = self.durability.stats()
+        if self.metrics is not None:
+            report["metrics"] = self.metrics.stats()
+            slo = self.metrics.slo_report()
+            if slo:
+                report["slo"] = slo
         return report
 
     def snapshot(self) -> dict[str, float]:
@@ -562,6 +599,8 @@ class Oparaca:
         """Stop background loops and flush durable state."""
         if self.optimizer is not None:
             self.optimizer.stop()
+        if self.metrics is not None:
+            self.metrics.stop()
         if self.durability is not None:
             self.durability.stop()
         self.queue.stop()

@@ -271,6 +271,50 @@ class QosPlane:
     def queue_depth(self) -> int:
         return sum(queue.depth() for queue in self.queues)
 
+    def collect_metrics(self, registry) -> None:
+        """Metrics-plane pull hook: admission verdicts per class, fair-
+        queue depth/throughput, and sheds — labeled by class and plane."""
+        from repro.monitoring.plane import set_counter
+
+        for cls, row in self.admission.stats().items():
+            labels = {"class": cls, "plane": "qos"}
+            set_counter(registry, "qos.admitted", float(row["admitted"]), labels)
+            set_counter(
+                registry, "qos.rejected_rate", float(row["rejected_rate"]), labels
+            )
+            set_counter(
+                registry,
+                "qos.rejected_concurrency",
+                float(row["rejected_concurrency"]),
+                labels,
+            )
+        plane_labels = {"plane": "qos"}
+        registry.gauge("qos.in_flight", plane_labels).set(
+            float(self.admission.in_flight)
+        )
+        registry.gauge("qos.queue_depth", plane_labels).set(float(self.queue_depth()))
+        set_counter(
+            registry, "qos.queue_pushed",
+            float(sum(q.pushed for q in self.queues)), plane_labels,
+        )
+        set_counter(
+            registry, "qos.queue_served",
+            float(sum(q.served for q in self.queues)), plane_labels,
+        )
+        shed_by_class: dict[str, int] = {}
+        for queue in self.queues:
+            for cls, count in queue.shed_count.items():
+                shed_by_class[cls] = shed_by_class.get(cls, 0) + count
+        for cls, count in shed_by_class.items():
+            set_counter(
+                registry, "qos.shed", float(count), {"class": cls, "plane": "qos"}
+            )
+        if self.shedder is not None:
+            set_counter(
+                registry, "qos.shed_passes",
+                float(self.shedder.stats()["passes"]), plane_labels,
+            )
+
     def stats(self) -> dict[str, Any]:
         """The full enforcement picture, JSON-friendly."""
         queue_stats: dict[str, Any] = {
