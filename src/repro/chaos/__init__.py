@@ -13,11 +13,14 @@ from repro.chaos.plan import (
     ColdStartStorm,
     Fault,
     FaultPlan,
+    HeartbeatLoss,
     NetworkDelay,
     NodeCrash,
     Partition,
     SlowPods,
+    SlowWorker,
     StorageFaults,
+    WorkerCrash,
 )
 from repro.chaos.plans import PLAN_NAMES, named_plan
 
@@ -33,6 +36,9 @@ __all__ = [
     "SlowPods",
     "StorageFaults",
     "ColdStartStorm",
+    "WorkerCrash",
+    "HeartbeatLoss",
+    "SlowWorker",
     "PLAN_NAMES",
     "named_plan",
 ]

@@ -30,12 +30,16 @@ from repro.chaos.plan import (
     ColdStartStorm,
     Fault,
     FaultPlan,
+    HeartbeatLoss,
     NetworkDelay,
     NodeCrash,
     Partition,
     SlowPods,
+    SlowWorker,
     StorageFaults,
+    WorkerCrash,
 )
+from repro.errors import SimulationError
 from repro.sim.kernel import Process
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -131,6 +135,12 @@ class ChaosInjector:
             return self._compile_storage(fault)
         if isinstance(fault, ColdStartStorm):
             return self._compile_storm(fault)
+        if isinstance(fault, WorkerCrash):
+            return self._compile_worker_crash(fault)
+        if isinstance(fault, HeartbeatLoss):
+            return self._compile_heartbeat_loss(fault)
+        if isinstance(fault, SlowWorker):
+            return self._compile_slow_worker(fault)
         raise NotImplementedError(f"no injector for fault kind {fault.kind!r}")
 
     def _compile_node_crash(self, fault: NodeCrash):
@@ -235,6 +245,61 @@ class ChaosInjector:
         # Instantaneous: the storm's cost is the cold starts that follow,
         # which the latency metrics capture; no availability window.
         return inject, None
+
+    def _scheduler_plane(self, fault: Fault):
+        plane = self.platform.scheduler_plane
+        if plane is None:
+            raise SimulationError(
+                f"{fault.kind} targets the scheduler plane; enable it with "
+                "PlatformConfig(scheduler=SchedulerConfig(enabled=True))"
+            )
+        return plane
+
+    def _compile_worker_crash(self, fault: WorkerCrash):
+        plane = self._scheduler_plane(fault)
+
+        def inject() -> None:
+            plane.crash_worker(fault.worker, reason="chaos")
+            self._on_inject(fault)
+
+        if not fault.duration_s:
+            # Permanent: pool replacement policy (if on) already filled
+            # the slot; the named worker itself never returns.
+            return inject, None
+
+        def recover() -> None:
+            current = plane.workers.get(fault.worker)
+            if current is None or current.machine.is_dead:
+                plane.register_worker(fault.worker)
+            self._on_recover(fault)
+
+        return inject, recover
+
+    def _compile_heartbeat_loss(self, fault: HeartbeatLoss):
+        plane = self._scheduler_plane(fault)
+
+        def inject() -> None:
+            plane.suppress_heartbeats(fault.worker, fault.duration_s)
+            self._on_inject(fault)
+
+        def recover() -> None:
+            plane.resume_heartbeats(fault.worker)
+            self._on_recover(fault)
+
+        return inject, recover
+
+    def _compile_slow_worker(self, fault: SlowWorker):
+        plane = self._scheduler_plane(fault)
+
+        def inject() -> None:
+            plane.set_worker_slow(fault.worker, fault.factor)
+            self._on_inject(fault)
+
+        def recover() -> None:
+            plane.clear_worker_slow(fault.worker)
+            self._on_recover(fault)
+
+        return inject, recover
 
     # -- window + event accounting -------------------------------------------
 

@@ -18,7 +18,14 @@ profile                  models
 :class:`SlowPods`        saturated/overheating hosts running pods slowly
 :class:`StorageFaults`   the document store failing a fraction of writes
 :class:`ColdStartStorm`  every pod of a class evicted at once
+:class:`WorkerCrash`     a scheduler-plane worker dying mid-run [s]
+:class:`HeartbeatLoss`   a worker going silent while still executing [s]
+:class:`SlowWorker`      one worker's dispatch overhead multiplied [s]
 =======================  ==================================================
+
+Profiles marked ``[s]`` target the scheduler plane and require
+``PlatformConfig(scheduler=SchedulerConfig(enabled=True))``; injecting
+them into a baseline platform raises :class:`SimulationError`.
 """
 
 from __future__ import annotations
@@ -36,6 +43,9 @@ __all__ = [
     "SlowPods",
     "StorageFaults",
     "ColdStartStorm",
+    "WorkerCrash",
+    "HeartbeatLoss",
+    "SlowWorker",
     "FaultPlan",
 ]
 
@@ -202,6 +212,70 @@ class ColdStartStorm(Fault):
 
     def describe(self) -> dict[str, Any]:
         return {**super().describe(), "classes": list(self.classes)}
+
+
+@dataclass(frozen=True, kw_only=True)
+class WorkerCrash(Fault):
+    """A scheduler-plane worker dies mid-run: its epoch is fenced and
+    everything it held (queued + in-flight) is requeued elsewhere.
+
+    With ``duration_s > 0`` a fresh registration under the same name
+    rejoins after the outage (a restarted worker process); with ``0``
+    the crash is permanent (pool replacement policy decides what
+    happens next).
+    """
+
+    worker: str
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.worker:
+            raise ValidationError("WorkerCrash requires a worker name")
+
+    def describe(self) -> dict[str, Any]:
+        return {**super().describe(), "worker": self.worker}
+
+
+@dataclass(frozen=True, kw_only=True)
+class HeartbeatLoss(Fault):
+    """A worker's heartbeats stop reaching the scheduler while the
+    worker keeps executing — the zombie case.  The scheduler degrades
+    it, rebinds its queue, and (if silence outlasts the dead threshold)
+    fences its epoch; results from the fenced registration are
+    suppressed, never double-delivered."""
+
+    worker: str
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.worker:
+            raise ValidationError("HeartbeatLoss requires a worker name")
+        if self.duration_s <= 0:
+            raise ValidationError("HeartbeatLoss requires duration_s > 0")
+
+    def describe(self) -> dict[str, Any]:
+        return {**super().describe(), "worker": self.worker}
+
+
+@dataclass(frozen=True, kw_only=True)
+class SlowWorker(Fault):
+    """One worker's per-dispatch overhead is multiplied by ``factor``
+    (a saturated or throttled worker process)."""
+
+    worker: str
+    factor: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.worker:
+            raise ValidationError("SlowWorker requires a worker name")
+        if self.factor <= 1.0:
+            raise ValidationError(f"slowdown factor must be > 1, got {self.factor}")
+        if self.duration_s <= 0:
+            raise ValidationError("SlowWorker requires duration_s > 0")
+
+    def describe(self) -> dict[str, Any]:
+        return {**super().describe(), "worker": self.worker, "factor": self.factor}
 
 
 @dataclass(frozen=True)

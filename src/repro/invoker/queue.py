@@ -16,12 +16,22 @@ Queued work may be shed by the overload controller; shed and rejected
 requests resolve their completion events with failed
 :class:`~repro.invoker.request.InvocationResult`\\ s (``RateLimitedError``
 / ``OverloadError``), never silently.
+
+With a scheduler plane attached (``scheduler=SchedulerConfig(enabled=
+True)``) dispatch routes through explicit per-worker queues instead:
+each submission is accepted into the scheduler's ledger and handed to
+exactly one READY worker (rendezvous-hashed per object id), and the
+plane calls back with the single delivered completion per request —
+the exactly-once guarantee then lives in the scheduler's run state,
+not the topic.  QoS *admission* still applies at submit time in this
+mode; the fair-queue drain and shedder do not (documented in
+``docs/scheduler.md``).
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Generator
+from typing import TYPE_CHECKING, Generator
 
 from repro.invoker.engine import InvocationEngine, split_object_id
 from repro.invoker.request import InvocationRequest, InvocationResult
@@ -29,6 +39,9 @@ from repro.messaging.topic import ConsumerGroup, Message, Topic
 from repro.qos.fairqueue import QueuedItem, WeightedFairQueue
 from repro.qos.plane import QosPlane
 from repro.sim.kernel import Environment, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scheduler.plane import SchedulerPlane
 
 __all__ = ["AsyncInvoker"]
 
@@ -51,10 +64,12 @@ class AsyncInvoker:
         partitions: int = 8,
         topic_name: str = "oaas-invocations",
         qos: QosPlane | None = None,
+        scheduler: "SchedulerPlane | None" = None,
     ) -> None:
         self.env = env
         self.engine = engine
         self.qos = qos
+        self.scheduler = scheduler
         self.results: dict[str, InvocationResult] = {}
         self._completions: dict[str, Event] = {}
         self.submitted = 0
@@ -62,8 +77,18 @@ class AsyncInvoker:
         self.rejected = 0
         self.shed = 0
         self._running = True
-        self._use_wfq = qos is not None and qos.config.fair_queue_enabled
-        if self._use_wfq:
+        self._use_scheduler = scheduler is not None
+        self._use_wfq = (
+            qos is not None
+            and qos.config.fair_queue_enabled
+            and not self._use_scheduler
+        )
+        if self._use_scheduler:
+            self.topic = None
+            self._group = None
+            self._queues = []
+            scheduler.on_complete = self._on_scheduler_complete
+        elif self._use_wfq:
             self.topic = None
             self._group = None
             self._queues = [qos.new_fair_queue() for _ in range(partitions)]
@@ -95,7 +120,9 @@ class AsyncInvoker:
                     ),
                 )
                 return completion
-        if self._use_wfq:
+        if self._use_scheduler:
+            self.scheduler.submit(request)
+        elif self._use_wfq:
             cls = self._cls_of(request)
             queue = self._queues[_partition_of(request.object_id, len(self._queues))]
             queue.push(cls, request, deadline_s=self.qos.deadline_for(cls))
@@ -120,6 +147,8 @@ class AsyncInvoker:
 
     @property
     def pending(self) -> int:
+        if self._use_scheduler:
+            return self.scheduler.outstanding
         if self._use_wfq:
             return sum(queue.depth() for queue in self._queues)
         return self.topic.depth()
@@ -139,6 +168,15 @@ class AsyncInvoker:
     def _handle(self, message: Message) -> Generator:
         request: InvocationRequest = message.value
         result = yield self.engine.invoke(request)
+        self.completed += 1
+        self._resolve(request, result)
+
+    # -- scheduler path ----------------------------------------------------
+
+    def _on_scheduler_complete(
+        self, request: InvocationRequest, result: InvocationResult
+    ) -> None:
+        """Scheduler-plane callback: the single delivered completion."""
         self.completed += 1
         self._resolve(request, result)
 
@@ -175,6 +213,8 @@ class AsyncInvoker:
         fully processed (queued, fetched-in-flight, or mid-handler) at
         stop time, mirroring ``WriteBehindQueue.stop()``'s loss report."""
         self._running = False
+        if self._use_scheduler:
+            return self.scheduler.stop()
         if self._use_wfq:
             self.qos.stop()
             return {

@@ -42,6 +42,17 @@ qos.shed                       OverloadController — cls, count, depth, tier[, 
 durability.commit              ClassDurabilityState — cls, object, version
 durability.snapshot            SnapshotCoordinator — cls, generation, docs, tombstones
 durability.restore             RestoreManager — cls, kind, plus kind-specific fields
+scheduler.register             SchedulerPlane — worker, node
+scheduler.ready                SchedulerPlane — worker, node
+scheduler.install              SchedulerPlane — worker, cls
+scheduler.dispatch             SchedulerPlane — worker, request, object, fn
+scheduler.complete             SchedulerPlane — worker, request, ok
+scheduler.suppressed           SchedulerPlane — worker, request (fenced duplicate)
+scheduler.degraded             SchedulerPlane — worker
+scheduler.recovered            SchedulerPlane — worker
+scheduler.rebind               SchedulerPlane — worker, moved, reason
+scheduler.draining             SchedulerPlane — worker
+scheduler.dead                 SchedulerPlane — worker, reason, requeued
 =============================  ======================================================
 """
 

@@ -142,6 +142,8 @@ class MetricsPlane:
             platform.qos.collect_metrics(registry)
         if platform.durability is not None:
             platform.durability.collect_metrics(registry)
+        if platform.scheduler_plane is not None:
+            platform.scheduler_plane.collect_metrics(registry)
         if platform.chaos is not None:
             platform.chaos.collect_metrics(registry)
         profile = platform.env.profile

@@ -36,6 +36,11 @@ Commands:
   metrics plane and SLO evaluator on (optionally under a fault plan via
   ``--chaos``) and print each declared objective's budget consumption
   plus the burn-rate alert history.
+* ``ocli workers <package> --new CLS [...]`` — run the workload with
+  the scheduler plane on (explicit worker pool: registration,
+  heartbeats, per-worker dispatch queues, drain/rebind) and print the
+  worker table, the dispatch ledger audit, and the lifecycle events;
+  ``--drain``/``--crash`` retire a worker mid-run to show handoff.
 * ``ocli snapshot <package> --new CLS [...]`` — run the workload with
   the durability plane on, take a consistent snapshot cut through the
   gateway, and print the retained generations.
@@ -225,6 +230,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="as_json", action="store_true", help="emit JSON instead of text"
     )
 
+    workers = sub.add_parser(
+        "workers",
+        help="run a workload with the scheduler plane on and print the "
+        "worker table, ledger audit, and lifecycle events",
+    )
+    add_workload_args(workers)
+    workers.add_argument("--pool", type=int, default=4, help="worker pool size")
+    workers.add_argument(
+        "--rounds", type=int, default=40, help="workload rounds to drive"
+    )
+    workers.add_argument(
+        "--interval",
+        type=float,
+        default=0.05,
+        help="simulated seconds between rounds",
+    )
+    workers.add_argument(
+        "--async-per-round",
+        type=int,
+        default=4,
+        help="fire-and-forget invocations submitted per round "
+        "(dispatched through the worker queues)",
+    )
+    workers.add_argument(
+        "--drain",
+        dest="drain_worker",
+        default=None,
+        metavar="WORKER",
+        help="drain this worker halfway through (graceful handoff)",
+    )
+    workers.add_argument(
+        "--crash",
+        dest="crash_worker",
+        default=None,
+        metavar="WORKER",
+        help="crash this worker halfway through (epoch fence + requeue)",
+    )
+    workers.add_argument("--seed", type=int, default=0, help="platform RNG seed")
+
     snapshot = sub.add_parser(
         "snapshot",
         help="run a workload with the durability plane on and take a "
@@ -346,6 +390,7 @@ def _build_platform(
     qos_config=None,
     durability_config=None,
     metrics_config=None,
+    scheduler_config=None,
 ):
     """An ephemeral platform with the workload's handlers registered, or
     ``None`` (after printing the error) when handler wiring is invalid."""
@@ -353,6 +398,7 @@ def _build_platform(
     from repro.monitoring.plane import MetricsConfig
     from repro.platform.oparaca import Oparaca, PlatformConfig
     from repro.qos.plane import QosConfig
+    from repro.scheduler.plane import SchedulerConfig
 
     platform = Oparaca(
         PlatformConfig(
@@ -368,6 +414,11 @@ def _build_platform(
             ),
             metrics=(
                 metrics_config if metrics_config is not None else MetricsConfig()
+            ),
+            scheduler=(
+                scheduler_config
+                if scheduler_config is not None
+                else SchedulerConfig()
             ),
         )
     )
@@ -764,6 +815,105 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workers(args: argparse.Namespace) -> int:
+    from repro.scheduler.plane import SchedulerConfig
+
+    package = _load_pkg(args.package)
+    platform = _build_platform(
+        args,
+        package,
+        events=True,
+        scheduler_config=SchedulerConfig(enabled=True, pool_size=args.pool),
+    )
+    if platform is None:
+        return 2
+    platform.deploy(package)
+
+    body = {"state": json.loads(args.state)} if args.state != "{}" else {}
+    created = platform.http("POST", f"/api/classes/{args.new_cls}", body)
+    if not created.ok:
+        raise OaasError(f"object creation failed: {created.body.get('error')}")
+    object_id = created.body["id"]
+    invokes = args.invoke or ["get"]
+    ok = failed = 0
+    completions = []
+    halfway = max(1, args.rounds // 2)
+    for round_index in range(args.rounds):
+        if round_index == halfway:
+            if args.drain_worker:
+                response = platform.http(
+                    "POST", f"/api/workers/{args.drain_worker}/drain"
+                )
+                verb = "draining" if response.ok else "drain FAILED:"
+                print(f"{verb} {args.drain_worker} at t={platform.now:.3f}s")
+            if args.crash_worker:
+                crashed = platform.scheduler_plane.crash_worker(
+                    args.crash_worker, reason="cli"
+                )
+                verb = "crashed" if crashed else "crash no-op (unknown/dead):"
+                print(f"{verb} {args.crash_worker} at t={platform.now:.3f}s")
+        for spec in invokes:
+            fn, _, payload_text = spec.partition(":")
+            payload = json.loads(payload_text) if payload_text else {}
+            response = platform.http(
+                "POST", f"/api/objects/{object_id}/invokes/{fn}", payload
+            )
+            if response.ok:
+                ok += 1
+            else:
+                failed += 1
+        fn0, _, payload_text0 = invokes[0].partition(":")
+        for _ in range(args.async_per_round):
+            completions.append(
+                platform.invoke_async(
+                    object_id,
+                    fn0,
+                    json.loads(payload_text0) if payload_text0 else {},
+                )
+            )
+        platform.advance(args.interval)
+    platform.advance(2.0)  # settle the worker queues
+    platform.shutdown()
+
+    print(
+        f"workload: {ok} ok / {failed} failed over {args.rounds} rounds "
+        f"(+{len(completions)} async submissions through worker queues)"
+    )
+    stats = platform.scheduler_report()
+    print("\nworkers:")
+    print(
+        f"  {'worker':<12} {'state':<10} {'node':<8} {'epoch':>5} "
+        f"{'dispatched':>11} {'completed':>10} {'beats':>6}"
+    )
+    for row in stats["workers"]:
+        print(
+            f"  {row['worker']:<12} {row['state']:<10} {row['node'] or '-':<8} "
+            f"{row['epoch']:>5} {row['dispatched']:>11} {row['completed']:>10} "
+            f"{row['heartbeats']:>6}"
+        )
+    audit = stats["ledger"]
+    print(
+        f"\nledger: accepted={audit['accepted']} completed={audit['completed']} "
+        f"outstanding={audit['outstanding']} requeues={audit['requeues']} "
+        f"suppressed={audit['suppressed']}"
+    )
+    print(
+        f"pool: registrations={stats['registrations']} "
+        f"live={stats['live_workers']} parked_total={stats['parked_total']}"
+    )
+    lifecycle = [
+        event
+        for event in platform.events.events()
+        if event.type.startswith("scheduler.")
+        and event.type not in ("scheduler.dispatch", "scheduler.complete", "scheduler.place")
+    ]
+    print(f"\nlifecycle events ({len(lifecycle)}):")
+    for event in lifecycle:
+        fields = " ".join(f"{k}={v}" for k, v in event.fields.items())
+        print(f"  [{event.at:9.4f}s] {event.type:<22} {fields}")
+    return 0
+
+
 def _durability_platform(args: argparse.Namespace, package: Package):
     from repro.durability.plane import DurabilityConfig
 
@@ -880,6 +1030,7 @@ def main(argv: list[str] | None = None) -> int:
         "qos": _cmd_qos,
         "metrics": _cmd_metrics,
         "slo": _cmd_slo,
+        "workers": _cmd_workers,
         "snapshot": _cmd_snapshot,
         "restore": _cmd_restore,
     }

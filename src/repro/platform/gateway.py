@@ -17,9 +17,12 @@ PUT       /api/objects/{oid}/files/{key}             presigned PUT URL
 POST      /api/classes/{cls}/snapshots               snapshot cut [d]
 GET       /api/classes/{cls}/snapshots               list generations [d]
 POST      /api/classes/{cls}/restore                 PIT restore [d]
+GET       /api/workers                               list workers [s]
+POST      /api/workers/{name}/drain                  drain worker [s]
 ========  =========================================  ==================
 
-Routes marked ``[d]`` exist only when the durability plane is enabled;
+Routes marked ``[d]`` exist only when the durability plane is enabled
+and routes marked ``[s]`` only when the scheduler plane is enabled;
 otherwise they fall through to the usual 404 ``NoRouteError`` body, so
 a baseline platform's route surface is unchanged.
 
@@ -108,6 +111,7 @@ class Gateway:
         tracer: Tracer | None = None,
         qos: QosPlane | None = None,
         durability: Any | None = None,
+        scheduler: Any | None = None,
     ) -> None:
         self.env = env
         self.engine = engine
@@ -116,6 +120,7 @@ class Gateway:
         self.tracer = tracer if tracer is not None else Tracer(env)
         self.qos = qos
         self.durability = durability
+        self.scheduler = scheduler
         self.requests = 0
         self.rejected = 0
 
@@ -143,6 +148,8 @@ class Gateway:
 
     def _handle_inner(self, http: HttpRequest) -> Generator[Any, Any, HttpResponse]:
         admin = self._durability_route(http)
+        if admin is None:
+            admin = self._scheduler_route(http)
         if admin is not None:
             if self.overhead_s:
                 yield self.env.timeout(self.overhead_s)
@@ -274,6 +281,40 @@ class Gateway:
         else:
             summary = yield self.durability.restore_class(cls, at)
         return HttpResponse(200, dict(summary))
+
+    def _scheduler_route(self, http: HttpRequest) -> HttpResponse | None:
+        """Worker-pool admin routes, live only when the scheduler plane
+        is wired; otherwise fall through to the baseline 404."""
+        if self.scheduler is None:
+            return None
+        parts = [p for p in http.path.split("/") if p]
+        if len(parts) < 2 or parts[0] != "api" or parts[1] != "workers":
+            return None
+        if len(parts) == 2 and http.method == "GET":
+            workers = self.scheduler.describe_workers()
+            return HttpResponse(
+                200,
+                {
+                    "workers": workers,
+                    "count": len(workers),
+                    "ledger": self.scheduler.ledger.audit(),
+                },
+            )
+        if len(parts) == 4 and parts[3] == "drain" and http.method == "POST":
+            from repro.errors import SchedulingError
+
+            name = parts[2]
+            try:
+                worker = self.scheduler.drain_worker(name)
+            except SchedulingError as exc:
+                status = 404 if "unknown worker" in str(exc) else 409
+                return HttpResponse(
+                    status, {"error": str(exc), "type": "SchedulingError"}
+                )
+            return HttpResponse(
+                202, {"worker": name, "state": worker.state.value}
+            )
+        return None
 
     def _route(self, http: HttpRequest) -> InvocationRequest | HttpResponse | None:
         parts = [p for p in http.path.split("/") if p]

@@ -56,6 +56,7 @@ from repro.orchestrator.resources import ResourceSpec
 from repro.orchestrator.scheduler import Scheduler
 from repro.platform.gateway import Gateway, HttpRequest, HttpResponse
 from repro.qos.plane import QosConfig, QosPlane
+from repro.scheduler.plane import SchedulerConfig, SchedulerPlane
 from repro.sim.kernel import Environment, Event, Process, all_of
 from repro.sim.network import Network, NetworkModel
 from repro.sim.rng import RngStreams
@@ -111,6 +112,12 @@ class PlatformConfig:
     #: Off by default: with ``metrics.enabled == False`` no scraper or
     #: evaluator is constructed and no collector ever runs.
     metrics: MetricsConfig = field(default_factory=MetricsConfig)
+    #: Scheduler plane (explicit worker-pool control plane: registration,
+    #: heartbeats, class installs, drain/rebind, exactly-once dispatch
+    #: ledger).  Off by default: with ``scheduler.enabled == False`` no
+    #: plane is constructed and async dispatch runs the original
+    #: partitioned-topic (or QoS fair-queue) code.
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
 
 
 class Oparaca:
@@ -189,11 +196,24 @@ class Oparaca:
                 tracer=self.tracer,
                 config=self.config.qos,
             )
+        self.scheduler_plane: SchedulerPlane | None = None
+        if self.config.scheduler.enabled:
+            self.scheduler_plane = SchedulerPlane(
+                self.env,
+                self.engine,
+                self.cluster,
+                self.scheduler,
+                events=self.events,
+                tracer=self.tracer,
+                config=self.config.scheduler,
+            )
+            self.scheduler_plane.start()
         self.queue = AsyncInvoker(
             self.env,
             self.engine,
             partitions=self.config.async_partitions,
             qos=self.qos,
+            scheduler=self.scheduler_plane,
         )
         self.gateway = Gateway(
             self.env,
@@ -202,6 +222,7 @@ class Oparaca:
             tracer=self.tracer,
             qos=self.qos,
             durability=self.durability,
+            scheduler=self.scheduler_plane,
         )
         self.chaos: ChaosInjector | None = None
         self.optimizer: RequirementOptimizer | None = None
@@ -261,7 +282,11 @@ class Oparaca:
                 package = load_package(candidate)
             else:
                 package = loads_package(package)
-        return self.crm.deploy_package(package)
+        runtimes = self.crm.deploy_package(package)
+        if self.scheduler_plane is not None:
+            for runtime in runtimes:
+                self.scheduler_plane.on_deploy(runtime.cls)
+        return runtimes
 
     # -- execution helpers ------------------------------------------------------------
 
@@ -436,6 +461,8 @@ class Oparaca:
                 svc.deployment.reconcile()
         if self.durability is not None:
             self.durability.on_node_failed(name, stats)
+        if self.scheduler_plane is not None:
+            self.scheduler_plane.on_node_failed(name)
         return stats
 
     def add_node(self, name: str, region: str | None = None) -> None:
@@ -528,6 +555,12 @@ class Oparaca:
         when the plane is disabled."""
         return self.durability.stats() if self.durability is not None else {}
 
+    def scheduler_report(self) -> dict[str, Any]:
+        """Scheduler-plane statistics: worker table (state, node, queue
+        depth, epochs), dispatch ledger audit, and parking-buffer
+        counters.  Empty when the plane is disabled."""
+        return self.scheduler_plane.stats() if self.scheduler_plane is not None else {}
+
     def metrics_exposition(self) -> str:
         """The metrics registry as OpenMetrics/Prometheus text.  Empty
         when the metrics plane is disabled."""
@@ -561,6 +594,8 @@ class Oparaca:
             report["qos"] = self.qos.stats()
         if self.durability is not None:
             report["durability"] = self.durability.stats()
+        if self.scheduler_plane is not None:
+            report["scheduler"] = self.scheduler_plane.stats()
         if self.metrics is not None:
             report["metrics"] = self.metrics.stats()
             slo = self.metrics.slo_report()
@@ -593,6 +628,14 @@ class Oparaca:
             snap["durability.epoch_writes"] = float(stats["epoch_writes_total"])
             snap["durability.recoveries"] = float(stats["recoveries_total"])
             snap["durability.restores"] = float(stats["restores_total"])
+        if self.scheduler_plane is not None:
+            audit = self.scheduler_plane.ledger.audit()
+            snap["scheduler.accepted"] = float(audit["accepted"])
+            snap["scheduler.completed"] = float(audit["completed"])
+            snap["scheduler.outstanding"] = float(audit["outstanding"])
+            snap["scheduler.requeues"] = float(audit["requeues"])
+            snap["scheduler.suppressed"] = float(audit["suppressed"])
+            snap["scheduler.workers_live"] = float(self.scheduler_plane.live_workers)
         return snap
 
     def shutdown(self) -> None:

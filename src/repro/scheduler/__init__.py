@@ -1,0 +1,31 @@
+"""Worker-pool control plane: scheduler, workers, run-state ledger.
+
+See ``docs/scheduler.md`` for the protocol and the invariants the
+conformance suite (``tests/conformance/``) enforces.
+"""
+
+from repro.scheduler.ledger import EntryState, InvocationLedger, LedgerEntry
+from repro.scheduler.plane import SchedulerConfig, SchedulerPlane
+from repro.scheduler.state import (
+    PHASE,
+    TRANSITIONS,
+    Transition,
+    WorkerState,
+    WorkerStateMachine,
+)
+from repro.scheduler.worker import DispatchItem, SimWorker
+
+__all__ = [
+    "EntryState",
+    "InvocationLedger",
+    "LedgerEntry",
+    "SchedulerConfig",
+    "SchedulerPlane",
+    "PHASE",
+    "TRANSITIONS",
+    "Transition",
+    "WorkerState",
+    "WorkerStateMachine",
+    "DispatchItem",
+    "SimWorker",
+]

@@ -1,0 +1,527 @@
+"""The scheduler plane: an explicit worker-pool control plane.
+
+This is the scheduler half of the split the tutorial paper describes —
+the platform component that owns *run state* (which invocation lives
+where) and *worker state* (who is registered, healthy, draining, dead),
+so that developers never see deployment, scaling, or failure handling.
+Like every plane it is **off by default** (``SchedulerConfig.enabled``);
+when off, the platform byte-identically reproduces the baseline
+partitioned-topic dispatch path.
+
+When enabled:
+
+* the plane registers ``pool_size`` workers at startup, each bound to a
+  pod placed through the orchestrator's pod scheduler (so node failures
+  reach workers through the same seam deployments use);
+* :class:`~repro.invoker.queue.AsyncInvoker` routes submissions here
+  instead of to the partitioned topic — the plane accepts each request
+  into its :class:`~repro.scheduler.ledger.InvocationLedger` and
+  dispatches it to exactly one READY worker chosen by rendezvous
+  hashing over the object id (stable per-object affinity, minimal
+  movement when the pool changes);
+* a monitor process watches heartbeats, degrades silent workers (new
+  dispatch stops, queued work is rebound), and declares persistently
+  silent workers dead — fencing their epoch and requeueing everything
+  they held, so *an accepted invocation is never lost and never
+  completed twice* no matter how workers fail;
+* drain performs a graceful handoff: queued items move to peers, the
+  in-flight invocation finishes normally, then the worker retires and
+  (optionally) a replacement registers.
+
+Every lifecycle moment is recorded as a ``scheduler.*`` platform event
+(and an instantaneous span under the ``"scheduler"`` trace), which is
+what the conformance harness replays and asserts over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.errors import SchedulingError, ValidationError
+from repro.invoker.engine import split_object_id
+from repro.invoker.request import InvocationRequest, InvocationResult
+from repro.orchestrator.pod import PodSpec
+from repro.orchestrator.resources import ResourceSpec
+from repro.scheduler.ledger import InvocationLedger
+from repro.scheduler.state import WorkerState
+from repro.scheduler.worker import DispatchItem, SimWorker
+from repro.sim.kernel import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.invoker.engine import InvocationEngine
+    from repro.monitoring.events import EventLog
+    from repro.monitoring.tracing import Tracer
+    from repro.orchestrator.cluster import Cluster
+    from repro.orchestrator.scheduler import Scheduler
+
+__all__ = ["SchedulerConfig", "SchedulerPlane"]
+
+#: Scheduler lifecycle spans share one synthetic trace (like ``"chaos"``).
+SCHEDULER_TRACE_ID = "scheduler"
+
+#: Image name worker pods are stamped from.
+WORKER_IMAGE = "oaas/worker-runtime"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs for the worker-pool control plane (disabled by default)."""
+
+    enabled: bool = False
+    pool_size: int = 4
+    heartbeat_interval_s: float = 0.5
+    degraded_after_misses: int = 2
+    dead_after_misses: int = 5
+    register_delay_s: float = 0.02
+    install_delay_s: float = 0.05
+    dispatch_overhead_s: float = 0.0
+    rebind_on_degraded: bool = True
+    replace_dead_workers: bool = True
+    worker_cpu_millis: int = 100
+    worker_memory_mb: int = 128
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1:
+            raise ValidationError("scheduler pool_size must be >= 1")
+        if self.heartbeat_interval_s <= 0:
+            raise ValidationError("heartbeat_interval_s must be positive")
+        if self.degraded_after_misses < 1:
+            raise ValidationError("degraded_after_misses must be >= 1")
+        if self.dead_after_misses <= self.degraded_after_misses:
+            raise ValidationError(
+                "dead_after_misses must exceed degraded_after_misses"
+            )
+        for field_name in ("register_delay_s", "install_delay_s", "dispatch_overhead_s"):
+            if getattr(self, field_name) < 0:
+                raise ValidationError(f"{field_name} must be >= 0")
+        if self.worker_cpu_millis < 1 or self.worker_memory_mb < 1:
+            raise ValidationError("worker pod resources must be positive")
+
+
+def _rendezvous_score(object_id: str, worker: str) -> int:
+    digest = hashlib.md5(f"{object_id}|{worker}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class SchedulerPlane:
+    """Owns worker registrations, per-worker queues, and the run ledger."""
+
+    def __init__(
+        self,
+        env: Environment,
+        engine: "InvocationEngine",
+        cluster: "Cluster",
+        pod_scheduler: "Scheduler",
+        *,
+        events: "EventLog | None" = None,
+        tracer: "Tracer | None" = None,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        self.env = env
+        self.engine = engine
+        self.cluster = cluster
+        self.pod_scheduler = pod_scheduler
+        self.events = events
+        self.tracer = tracer
+        self.config = config or SchedulerConfig(enabled=True)
+        self.ledger = InvocationLedger()
+        #: name -> *current* registration under that name (latest epoch).
+        self.workers: dict[str, SimWorker] = {}
+        #: every registration ever made, including retired ones — the
+        #: conformance suite checks monotonicity over all of them.
+        self.all_workers: list[SimWorker] = []
+        self.on_complete: Callable[[InvocationRequest, InvocationResult], None] | None = None
+        self.dispatched = 0
+        self.delivered = 0
+        self.heartbeats = 0
+        self.parked_total = 0
+        self._unassigned: deque[InvocationRequest] = deque()
+        self._classes: list[str] = []
+        self._next_worker = 0
+        self._running = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Register the initial pool and start the heartbeat monitor."""
+        if self._running:
+            return
+        self._running = True
+        for _ in range(self.config.pool_size):
+            self.register_worker()
+        self.env.process(self._monitor())
+
+    def stop(self) -> dict[str, int]:
+        self._running = False
+        return {"pending": len(self.ledger.outstanding())}
+
+    def deployed_classes(self) -> list[str]:
+        return list(self._classes)
+
+    def register_worker(self, name: str | None = None) -> SimWorker:
+        """Admit one worker: place its pod, start its processes."""
+        if name is None:
+            # Skip names taken by explicit registrations (rejoins under a
+            # chosen name) so auto-naming never collides.
+            while True:
+                name = f"worker-{self._next_worker}"
+                self._next_worker += 1
+                current = self.workers.get(name)
+                if current is None or current.machine.is_dead:
+                    break
+        current = self.workers.get(name)
+        if current is not None and not current.machine.is_dead:
+            raise SchedulingError(f"worker {name!r} is already registered")
+        spec = PodSpec(
+            image=WORKER_IMAGE,
+            resources=ResourceSpec(
+                self.config.worker_cpu_millis, self.config.worker_memory_mb
+            ),
+            concurrency=1,
+            labels={"app": "oaas-worker", "worker": name},
+        )
+        pod = self.pod_scheduler.schedule(spec)
+        worker = SimWorker(self.env, name, self, pod=pod)
+        self.workers[name] = worker
+        self.all_workers.append(worker)
+        self._emit("scheduler.register", worker=name, node=worker.node)
+        return worker
+
+    # -- dispatch path ------------------------------------------------------
+
+    def submit(self, request: InvocationRequest) -> None:
+        """Accept one invocation into the ledger and route it."""
+        self.ledger.accept(request, self.env.now)
+        self._route(request)
+
+    def _route(self, request: InvocationRequest) -> None:
+        worker = self._pick(request)
+        if worker is None:
+            # No eligible worker right now: park it.  Parked requests are
+            # flushed whenever a worker becomes READY, finishes an
+            # install, or recovers — never dropped.
+            self._unassigned.append(request)
+            self.parked_total += 1
+            return
+        self._dispatch(worker, request)
+
+    def _pick(self, request: InvocationRequest) -> SimWorker | None:
+        cls = request.cls or split_object_id(request.object_id)[0]
+        known = cls in self._classes
+        eligible = [
+            worker
+            for _, worker in sorted(self.workers.items())
+            if worker.machine.is_dispatchable
+            and (not known or cls in worker.installed)
+        ]
+        if not eligible:
+            return None
+        return max(
+            eligible, key=lambda w: _rendezvous_score(request.object_id, w.name)
+        )
+
+    def _dispatch(self, worker: SimWorker, request: InvocationRequest) -> None:
+        entry = self.ledger.dispatch(request.request_id, worker.name, worker.epoch)
+        item = DispatchItem(
+            request=request, epoch=worker.epoch, dispatched_at=self.env.now
+        )
+        worker.push(item)
+        self.dispatched += 1
+        # Events carry the ledger seq, not the raw request id: request
+        # ids are process-global, so seqs keep logs replay-identical.
+        self._emit(
+            "scheduler.dispatch",
+            worker=worker.name,
+            request=entry.seq,
+            object=request.object_id,
+            fn=request.fn_name,
+        )
+
+    def _flush_unassigned(self) -> None:
+        if not self._unassigned:
+            return
+        parked = list(self._unassigned)
+        self._unassigned.clear()
+        for request in parked:
+            self._route(request)
+
+    def report_completion(
+        self, worker: SimWorker, item: DispatchItem, result: InvocationResult
+    ) -> None:
+        """A worker finished an item.  First completion wins; duplicates
+        (a fenced attempt racing its redispatched twin) are suppressed."""
+        entry = self.ledger.entry(item.request.request_id)
+        first = self.ledger.complete(item.request.request_id, result.ok, self.env.now)
+        if not first:
+            self._emit(
+                "scheduler.suppressed",
+                worker=worker.name,
+                request=entry.seq if entry is not None else -1,
+            )
+            return
+        self.delivered += 1
+        self._emit(
+            "scheduler.complete",
+            worker=worker.name,
+            request=entry.seq if entry is not None else -1,
+            ok=result.ok,
+        )
+        if self.on_complete is not None:
+            self.on_complete(item.request, result)
+
+    # -- worker callbacks ---------------------------------------------------
+
+    def on_worker_ready(self, worker: SimWorker) -> None:
+        worker.machine.transition(WorkerState.READY, self.env.now, "activated")
+        worker.last_beat = self.env.now
+        self._emit("scheduler.ready", worker=worker.name, node=worker.node)
+        self._flush_unassigned()
+
+    def on_worker_installed(self, worker: SimWorker, cls: str) -> None:
+        self._emit("scheduler.install", worker=worker.name, cls=cls)
+        if worker.machine.is_dispatchable:
+            self._flush_unassigned()
+
+    def on_worker_drained(self, worker: SimWorker) -> None:
+        """The work loop emptied out after a drain: retire the worker."""
+        self._retire(worker, "drained")
+
+    def heartbeat(self, worker: SimWorker) -> None:
+        if self.workers.get(worker.name) is not worker:
+            return  # a fenced registration's stale beat
+        worker.last_beat = self.env.now
+        self.heartbeats += 1
+        if worker.machine.state is WorkerState.DEGRADED:
+            worker.machine.transition(
+                WorkerState.READY, self.env.now, "heartbeat-resumed"
+            )
+            self._emit("scheduler.recovered", worker=worker.name)
+            self._flush_unassigned()
+
+    # -- health monitoring --------------------------------------------------
+
+    def _monitor(self) -> Generator:
+        interval = self.config.heartbeat_interval_s
+        while self._running:
+            yield self.env.timeout(interval)
+            if not self._running:
+                return
+            now = self.env.now
+            for name in sorted(self.workers):
+                worker = self.workers[name]
+                if worker.machine.state not in (
+                    WorkerState.READY,
+                    WorkerState.DEGRADED,
+                ):
+                    continue
+                silent_for = now - worker.last_beat
+                if silent_for >= self.config.dead_after_misses * interval - 1e-9:
+                    self.crash_worker(name, reason="heartbeat-timeout")
+                elif (
+                    worker.machine.state is WorkerState.READY
+                    and silent_for
+                    >= self.config.degraded_after_misses * interval - 1e-9
+                ):
+                    self._degrade(worker)
+
+    def _degrade(self, worker: SimWorker) -> None:
+        worker.machine.transition(
+            WorkerState.DEGRADED, self.env.now, "missed-heartbeats"
+        )
+        self._emit("scheduler.degraded", worker=worker.name)
+        if self.config.rebind_on_degraded:
+            self._rebind_queued(worker, "degraded")
+
+    def _rebind_queued(self, worker: SimWorker, reason: str) -> None:
+        """Move everything *queued* (not in-flight) off ``worker``."""
+        items = worker.take_queue()
+        moved = 0
+        for item in items:
+            if self.ledger.requeue(item.request.request_id, worker.name):
+                moved += 1
+                self._route(item.request)
+        if moved:
+            self._emit(
+                "scheduler.rebind", worker=worker.name, moved=moved, reason=reason
+            )
+
+    # -- drain / crash / node failure ---------------------------------------
+
+    def drain_worker(self, name: str) -> SimWorker:
+        """Gracefully retire ``name``: hand queued work to peers, let the
+        in-flight invocation finish, then terminate the pod."""
+        worker = self.workers.get(name)
+        if worker is None:
+            raise SchedulingError(f"unknown worker {name!r}")
+        if worker.machine.state is WorkerState.DRAINING:
+            return worker
+        if not worker.machine.can_transition(WorkerState.DRAINING):
+            raise SchedulingError(
+                f"worker {name!r} cannot drain from {worker.state.value}"
+            )
+        worker.machine.transition(WorkerState.DRAINING, self.env.now, "drain")
+        self._emit("scheduler.draining", worker=name)
+        self._rebind_queued(worker, "drain-handoff")
+        worker.drain()
+        return worker
+
+    def crash_worker(self, name: str, reason: str = "crash") -> bool:
+        """Declare ``name`` dead *now* (fault injection or heartbeat
+        timeout): fence its epoch and requeue everything it held."""
+        worker = self.workers.get(name)
+        if worker is None or worker.machine.is_dead:
+            return False
+        dropped = worker.crash()
+        worker.machine.transition(WorkerState.DEAD, self.env.now, reason)
+        self._emit(
+            "scheduler.dead", worker=name, reason=reason, requeued=len(dropped)
+        )
+        self._teardown_pod(worker)
+        for item in dropped:
+            if self.ledger.requeue(item.request.request_id, name):
+                self._route(item.request)
+        self._maybe_replace()
+        return True
+
+    def on_node_failed(self, node: str) -> None:
+        """Platform hook: every worker on a failed node dies with it."""
+        for name in sorted(self.workers):
+            worker = self.workers[name]
+            if worker.node == node and not worker.machine.is_dead:
+                self.crash_worker(name, reason="node-failure")
+
+    def _retire(self, worker: SimWorker, reason: str) -> None:
+        worker.machine.transition(WorkerState.DEAD, self.env.now, reason)
+        self._emit("scheduler.dead", worker=worker.name, reason=reason, requeued=0)
+        self._teardown_pod(worker)
+        self._maybe_replace()
+
+    def _teardown_pod(self, worker: SimWorker) -> None:
+        if worker.pod is None:
+            return
+        if self.cluster.pod(worker.pod.name) is worker.pod:
+            self.cluster.terminate_pod(worker.pod.name)
+
+    def _maybe_replace(self) -> None:
+        if not self.config.replace_dead_workers or not self._running:
+            return
+        live = sum(
+            1 for worker in self.workers.values() if not worker.machine.is_dead
+        )
+        while live < self.config.pool_size:
+            self.register_worker()
+            live += 1
+
+    # -- chaos seams --------------------------------------------------------
+
+    def suppress_heartbeats(self, name: str, duration_s: float) -> bool:
+        worker = self.workers.get(name)
+        if worker is None or worker.machine.is_dead:
+            return False
+        worker.suppress_heartbeats(duration_s)
+        return True
+
+    def resume_heartbeats(self, name: str) -> bool:
+        worker = self.workers.get(name)
+        if worker is None or worker.machine.is_dead:
+            return False
+        worker.resume_heartbeats()
+        return True
+
+    def set_worker_slow(self, name: str, factor: float) -> bool:
+        worker = self.workers.get(name)
+        if worker is None or worker.machine.is_dead:
+            return False
+        worker.slow_factor = factor
+        return True
+
+    def clear_worker_slow(self, name: str) -> bool:
+        worker = self.workers.get(name)
+        if worker is None:
+            return False
+        worker.slow_factor = 1.0
+        return True
+
+    # -- platform hooks -----------------------------------------------------
+
+    def on_deploy(self, cls: str) -> None:
+        """A class runtime was (re)deployed: install it everywhere."""
+        if cls not in self._classes:
+            self._classes.append(cls)
+        for _, worker in sorted(self.workers.items()):
+            if not worker.machine.is_dead:
+                worker.install(cls)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.ledger.outstanding())
+
+    @property
+    def live_workers(self) -> int:
+        return sum(
+            1 for worker in self.workers.values() if not worker.machine.is_dead
+        )
+
+    def describe_workers(self) -> list[dict[str, Any]]:
+        return [self.workers[name].describe() for name in sorted(self.workers)]
+
+    def stats(self) -> dict[str, Any]:
+        audit = self.ledger.audit()
+        return {
+            "workers": self.describe_workers(),
+            "ledger": audit,
+            "dispatched": self.dispatched,
+            "delivered": self.delivered,
+            "heartbeats": self.heartbeats,
+            "parked": len(self._unassigned),
+            "parked_total": self.parked_total,
+            "registrations": len(self.all_workers),
+            "live_workers": self.live_workers,
+        }
+
+    def collect_metrics(self, registry) -> None:
+        """Metrics-plane pull hook: per-worker dispatch/completion
+        counters and queue depths, labeled by worker, plus plane totals."""
+        from repro.monitoring.plane import set_counter
+
+        for name in sorted(self.workers):
+            worker = self.workers[name]
+            labels = {"worker": name, "plane": "scheduler"}
+            set_counter(
+                registry, "scheduler.dispatched", float(worker.dispatched_count), labels
+            )
+            set_counter(
+                registry, "scheduler.completed", float(worker.completed_count), labels
+            )
+            set_counter(
+                registry, "scheduler.heartbeats", float(worker.heartbeats_sent), labels
+            )
+            registry.gauge("scheduler.queue_depth", labels).set(
+                float(len(worker.queue))
+            )
+            registry.gauge("scheduler.worker_phase", labels).set(
+                float(worker.machine.phase)
+            )
+        totals = {"plane": "scheduler"}
+        audit = self.ledger.audit()
+        set_counter(registry, "scheduler.accepted", float(audit["accepted"]), totals)
+        set_counter(registry, "scheduler.requeues", float(audit["requeues"]), totals)
+        set_counter(
+            registry, "scheduler.suppressed", float(audit["suppressed"]), totals
+        )
+        registry.gauge("scheduler.outstanding", totals).set(
+            float(audit["outstanding"])
+        )
+        registry.gauge("scheduler.parked", totals).set(float(len(self._unassigned)))
+
+    # -- internals ----------------------------------------------------------
+
+    def _emit(self, type: str, **fields: Any) -> None:
+        if self.events is not None:
+            self.events.record(type, **fields)
+        if self.tracer is not None and self.tracer.enabled:
+            span = self.tracer.start(SCHEDULER_TRACE_ID, type, **fields)
+            self.tracer.finish(span)

@@ -1,0 +1,220 @@
+"""The simulated worker runtime.
+
+A :class:`SimWorker` is the worker half of the control-plane protocol,
+modeled as sim-kernel processes (the same way pods and flushers are):
+
+* an **activation** process — registration delay, then one timed
+  package install per deployed class, then the READY report;
+* a **heartbeat** process — periodic beats to the scheduler, which
+  chaos can suppress (``HeartbeatLoss``) without stopping execution,
+  producing the zombie-worker case the scheduler must fence;
+* a **work loop** — serially drains the worker's dispatch queue
+  through the invocation engine, so all invocations routed to one
+  worker (and therefore all invocations of one object, which hash to
+  one worker) execute in order.
+
+Epoch fencing makes crash recovery lossless *and* duplicate-free: every
+dispatched item carries the worker's epoch; :meth:`SimWorker.crash`
+bumps the epoch before the scheduler requeues the in-flight item, so
+when the orphaned execution eventually completes, the work loop
+discards its result instead of reporting a second completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.invoker.request import InvocationRequest, InvocationResult
+from repro.scheduler.state import WorkerState, WorkerStateMachine
+from repro.sim.kernel import Environment, Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.orchestrator.pod import Pod
+    from repro.scheduler.plane import SchedulerPlane
+
+__all__ = ["DispatchItem", "SimWorker"]
+
+
+@dataclass(frozen=True)
+class DispatchItem:
+    """One invocation handed to a worker, fenced by its epoch."""
+
+    request: InvocationRequest
+    epoch: int
+    dispatched_at: float
+
+
+class SimWorker:
+    """One registered worker: state machine + queue + sim processes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        plane: "SchedulerPlane",
+        pod: "Pod | None" = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.plane = plane
+        self.pod = pod
+        self.config = plane.config
+        self.machine = WorkerStateMachine()
+        self.epoch = 0
+        self.installed: set[str] = set()
+        self.queue: deque[DispatchItem] = deque()
+        self.in_flight: DispatchItem | None = None
+        self.last_beat = env.now
+        self.heartbeats_sent = 0
+        self.dispatched_count = 0
+        self.completed_count = 0
+        self.slow_factor = 1.0
+        self.registered_at = env.now
+        self._suppress_until = -1.0
+        self._pending_classes: deque[str] = deque(plane.deployed_classes())
+        self._wake: Event | None = None
+        env.process(self._activate())
+        env.process(self._heartbeat_loop())
+        env.process(self._work_loop())
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def node(self) -> str | None:
+        return self.pod.node if self.pod is not None else None
+
+    @property
+    def state(self) -> WorkerState:
+        return self.machine.state
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "worker": self.name,
+            "state": self.state.value,
+            "node": self.node,
+            "epoch": self.epoch,
+            "installed": sorted(self.installed),
+            "queue_depth": len(self.queue),
+            "in_flight": self.in_flight is not None,
+            "dispatched": self.dispatched_count,
+            "completed": self.completed_count,
+            "heartbeats": self.heartbeats_sent,
+        }
+
+    # -- scheduler-facing control ------------------------------------------
+
+    def push(self, item: DispatchItem) -> None:
+        """Accept one dispatched item onto the local queue."""
+        self.queue.append(item)
+        self.dispatched_count += 1
+        self._wake_up()
+
+    def install(self, cls: str) -> None:
+        """Install a class-runtime binding (timed package install)."""
+        if cls in self.installed or cls in self._pending_classes:
+            return
+        if self.machine.state is WorkerState.REGISTERED:
+            # Still activating: the activation process drains the list.
+            self._pending_classes.append(cls)
+        else:
+            self.env.process(self._install_one(cls))
+
+    def take_queue(self) -> list[DispatchItem]:
+        """Hand back everything queued (drain/rebind handoff)."""
+        items = list(self.queue)
+        self.queue.clear()
+        return items
+
+    def drain(self) -> None:
+        """Stop accepting; the work loop finishes in-flight then reports
+        itself drained.  (The scheduler hands off the queue first.)"""
+        self._wake_up()
+
+    def crash(self) -> list[DispatchItem]:
+        """Die immediately: fence the epoch and return every item this
+        worker still held (queued + in-flight) for the scheduler to
+        requeue.  The orphaned in-flight execution, if any, completes in
+        the simulation but its result is discarded by the fence."""
+        self.epoch += 1
+        dropped = self.take_queue()
+        if self.in_flight is not None:
+            dropped.append(self.in_flight)
+        self._wake_up()
+        return dropped
+
+    def suppress_heartbeats(self, duration_s: float) -> None:
+        self._suppress_until = self.env.now + duration_s
+
+    def resume_heartbeats(self) -> None:
+        self._suppress_until = self.env.now
+
+    # -- sim processes ------------------------------------------------------
+
+    def _wake_up(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+
+    def _activate(self) -> Generator:
+        if self.config.register_delay_s:
+            yield self.env.timeout(self.config.register_delay_s)
+        while self._pending_classes:
+            cls = self._pending_classes.popleft()
+            yield from self._install(cls)
+        if self.machine.state is WorkerState.REGISTERED:
+            self.plane.on_worker_ready(self)
+
+    def _install_one(self, cls: str) -> Generator:
+        yield from self._install(cls)
+
+    def _install(self, cls: str) -> Generator:
+        if self.machine.is_dead or cls in self.installed:
+            return
+        if self.config.install_delay_s:
+            yield self.env.timeout(self.config.install_delay_s)
+        else:
+            yield self.env.timeout(0)
+        if self.machine.is_dead or cls in self.installed:
+            return
+        self.installed.add(cls)
+        self.plane.on_worker_installed(self, cls)
+
+    def _heartbeat_loop(self) -> Generator:
+        while not self.machine.is_dead:
+            yield self.env.timeout(self.config.heartbeat_interval_s)
+            if self.machine.is_dead:
+                return
+            if self.env.now < self._suppress_until:
+                continue
+            self.heartbeats_sent += 1
+            self.plane.heartbeat(self)
+
+    def _work_loop(self) -> Generator:
+        while True:
+            if self.machine.is_dead:
+                return
+            if not self.queue:
+                if (
+                    self.machine.state is WorkerState.DRAINING
+                    and self.in_flight is None
+                ):
+                    self.plane.on_worker_drained(self)
+                    return
+                self._wake = self.env.event()
+                yield self._wake
+                self._wake = None
+                continue
+            item = self.queue.popleft()
+            self.in_flight = item
+            overhead = self.config.dispatch_overhead_s * self.slow_factor
+            if overhead:
+                yield self.env.timeout(overhead)
+            result: InvocationResult = yield self.plane.engine.invoke(item.request)
+            self.in_flight = None
+            if self.machine.is_dead or item.epoch != self.epoch:
+                # Fenced: the scheduler requeued this item when it
+                # declared us dead; a redispatched attempt owns it now.
+                return
+            self.completed_count += 1
+            self.plane.report_completion(self, item, result)

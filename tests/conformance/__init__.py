@@ -1,0 +1,18 @@
+"""Lifecycle-conformance harness for the scheduler plane.
+
+A scenario DSL (``dsl.py``) drives arbitrary interleavings of
+register / heartbeat-loss / drain / crash / rebind steps against a
+real platform and checks the control-plane invariants:
+
+* every accepted invocation completes exactly once (none dropped,
+  none double-delivered);
+* work is only ever dispatched to a READY worker;
+* every worker's recorded state history is phase-monotone over legal
+  edges;
+* the same scenario at the same seed replays to a byte-identical
+  event log.
+
+The harness talks to the plane only through public seams (gateway,
+queue, chaos hooks), so it can later be pointed at a real-asyncio
+transport implementing the same protocol.
+"""

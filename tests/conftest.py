@@ -1,58 +1,73 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and suite-wide pytest hooks.
+
+The platform builders live in :mod:`tests.helpers`; this module wires
+them into fixtures and re-exports the names older modules import from
+``tests.conftest``.
+
+Suite options:
+
+* ``--chaos`` — run the heavier chaos-marked conformance variants
+  (skipped by default to keep the tier-1 wall clock tight).
+* ``--shuffle`` / ``--shuffle-seed N`` — run the collected tests in a
+  seeded random order.  CI runs a shuffled pass so hidden test-order
+  coupling (module-level shared state leaking between tests) fails
+  loudly instead of lurking.
+"""
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
 from repro.platform.oparaca import Oparaca, PlatformConfig
 from repro.sim.kernel import Environment
 
-#: The paper's Listing 1, extended with structured keys and a macro so
-#: every feature has coverage.
-LISTING1_YAML = """
-name: image-app
-classes:
-  - name: Image
-    qos:
-      throughput: 100
-    constraint:
-      persistent: true
-    keySpecs:
-      - name: image
-        type: FILE
-      - name: width
-        type: INT
-        default: 1024
-      - name: format
-        type: STR
-        default: png
-    functions:
-      - name: resize
-        image: img/resize
-      - name: changeFormat
-        image: img/change-format
-      - name: thumbnail
-        type: MACRO
-        dataflow:
-          steps:
-            - id: r
-              function: resize
-              args: { width: "${input.width}" }
-            - id: f
-              function: changeFormat
-              inputs: [r]
-              args: { format: webp }
-          output: f
-  - name: LabelledImage
-    parent: Image
-    keySpecs:
-      - name: labels
-        type: JSON
-        default: []
-    functions:
-      - name: detectObject
-        image: img/detect-object
-"""
+from tests.helpers import (  # noqa: F401  (re-exported for older imports)
+    LISTING1_YAML,
+    listing1_platform,
+    make_platform,
+    register_image_handlers,
+    seeded_baseline_run,
+)
+
+# -- suite options -----------------------------------------------------------
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--chaos",
+        action="store_true",
+        default=False,
+        help="run the heavier chaos-marked conformance variants",
+    )
+    parser.addoption(
+        "--shuffle",
+        action="store_true",
+        default=False,
+        help="run tests in a seeded random order to expose order coupling",
+    )
+    parser.addoption(
+        "--shuffle-seed",
+        type=int,
+        default=0,
+        help="seed for --shuffle (default 0)",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if not config.getoption("--chaos"):
+        skip_chaos = pytest.mark.skip(reason="needs --chaos")
+        for item in items:
+            if "chaos" in item.keywords:
+                item.add_marker(skip_chaos)
+    if config.getoption("--shuffle"):
+        random.Random(config.getoption("--shuffle-seed")).shuffle(items)
+
+
+# -- fixtures ----------------------------------------------------------------
 
 
 @pytest.fixture
@@ -60,33 +75,10 @@ def env() -> Environment:
     return Environment()
 
 
-def register_image_handlers(platform: Oparaca) -> None:
-    """The handlers backing LISTING1_YAML."""
-
-    @platform.function("img/resize", service_time_s=0.004)
-    def resize(ctx):
-        ctx.state["width"] = int(ctx.payload["width"])
-        return {"width": ctx.state["width"]}
-
-    @platform.function("img/change-format", service_time_s=0.002)
-    def change_format(ctx):
-        ctx.state["format"] = str(ctx.payload["format"])
-        return {"format": ctx.state["format"]}
-
-    @platform.function("img/detect-object", service_time_s=0.02)
-    def detect(ctx):
-        labels = ["cat"] if ctx.state.get("width", 0) < 512 else ["cat", "laptop"]
-        ctx.state["labels"] = labels
-        return {"labels": labels}
-
-
 @pytest.fixture
 def platform() -> Oparaca:
     """A 3-node platform with Listing 1 deployed."""
-    instance = Oparaca(PlatformConfig(nodes=3))
-    register_image_handlers(instance)
-    instance.deploy(LISTING1_YAML)
-    return instance
+    return listing1_platform()
 
 
 @pytest.fixture

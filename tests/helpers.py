@@ -1,0 +1,144 @@
+"""Shared platform builders for the test suite.
+
+Every plane's test module used to hand-roll the same four lines —
+construct ``Oparaca(PlatformConfig(...))``, register handler images,
+deploy a package — with copy-paste drift between them.  This module is
+the one home for that plumbing:
+
+* :data:`LISTING1_YAML` / :func:`register_image_handlers` — the paper's
+  Listing 1 package and its backing handlers (re-exported by
+  ``conftest`` for fixtures).
+* :func:`make_platform` — build + register + deploy in one call.
+* :func:`listing1_platform` — a platform with Listing 1 deployed.
+* :func:`seeded_baseline_run` — the workload behind every plane's
+  "disabled config is byte-identical to the seed baseline" parity test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.platform.oparaca import Oparaca, PlatformConfig
+
+#: The paper's Listing 1, extended with structured keys and a macro so
+#: every feature has coverage.
+LISTING1_YAML = """
+name: image-app
+classes:
+  - name: Image
+    qos:
+      throughput: 100
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: image
+        type: FILE
+      - name: width
+        type: INT
+        default: 1024
+      - name: format
+        type: STR
+        default: png
+    functions:
+      - name: resize
+        image: img/resize
+      - name: changeFormat
+        image: img/change-format
+      - name: thumbnail
+        type: MACRO
+        dataflow:
+          steps:
+            - id: r
+              function: resize
+              args: { width: "${input.width}" }
+            - id: f
+              function: changeFormat
+              inputs: [r]
+              args: { format: webp }
+          output: f
+  - name: LabelledImage
+    parent: Image
+    keySpecs:
+      - name: labels
+        type: JSON
+        default: []
+    functions:
+      - name: detectObject
+        image: img/detect-object
+"""
+
+#: image name -> (handler, service_time_s), the shape make_platform takes.
+Handlers = dict[str, tuple[Callable[..., Any], float]]
+
+
+def register_image_handlers(platform: Oparaca) -> None:
+    """The handlers backing LISTING1_YAML."""
+
+    @platform.function("img/resize", service_time_s=0.004)
+    def resize(ctx):
+        ctx.state["width"] = int(ctx.payload["width"])
+        return {"width": ctx.state["width"]}
+
+    @platform.function("img/change-format", service_time_s=0.002)
+    def change_format(ctx):
+        ctx.state["format"] = str(ctx.payload["format"])
+        return {"format": ctx.state["format"]}
+
+    @platform.function("img/detect-object", service_time_s=0.02)
+    def detect(ctx):
+        labels = ["cat"] if ctx.state.get("width", 0) < 512 else ["cat", "laptop"]
+        ctx.state["labels"] = labels
+        return {"labels": labels}
+
+
+def make_platform(
+    package: str | None = None,
+    handlers: Handlers | None = None,
+    *,
+    nodes: int = 3,
+    **config_kwargs: Any,
+) -> Oparaca:
+    """Build a platform, register ``handlers``, deploy ``package``.
+
+    ``config_kwargs`` pass straight through to :class:`PlatformConfig`,
+    so plane configs read naturally at the call site::
+
+        make_platform(QOS_YAML, {"t/hot": (handler, 0.001)},
+                      nodes=2, qos=QosConfig(enabled=True))
+    """
+    platform = Oparaca(PlatformConfig(nodes=nodes, **config_kwargs))
+    for image, (handler, service_time_s) in (handlers or {}).items():
+        platform.register_image(image, handler, service_time_s)
+    if package is not None:
+        platform.deploy(package)
+    return platform
+
+
+def listing1_platform(*, nodes: int = 3, **config_kwargs: Any) -> Oparaca:
+    """A platform with Listing 1 deployed and its handlers registered."""
+    platform = make_platform(nodes=nodes, **config_kwargs)
+    register_image_handlers(platform)
+    platform.deploy(LISTING1_YAML)
+    return platform
+
+
+def seeded_baseline_run(**config_kwargs: Any) -> tuple[dict, dict, float]:
+    """Run the fixed seed-3 Listing-1 workload and return everything a
+    parity test compares: the platform snapshot, the queue stop report,
+    and the final simulated time.
+
+    Every plane's "off by default changes nothing" test calls this twice
+    — once with the default config, once with the plane explicitly
+    disabled — and asserts the tuples are equal.
+    """
+    platform = listing1_platform(seed=3, **config_kwargs)
+    obj = platform.new_object("Image", {"width": 100})
+    for width in (10, 20, 30):
+        platform.invoke(obj, "resize", {"width": width})
+    for _ in range(5):
+        platform.invoke_async(obj, "resize", {"width": 7})
+    platform.advance(2.0)
+    snap = platform.snapshot()
+    stop = platform.queue.stop()
+    platform.shutdown()
+    return snap, stop, platform.now

@@ -6,7 +6,7 @@ from repro.durability.plane import DurabilityConfig
 from repro.platform.oparaca import Oparaca, PlatformConfig
 from repro.sim.kernel import all_of
 
-from tests.conftest import LISTING1_YAML, register_image_handlers
+from tests.helpers import make_platform, seeded_baseline_run
 from tests.test_durability_snapshot import DURA_YAML, bump, dura_platform
 
 
@@ -154,35 +154,23 @@ class TestReportsAndBaseline:
         baseline.shutdown()
 
     def test_disabled_plane_runs_identically_to_seed_baseline(self):
-        def run(config):
-            platform = Oparaca(config)
-            register_image_handlers(platform)
-            platform.deploy(LISTING1_YAML)
-            obj = platform.new_object("Image", {"width": 100})
-            for width in (10, 20, 30):
-                platform.invoke(obj, "resize", {"width": width})
-            for _ in range(5):
-                platform.invoke_async(obj, "resize", {"width": 7})
-            platform.advance(2.0)
-            snap = platform.snapshot()
-            stop = platform.queue.stop()
-            platform.shutdown()
-            return snap, stop, platform.now
-
-        default = run(PlatformConfig(seed=3))
-        explicit_off = run(
-            PlatformConfig(seed=3, durability=DurabilityConfig(enabled=False))
+        default = seeded_baseline_run()
+        explicit_off = seeded_baseline_run(
+            durability=DurabilityConfig(enabled=False)
         )
         assert default == explicit_off
 
 
 class TestGatewayRoutes:
     def test_routes_fall_through_to_404_when_plane_off(self):
-        platform = Oparaca(PlatformConfig(nodes=2, seed=5))
-        platform.register_image("t/bump", bump, 0.001)
-        platform.deploy(DURA_YAML.replace("persistence: strong", "persistent: true")
-                        .replace("persistence: standard", "persistent: true")
-                        .replace("persistence: none", "persistent: false"))
+        platform = make_platform(
+            DURA_YAML.replace("persistence: strong", "persistent: true")
+            .replace("persistence: standard", "persistent: true")
+            .replace("persistence: none", "persistent: false"),
+            {"t/bump": (bump, 0.001)},
+            nodes=2,
+            seed=5,
+        )
         for method, path in (
             ("POST", "/api/classes/Cart/snapshots"),
             ("GET", "/api/classes/Cart/snapshots"),

@@ -6,7 +6,9 @@ import pytest
 from repro.durability.plane import DurabilityConfig
 from repro.durability.snapshot import data_key, epoch_key, manifest_key
 from repro.errors import SnapshotNotFoundError, ValidationError
-from repro.platform.oparaca import Oparaca, PlatformConfig
+from repro.platform.oparaca import Oparaca
+
+from tests.helpers import make_platform
 
 DURA_YAML = """
 name: dura-app
@@ -41,17 +43,14 @@ def dura_platform(**config_kwargs) -> Oparaca:
     """Platform with the plane on but the periodic loop effectively idle
     (huge interval), so tests control every cut explicitly."""
     config_kwargs.setdefault("default_interval_s", 1000.0)
-    platform = Oparaca(
-        PlatformConfig(
-            nodes=3,
-            seed=5,
-            events_enabled=True,
-            durability=DurabilityConfig(enabled=True, **config_kwargs),
-        )
+    return make_platform(
+        DURA_YAML,
+        {"t/bump": (bump, 0.001)},
+        nodes=3,
+        seed=5,
+        events_enabled=True,
+        durability=DurabilityConfig(enabled=True, **config_kwargs),
     )
-    platform.register_image("t/bump", bump, 0.001)
-    platform.deploy(DURA_YAML)
-    return platform
 
 
 def take_cut(platform, cls):

@@ -31,9 +31,8 @@ from repro.monitoring.metrics import (
 from repro.monitoring.plane import MetricsConfig, set_counter
 from repro.monitoring.scraper import MetricsScraper
 from repro.monitoring.slo import BurnWindow, SloConfig, SloEvaluator
-from repro.sim.kernel import Environment
 
-from tests.conftest import LISTING1_YAML
+from tests.helpers import LISTING1_YAML, make_platform
 
 
 # -- labeled instruments -----------------------------------------------------
@@ -507,12 +506,8 @@ def _workload(platform):
 
 class TestPlatformIntegration:
     def test_metrics_plane_end_to_end(self):
-        from repro.platform.oparaca import Oparaca, PlatformConfig
-
-        platform = Oparaca(
-            PlatformConfig(
-                events_enabled=True, metrics=MetricsConfig(enabled=True)
-            )
+        platform = make_platform(
+            events_enabled=True, metrics=MetricsConfig(enabled=True)
         )
         _workload(platform)
         platform.shutdown()
@@ -529,9 +524,7 @@ class TestPlatformIntegration:
         assert doc["scrape"]["scrapes"] == platform.metrics.scraper.scrapes
 
     def test_disabled_plane_builds_nothing(self):
-        from repro.platform.oparaca import Oparaca, PlatformConfig
-
-        platform = Oparaca(PlatformConfig())
+        platform = make_platform()
         assert platform.metrics is None
         assert platform.env.profile is None
         assert platform.metrics_exposition() == ""
@@ -543,11 +536,9 @@ class TestPlatformIntegration:
     def test_disabled_plane_is_behavior_neutral(self):
         """Same seed, same workload: the sim executes identically with
         the plane on and off (pull-model — nothing on the hot path)."""
-        from repro.platform.oparaca import Oparaca, PlatformConfig
-
         results = []
         for metrics in (MetricsConfig(), MetricsConfig(enabled=True)):
-            platform = Oparaca(PlatformConfig(seed=7, metrics=metrics))
+            platform = make_platform(seed=7, metrics=metrics)
             _workload(platform)
             platform.shutdown()
             obs = platform.monitoring.for_class("Image")

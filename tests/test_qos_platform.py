@@ -3,7 +3,7 @@
 from repro.platform.oparaca import Oparaca, PlatformConfig
 from repro.qos.plane import QosConfig
 
-from tests.conftest import LISTING1_YAML, register_image_handlers
+from tests.helpers import make_platform, seeded_baseline_run
 
 QOS_YAML = """
 name: qos-app
@@ -22,15 +22,16 @@ classes:
 
 
 def qos_platform(**qos_kwargs) -> Oparaca:
-    platform = Oparaca(
-        PlatformConfig(
-            nodes=2, qos=QosConfig(enabled=True, **qos_kwargs), events_enabled=True
-        )
+    return make_platform(
+        QOS_YAML,
+        {
+            "t/hot": (lambda ctx: {"ok": True}, 0.001),
+            "t/noisy": (lambda ctx: {"ok": True}, 0.001),
+        },
+        nodes=2,
+        qos=QosConfig(enabled=True, **qos_kwargs),
+        events_enabled=True,
     )
-    platform.register_image("t/hot", lambda ctx: {"ok": True}, 0.001)
-    platform.register_image("t/noisy", lambda ctx: {"ok": True}, 0.001)
-    platform.deploy(QOS_YAML)
-    return platform
 
 
 class TestGatewayAdmission:
@@ -245,23 +246,8 @@ class TestReportsAndBaseline:
         baseline.shutdown()
 
     def test_disabled_plane_runs_identically_to_seed_baseline(self):
-        def run(config):
-            platform = Oparaca(config)
-            register_image_handlers(platform)
-            platform.deploy(LISTING1_YAML)
-            obj = platform.new_object("Image", {"width": 100})
-            for width in (10, 20, 30):
-                platform.invoke(obj, "resize", {"width": width})
-            for _ in range(5):
-                platform.invoke_async(obj, "resize", {"width": 7})
-            platform.advance(2.0)
-            snap = platform.snapshot()
-            stop = platform.queue.stop()
-            platform.shutdown()
-            return snap, stop, platform.now
-
-        default = run(PlatformConfig(seed=3))
-        explicit_off = run(PlatformConfig(seed=3, qos=QosConfig(enabled=False)))
+        default = seeded_baseline_run()
+        explicit_off = seeded_baseline_run(qos=QosConfig(enabled=False))
         assert default == explicit_off
 
     def test_nfr_report_adds_p95_verdict_when_plane_on(self):
