@@ -230,6 +230,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="as_json", action="store_true", help="emit JSON instead of text"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve the platform over the real asyncio HTTP front end "
+        "(scheduler transport=asyncio) and drive concurrent requests at it",
+    )
+    add_workload_args(serve)
+    serve.add_argument("--pool", type=int, default=4, help="worker pool size")
+    serve.add_argument(
+        "--port", type=int, default=0, help="HTTP port (0 picks an ephemeral one)"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=24, help="invocations to drive over HTTP"
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=8, help="concurrent HTTP connections"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="platform RNG seed")
+    serve.add_argument(
+        "--crash-worker",
+        dest="crash_worker",
+        default=None,
+        metavar="WORKER",
+        help="abort this worker's connection mid-run (epoch fence + requeue)",
+    )
+
     workers = sub.add_parser(
         "workers",
         help="run a workload with the scheduler plane on and print the "
@@ -815,6 +840,115 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.scheduler.plane import SchedulerConfig
+
+    package = _load_pkg(args.package)
+    platform = _build_platform(
+        args,
+        package,
+        scheduler_config=SchedulerConfig(
+            enabled=True,
+            transport="asyncio",
+            pool_size=args.pool,
+            # Wall-clock heartbeats: keep the silence budget generous so
+            # a busy event loop doesn't read as worker death.
+            heartbeat_interval_s=0.25,
+            degraded_after_misses=2,
+            dead_after_misses=4,
+        ),
+    )
+    if platform is None:
+        return 2
+    platform.deploy(package)
+
+    async def request(host, port, method, path, body=None):
+        reader, writer = await asyncio.open_connection(host, port)
+        payload = json.dumps(body or {}).encode("utf-8")
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Length: {len(payload)}\r\n\r\n"
+            ).encode("latin-1")
+            + payload
+        )
+        head = await reader.readuntil(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.partition(b":")[2])
+        data = await reader.readexactly(length)
+        writer.close()
+        return status, json.loads(data)
+
+    async def drive() -> dict:
+        front = await platform.serve_http(port=args.port)
+        host, port = front.host, front.port
+        print(f"serving on http://{host}:{port} with {args.pool} workers")
+        body = {"state": json.loads(args.state)} if args.state != "{}" else {}
+        status, created = await request(
+            host, port, "POST", f"/api/classes/{args.new_cls}", body
+        )
+        if status != 201:
+            raise OaasError(f"object creation failed: {created.get('error')}")
+        object_id = created["id"]
+        invokes = args.invoke or ["get"]
+        statuses: list[int] = []
+        semaphore = asyncio.Semaphore(max(1, args.concurrency))
+        crash_at = args.requests // 2
+
+        async def one(index: int) -> None:
+            fn, _, payload_text = invokes[index % len(invokes)].partition(":")
+            payload = json.loads(payload_text) if payload_text else {}
+            async with semaphore:
+                if args.crash_worker and index == crash_at:
+                    for worker in front.workers:
+                        if worker.name == args.crash_worker:
+                            worker.kill()
+                            print(f"killed {worker.name}'s connection mid-run")
+                status, _ = await request(
+                    host,
+                    port,
+                    "POST",
+                    f"/api/objects/{object_id}/invokes/{fn}",
+                    payload,
+                )
+                statuses.append(status)
+
+        await asyncio.gather(*[one(i) for i in range(args.requests)])
+        _, workers_body = await request(host, port, "GET", "/api/workers")
+        report = await front.stop()
+        return {
+            "statuses": statuses,
+            "workers": workers_body,
+            "report": report,
+            "fenced": front.scheduler.fenced,
+        }
+
+    outcome = asyncio.run(drive())
+    counts: dict[int, int] = {}
+    for status in outcome["statuses"]:
+        counts[status] = counts.get(status, 0) + 1
+    print("HTTP statuses:", " ".join(f"{k}x{v}" for k, v in sorted(counts.items())))
+    print(f"{'WORKER':<12} {'STATE':<10} {'EPOCH':>5} {'DONE':>5}")
+    for row in outcome["workers"]["workers"]:
+        print(
+            f"{row['worker']:<12} {row['state']:<10} "
+            f"{row['epoch']:>5} {row['completed']:>5}"
+        )
+    audit = outcome["workers"]["ledger"]
+    print(
+        f"ledger: accepted={audit['accepted']} completed={audit['completed']} "
+        f"requeues={audit['requeues']} suppressed={audit['suppressed']} "
+        f"outstanding={audit['outstanding']} fenced={outcome['fenced']}"
+    )
+    print(f"stop report: {outcome['report']}")
+    return 0
+
+
 def _cmd_workers(args: argparse.Namespace) -> int:
     from repro.scheduler.plane import SchedulerConfig
 
@@ -1030,6 +1164,7 @@ def main(argv: list[str] | None = None) -> int:
         "qos": _cmd_qos,
         "metrics": _cmd_metrics,
         "slo": _cmd_slo,
+        "serve": _cmd_serve,
         "workers": _cmd_workers,
         "snapshot": _cmd_snapshot,
         "restore": _cmd_restore,

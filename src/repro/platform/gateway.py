@@ -128,6 +128,17 @@ class Gateway:
         """Process one HTTP request; resolves to an :class:`HttpResponse`."""
         return self.env.process(self._handle(request))
 
+    async def serve_http(self, platform: Any, *, host: str = "127.0.0.1", port: int = 0):
+        """Serve this gateway's route table over a real asyncio HTTP
+        front end, with invocations flowing through the asyncio
+        scheduler transport to a worker pool over TCP.  Requires
+        ``SchedulerConfig(enabled=True, transport="asyncio")``."""
+        from repro.platform.httpfront import AsyncPlatformServer
+
+        front = AsyncPlatformServer(platform, host=host, port=port)
+        await front.start()
+        return front
+
     def _handle(self, http: HttpRequest) -> Generator[Any, Any, HttpResponse]:
         self.requests += 1
         try:

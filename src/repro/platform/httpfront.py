@@ -1,0 +1,306 @@
+"""A real asyncio HTTP front end over the asyncio scheduler transport.
+
+:class:`AsyncPlatformServer` is what ``SchedulerConfig(transport=
+"asyncio")`` buys: a minimal HTTP/1.1 server whose requests flow
+**gateway route → scheduler → worker** across event-loop tasks, with
+each worker an :class:`~repro.scheduler.transport.aio.AsyncWorkerClient`
+connected to an
+:class:`~repro.scheduler.transport.aio.AsyncSchedulerServer` over TCP.
+Routing reuses the sim gateway's route table verbatim
+(:meth:`Gateway._route`) so the HTTP surface is identical; execution
+reuses the platform's real invocation engine (each worker drives
+``platform.run(engine.invoke(...))`` for its dispatches).
+
+This is deliberately dependency-free HTTP — request line, headers,
+``Content-Length`` JSON body, keep-alive — enough to serve concurrent
+real clients (curl, load generators, the ``ocli serve`` demo) without
+pulling a web framework into the container.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ValidationError
+from repro.invoker.request import InvocationRequest
+from repro.platform.gateway import _STATUS_BY_ERROR, HttpRequest, HttpResponse
+from repro.scheduler.transport.aio import AsyncSchedulerServer, AsyncWorkerClient
+from repro.scheduler.transport.protocol import Dispatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform.oparaca import Oparaca
+
+__all__ = ["AsyncPlatformServer"]
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class AsyncPlatformServer:
+    """Serve the platform's REST surface over real asyncio sockets."""
+
+    def __init__(
+        self,
+        platform: "Oparaca",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        config = platform.config.scheduler
+        if not config.enabled or config.transport != "asyncio":
+            raise ValidationError(
+                "serve_http requires SchedulerConfig(enabled=True, "
+                'transport="asyncio")'
+            )
+        self.platform = platform
+        self.host = host
+        self.requested_port = port
+        self.scheduler = AsyncSchedulerServer(
+            config=config, classes=list(platform.crm.runtimes)
+        )
+        self.workers: list[AsyncWorkerClient] = []
+        self.requests = 0
+        self._http_server: asyncio.AbstractServer | None = None
+        self._next_worker = 0
+        self._running = False
+        self._spawn_tasks: set[asyncio.Task] = set()
+        self.scheduler.on_worker_lost = self._on_worker_lost
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the scheduler server, the worker pool, and the HTTP
+        listener; returns once the pool is serving."""
+        self._running = True
+        await self.scheduler.start(self.host, 0)
+        for _ in range(self.platform.config.scheduler.pool_size):
+            await self._spawn_worker()
+        await self._wait_serving()
+        self._http_server = await asyncio.start_server(
+            self._handle_connection, self.host, self.requested_port
+        )
+
+    @property
+    def port(self) -> int:
+        assert self._http_server is not None and self._http_server.sockets
+        return self._http_server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> dict[str, int]:
+        self._running = False
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
+        for task in self._spawn_tasks:
+            task.cancel()
+        await asyncio.gather(*self._spawn_tasks, return_exceptions=True)
+        for worker in self.workers:
+            await worker.close()
+        return await self.scheduler.stop()
+
+    # -- worker pool --------------------------------------------------------
+
+    async def _spawn_worker(self) -> AsyncWorkerClient:
+        name = f"worker-{self._next_worker}"
+        self._next_worker += 1
+        worker = AsyncWorkerClient(
+            name,
+            self.host,
+            self.scheduler.port,
+            self._execute,
+            heartbeat_interval_s=self.platform.config.scheduler.heartbeat_interval_s,
+        )
+        await worker.connect()
+        self.workers.append(worker)
+        return worker
+
+    def _on_worker_lost(self, name: str) -> None:
+        if self._running:
+            task = asyncio.ensure_future(self._spawn_worker())
+            self._spawn_tasks.add(task)
+            task.add_done_callback(self._spawn_tasks.discard)
+
+    async def _wait_serving(self, timeout_s: float = 5.0) -> None:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while loop.time() < deadline:
+            serving = sum(
+                1
+                for worker in self.scheduler.core.workers.values()
+                if worker.machine.is_dispatchable
+            )
+            if serving >= self.platform.config.scheduler.pool_size:
+                return
+            await asyncio.sleep(0.01)
+        raise ValidationError("worker pool failed to become ready")
+
+    async def _execute(
+        self, dispatch: Dispatch, worker: AsyncWorkerClient
+    ) -> dict[str, Any]:
+        """Worker executor: drive the platform's real engine.
+
+        The ``platform.run`` call advances the shared sim kernel with no
+        ``await`` inside, so cooperative scheduling cannot interleave
+        two engine runs — concurrency lives in the sockets and queues
+        around it.
+        """
+        request = InvocationRequest(
+            object_id=dispatch.object_id,
+            fn_name=dispatch.fn_name,
+            cls=dispatch.cls,
+            payload=dict(dispatch.payload),
+        )
+        result = self.platform.run(self.platform.engine.invoke(request))
+        output = dict(result.output)
+        if result.created_object_id is not None:
+            output.setdefault("id", result.created_object_id)
+        return {
+            "ok": result.ok,
+            "output": output,
+            "error": result.error,
+            "error_type": result.error_type,
+        }
+
+    # -- HTTP ---------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                response = await self._respond(request)
+                self._write_response(writer, response)
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> HttpRequest | None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        if len(head) > _MAX_HEADER_BYTES:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                key, _, value = line.partition(":")
+                headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            return None
+        body: dict[str, Any] = {}
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                parsed = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                parsed = None
+            if isinstance(parsed, dict):
+                body = parsed
+        return HttpRequest(method, path, body)
+
+    async def _respond(self, http: HttpRequest) -> HttpResponse:
+        self.requests += 1
+        admin = self._scheduler_route(http)
+        if admin is not None:
+            return admin
+        routed = self.platform.gateway._route(http)
+        if routed is None:
+            return HttpResponse(
+                404,
+                {"error": f"no route {http.method} {http.path}", "type": "NoRouteError"},
+            )
+        if isinstance(routed, HttpResponse):
+            return routed
+        result = await self.scheduler.submit(routed)
+        if result.ok:
+            status = 201 if routed.fn_name == "new" else 200
+            return HttpResponse(status, dict(result.output))
+        status = _STATUS_BY_ERROR.get(result.error_type or "", 500)
+        return HttpResponse(
+            status, {"error": result.error, "type": result.error_type}
+        )
+
+    def _scheduler_route(self, http: HttpRequest) -> HttpResponse | None:
+        """Same admin surface as the sim gateway, served from the async
+        scheduler's state."""
+        parts = [p for p in http.path.split("/") if p]
+        if len(parts) < 2 or parts[0] != "api" or parts[1] != "workers":
+            return None
+        if len(parts) == 2 and http.method == "GET":
+            workers = self.scheduler.describe_workers()
+            return HttpResponse(
+                200,
+                {
+                    "workers": workers,
+                    "count": len(workers),
+                    "ledger": self.scheduler.core.ledger.audit(),
+                },
+            )
+        if len(parts) == 4 and parts[3] == "drain" and http.method == "POST":
+            from repro.errors import SchedulingError
+
+            name = parts[2]
+            try:
+                self.scheduler.drain(name)
+            except SchedulingError as exc:
+                status = 404 if "unknown worker" in str(exc) else 409
+                return HttpResponse(
+                    status, {"error": str(exc), "type": "SchedulingError"}
+                )
+            worker = self.scheduler.core.workers[name]
+            return HttpResponse(
+                202, {"worker": name, "state": worker.machine.state.value}
+            )
+        return None
+
+    def _write_response(
+        self, writer: asyncio.StreamWriter, response: HttpResponse
+    ) -> None:
+        payload = json.dumps(response.body, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {response.status} {_reason(response.status)}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+
+    def on_deploy(self, cls: str) -> None:
+        """Platform hook: a deploy while serving installs everywhere."""
+        self.scheduler.on_deploy(cls)
+
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _reason(status: int) -> str:
+    return _REASONS.get(status, "Status")

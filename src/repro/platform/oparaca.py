@@ -197,7 +197,10 @@ class Oparaca:
                 config=self.config.qos,
             )
         self.scheduler_plane: SchedulerPlane | None = None
-        if self.config.scheduler.enabled:
+        # The sim plane only exists on the sim transport; with
+        # transport="asyncio" the sim dispatch path stays at baseline and
+        # the same protocol is served over real sockets by serve_http().
+        if self.config.scheduler.enabled and self.config.scheduler.transport == "sim":
             self.scheduler_plane = SchedulerPlane(
                 self.env,
                 self.engine,
@@ -224,6 +227,7 @@ class Oparaca:
             durability=self.durability,
             scheduler=self.scheduler_plane,
         )
+        self._http_fronts: list[Any] = []
         self.chaos: ChaosInjector | None = None
         self.optimizer: RequirementOptimizer | None = None
         if self.config.optimizer_enabled:
@@ -286,6 +290,9 @@ class Oparaca:
         if self.scheduler_plane is not None:
             for runtime in runtimes:
                 self.scheduler_plane.on_deploy(runtime.cls)
+        for front in self._http_fronts:
+            for runtime in runtimes:
+                front.on_deploy(runtime.cls)
         return runtimes
 
     # -- execution helpers ------------------------------------------------------------
@@ -439,6 +446,16 @@ class Oparaca:
     def http(self, method: str, path: str, body: Mapping[str, Any] | None = None) -> HttpResponse:
         """Issue a REST request against the gateway, synchronously."""
         return self.run(self.gateway.handle(HttpRequest(method, path, dict(body or {}))))
+
+    async def serve_http(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the real asyncio HTTP front end (gateway routes →
+        asyncio scheduler → worker pool over TCP).  Requires
+        ``SchedulerConfig(enabled=True, transport="asyncio")``; returns
+        the running :class:`~repro.platform.httpfront.AsyncPlatformServer`.
+        """
+        front = await self.gateway.serve_http(self, host=host, port=port)
+        self._http_fronts.append(front)
+        return front
 
     # -- cluster operations (elasticity + failure injection) ---------------------------
 

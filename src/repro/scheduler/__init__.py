@@ -13,9 +13,13 @@ from repro.scheduler.state import (
     WorkerState,
     WorkerStateMachine,
 )
+from repro.scheduler.transport import DispatchCore, FrameDecoder, rendezvous_score
 from repro.scheduler.worker import DispatchItem, SimWorker
 
 __all__ = [
+    "DispatchCore",
+    "FrameDecoder",
+    "rendezvous_score",
     "EntryState",
     "InvocationLedger",
     "LedgerEntry",

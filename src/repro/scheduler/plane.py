@@ -8,6 +8,13 @@ Like every plane it is **off by default** (``SchedulerConfig.enabled``);
 when off, the platform byte-identically reproduces the baseline
 partitioned-topic dispatch path.
 
+The plane is the **sim transport** of the worker protocol: the
+dispatch/ledger/fencing state machine lives in
+:class:`~repro.scheduler.transport.core.DispatchCore` (shared with the
+real asyncio transport in :mod:`repro.scheduler.transport.aio`), and
+this class supplies the sim-kernel half — worker pods, heartbeat
+monitoring as a sim process, chaos seams, and platform hooks.
+
 When enabled:
 
 * the plane registers ``pool_size`` workers at startup, each bound to a
@@ -35,18 +42,15 @@ what the conformance harness replays and asserts over.
 
 from __future__ import annotations
 
-import hashlib
-from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Generator
 
 from repro.errors import SchedulingError, ValidationError
-from repro.invoker.engine import split_object_id
 from repro.invoker.request import InvocationRequest, InvocationResult
 from repro.orchestrator.pod import PodSpec
 from repro.orchestrator.resources import ResourceSpec
-from repro.scheduler.ledger import InvocationLedger
 from repro.scheduler.state import WorkerState
+from repro.scheduler.transport.core import DispatchCore
 from repro.scheduler.worker import DispatchItem, SimWorker
 from repro.sim.kernel import Environment
 
@@ -56,6 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.monitoring.tracing import Tracer
     from repro.orchestrator.cluster import Cluster
     from repro.orchestrator.scheduler import Scheduler
+    from repro.scheduler.ledger import InvocationLedger
 
 __all__ = ["SchedulerConfig", "SchedulerPlane"]
 
@@ -65,12 +70,20 @@ SCHEDULER_TRACE_ID = "scheduler"
 #: Image name worker pods are stamped from.
 WORKER_IMAGE = "oaas/worker-runtime"
 
+#: The transports the scheduler protocol can be spoken over.
+TRANSPORTS = ("sim", "asyncio")
+
 
 @dataclass(frozen=True)
 class SchedulerConfig:
     """Knobs for the worker-pool control plane (disabled by default)."""
 
     enabled: bool = False
+    #: ``"sim"`` runs the plane on the simulation kernel (default);
+    #: ``"asyncio"`` leaves the sim dispatch path at baseline and serves
+    #: the same protocol over real event-loop connections via
+    #: :meth:`Oparaca.serve_http` / :class:`AsyncSchedulerServer`.
+    transport: str = "sim"
     pool_size: int = 4
     heartbeat_interval_s: float = 0.5
     degraded_after_misses: int = 2
@@ -84,6 +97,11 @@ class SchedulerConfig:
     worker_memory_mb: int = 128
 
     def __post_init__(self) -> None:
+        if self.transport not in TRANSPORTS:
+            raise ValidationError(
+                f"scheduler transport must be one of {TRANSPORTS}, "
+                f"got {self.transport!r}"
+            )
         if self.pool_size < 1:
             raise ValidationError("scheduler pool_size must be >= 1")
         if self.heartbeat_interval_s <= 0:
@@ -99,11 +117,6 @@ class SchedulerConfig:
                 raise ValidationError(f"{field_name} must be >= 0")
         if self.worker_cpu_millis < 1 or self.worker_memory_mb < 1:
             raise ValidationError("worker pod resources must be positive")
-
-
-def _rendezvous_score(object_id: str, worker: str) -> int:
-    digest = hashlib.md5(f"{object_id}|{worker}".encode()).digest()
-    return int.from_bytes(digest[:8], "big")
 
 
 class SchedulerPlane:
@@ -127,21 +140,48 @@ class SchedulerPlane:
         self.events = events
         self.tracer = tracer
         self.config = config or SchedulerConfig(enabled=True)
-        self.ledger = InvocationLedger()
-        #: name -> *current* registration under that name (latest epoch).
-        self.workers: dict[str, SimWorker] = {}
-        #: every registration ever made, including retired ones — the
-        #: conformance suite checks monotonicity over all of them.
-        self.all_workers: list[SimWorker] = []
-        self.on_complete: Callable[[InvocationRequest, InvocationResult], None] | None = None
-        self.dispatched = 0
-        self.delivered = 0
+        self.core = DispatchCore(clock=lambda: self.env.now, emit=self._emit)
         self.heartbeats = 0
-        self.parked_total = 0
-        self._unassigned: deque[InvocationRequest] = deque()
-        self._classes: list[str] = []
         self._next_worker = 0
         self._running = False
+
+    # -- shared-core views ---------------------------------------------------
+
+    @property
+    def ledger(self) -> "InvocationLedger":
+        return self.core.ledger
+
+    @property
+    def workers(self) -> dict[str, SimWorker]:
+        return self.core.workers  # type: ignore[return-value]
+
+    @property
+    def all_workers(self) -> list[SimWorker]:
+        return self.core.registrations  # type: ignore[return-value]
+
+    @property
+    def dispatched(self) -> int:
+        return self.core.dispatched
+
+    @property
+    def delivered(self) -> int:
+        return self.core.delivered
+
+    @property
+    def parked_total(self) -> int:
+        return self.core.parked_total
+
+    @property
+    def on_complete(
+        self,
+    ) -> Callable[[InvocationRequest, InvocationResult], None] | None:
+        return self.core.on_complete
+
+    @on_complete.setter
+    def on_complete(
+        self, callback: Callable[[InvocationRequest, InvocationResult], None] | None
+    ) -> None:
+        self.core.on_complete = callback
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -155,11 +195,22 @@ class SchedulerPlane:
         self.env.process(self._monitor())
 
     def stop(self) -> dict[str, int]:
+        """Stop the plane: report what was still pending (with the parked
+        subset broken out, mirroring ``ConsumerGroup.stop()``) and halt
+        every live worker's heartbeat/work-loop processes so nothing of
+        the plane stays scheduled on the kernel."""
+        report = self.core.stop_report()
+        if not self._running:
+            return report
         self._running = False
-        return {"pending": len(self.ledger.outstanding())}
+        for name in sorted(self.workers):
+            worker = self.workers[name]
+            if not worker.machine.is_dead:
+                worker.halt()
+        return report
 
     def deployed_classes(self) -> list[str]:
-        return list(self._classes)
+        return self.core.deployed_classes()
 
     def register_worker(self, name: str | None = None) -> SimWorker:
         """Admit one worker: place its pod, start its processes."""
@@ -185,8 +236,7 @@ class SchedulerPlane:
         )
         pod = self.pod_scheduler.schedule(spec)
         worker = SimWorker(self.env, name, self, pod=pod)
-        self.workers[name] = worker
-        self.all_workers.append(worker)
+        self.core.add_worker(worker)
         self._emit("scheduler.register", worker=name, node=worker.node)
         return worker
 
@@ -194,83 +244,14 @@ class SchedulerPlane:
 
     def submit(self, request: InvocationRequest) -> None:
         """Accept one invocation into the ledger and route it."""
-        self.ledger.accept(request, self.env.now)
-        self._route(request)
-
-    def _route(self, request: InvocationRequest) -> None:
-        worker = self._pick(request)
-        if worker is None:
-            # No eligible worker right now: park it.  Parked requests are
-            # flushed whenever a worker becomes READY, finishes an
-            # install, or recovers — never dropped.
-            self._unassigned.append(request)
-            self.parked_total += 1
-            return
-        self._dispatch(worker, request)
-
-    def _pick(self, request: InvocationRequest) -> SimWorker | None:
-        cls = request.cls or split_object_id(request.object_id)[0]
-        known = cls in self._classes
-        eligible = [
-            worker
-            for _, worker in sorted(self.workers.items())
-            if worker.machine.is_dispatchable
-            and (not known or cls in worker.installed)
-        ]
-        if not eligible:
-            return None
-        return max(
-            eligible, key=lambda w: _rendezvous_score(request.object_id, w.name)
-        )
-
-    def _dispatch(self, worker: SimWorker, request: InvocationRequest) -> None:
-        entry = self.ledger.dispatch(request.request_id, worker.name, worker.epoch)
-        item = DispatchItem(
-            request=request, epoch=worker.epoch, dispatched_at=self.env.now
-        )
-        worker.push(item)
-        self.dispatched += 1
-        # Events carry the ledger seq, not the raw request id: request
-        # ids are process-global, so seqs keep logs replay-identical.
-        self._emit(
-            "scheduler.dispatch",
-            worker=worker.name,
-            request=entry.seq,
-            object=request.object_id,
-            fn=request.fn_name,
-        )
-
-    def _flush_unassigned(self) -> None:
-        if not self._unassigned:
-            return
-        parked = list(self._unassigned)
-        self._unassigned.clear()
-        for request in parked:
-            self._route(request)
+        self.core.submit(request)
 
     def report_completion(
         self, worker: SimWorker, item: DispatchItem, result: InvocationResult
     ) -> None:
         """A worker finished an item.  First completion wins; duplicates
         (a fenced attempt racing its redispatched twin) are suppressed."""
-        entry = self.ledger.entry(item.request.request_id)
-        first = self.ledger.complete(item.request.request_id, result.ok, self.env.now)
-        if not first:
-            self._emit(
-                "scheduler.suppressed",
-                worker=worker.name,
-                request=entry.seq if entry is not None else -1,
-            )
-            return
-        self.delivered += 1
-        self._emit(
-            "scheduler.complete",
-            worker=worker.name,
-            request=entry.seq if entry is not None else -1,
-            ok=result.ok,
-        )
-        if self.on_complete is not None:
-            self.on_complete(item.request, result)
+        self.core.complete(worker.name, item.request, result)
 
     # -- worker callbacks ---------------------------------------------------
 
@@ -278,12 +259,12 @@ class SchedulerPlane:
         worker.machine.transition(WorkerState.READY, self.env.now, "activated")
         worker.last_beat = self.env.now
         self._emit("scheduler.ready", worker=worker.name, node=worker.node)
-        self._flush_unassigned()
+        self.core.flush_unassigned()
 
     def on_worker_installed(self, worker: SimWorker, cls: str) -> None:
         self._emit("scheduler.install", worker=worker.name, cls=cls)
         if worker.machine.is_dispatchable:
-            self._flush_unassigned()
+            self.core.flush_unassigned()
 
     def on_worker_drained(self, worker: SimWorker) -> None:
         """The work loop emptied out after a drain: retire the worker."""
@@ -299,7 +280,7 @@ class SchedulerPlane:
                 WorkerState.READY, self.env.now, "heartbeat-resumed"
             )
             self._emit("scheduler.recovered", worker=worker.name)
-            self._flush_unassigned()
+            self.core.flush_unassigned()
 
     # -- health monitoring --------------------------------------------------
 
@@ -337,12 +318,7 @@ class SchedulerPlane:
 
     def _rebind_queued(self, worker: SimWorker, reason: str) -> None:
         """Move everything *queued* (not in-flight) off ``worker``."""
-        items = worker.take_queue()
-        moved = 0
-        for item in items:
-            if self.ledger.requeue(item.request.request_id, worker.name):
-                moved += 1
-                self._route(item.request)
+        moved = self.core.reroute(worker.name, worker.take_queue())
         if moved:
             self._emit(
                 "scheduler.rebind", worker=worker.name, moved=moved, reason=reason
@@ -380,9 +356,7 @@ class SchedulerPlane:
             "scheduler.dead", worker=name, reason=reason, requeued=len(dropped)
         )
         self._teardown_pod(worker)
-        for item in dropped:
-            if self.ledger.requeue(item.request.request_id, name):
-                self._route(item.request)
+        self.core.reroute(name, dropped)
         self._maybe_replace()
         return True
 
@@ -439,8 +413,10 @@ class SchedulerPlane:
         return True
 
     def clear_worker_slow(self, name: str) -> bool:
+        # Same guard as set_worker_slow/resume_heartbeats: a chaos revert
+        # on a dead worker must not report success.
         worker = self.workers.get(name)
-        if worker is None:
+        if worker is None or worker.machine.is_dead:
             return False
         worker.slow_factor = 1.0
         return True
@@ -449,21 +425,18 @@ class SchedulerPlane:
 
     def on_deploy(self, cls: str) -> None:
         """A class runtime was (re)deployed: install it everywhere."""
-        if cls not in self._classes:
-            self._classes.append(cls)
+        self.core.note_class(cls)
         for _, worker in sorted(self.workers.items()):
             if not worker.machine.is_dead:
                 worker.install(cls)
 
     @property
     def outstanding(self) -> int:
-        return len(self.ledger.outstanding())
+        return self.core.outstanding
 
     @property
     def live_workers(self) -> int:
-        return sum(
-            1 for worker in self.workers.values() if not worker.machine.is_dead
-        )
+        return self.core.live_workers
 
     def describe_workers(self) -> list[dict[str, Any]]:
         return [self.workers[name].describe() for name in sorted(self.workers)]
@@ -476,7 +449,7 @@ class SchedulerPlane:
             "dispatched": self.dispatched,
             "delivered": self.delivered,
             "heartbeats": self.heartbeats,
-            "parked": len(self._unassigned),
+            "parked": self.core.parked,
             "parked_total": self.parked_total,
             "registrations": len(self.all_workers),
             "live_workers": self.live_workers,
@@ -515,7 +488,7 @@ class SchedulerPlane:
         registry.gauge("scheduler.outstanding", totals).set(
             float(audit["outstanding"])
         )
-        registry.gauge("scheduler.parked", totals).set(float(len(self._unassigned)))
+        registry.gauge("scheduler.parked", totals).set(float(self.core.parked))
 
     # -- internals ----------------------------------------------------------
 

@@ -1,0 +1,755 @@
+"""The real asyncio transport for the scheduler/worker protocol.
+
+:class:`AsyncSchedulerServer` listens on a TCP socket and drives the
+same :class:`~repro.scheduler.transport.core.DispatchCore` the sim
+plane uses; :class:`AsyncWorkerClient` processes connect to it and
+speak the length-prefixed JSON frames from
+:mod:`~repro.scheduler.transport.protocol`.  Concurrency is real:
+every connection is an event-loop task, and crashes are *connection
+drops* — :meth:`AsyncWorkerClient.kill` aborts the socket without a
+goodbye, which the server treats exactly like a sim crash (fence the
+epoch, requeue everything the worker held, replace it).
+
+Fencing over reconnects
+-----------------------
+
+The server assigns each registration an **epoch** (monotone per worker
+name) in :class:`~repro.scheduler.transport.protocol.RegisterAck`, and
+every worker→scheduler message carries it.  When the server declares a
+worker dead — connection drop, heartbeat timeout, or injected crash —
+it bumps the registration's epoch *before* requeueing, so anything a
+zombie connection says afterwards (a late ``complete``, a stray
+heartbeat) mismatches and is dropped without touching the ledger
+(counted in :attr:`AsyncSchedulerServer.fenced`).  Same-epoch
+duplicates — a completion racing its own redispatch — are suppressed by
+the ledger's first-completion-wins rule, emitting
+``scheduler.suppressed`` exactly like the sim path.
+
+Differences from sim are confined to what real sockets force: a
+degrade/drain rebind reroutes the server's *queued view*; if the old
+worker already pulled an item off the wire and executes it anyway, the
+ledger delivers whichever completion lands first and suppresses the
+other, so exactly-once completion still holds (execution is
+at-least-once, as in any real distributed dispatch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable
+
+from repro.errors import SchedulingError, TransportError
+from repro.invoker.request import InvocationRequest, InvocationResult
+from repro.scheduler.state import WorkerState, WorkerStateMachine
+from repro.scheduler.transport.core import DispatchCore, DispatchItem
+from repro.scheduler.transport.protocol import (
+    Complete,
+    Dispatch,
+    DrainCmd,
+    Drained,
+    Executing,
+    FrameDecoder,
+    Heartbeat,
+    Install,
+    InstallAck,
+    Message,
+    Ready,
+    Register,
+    RegisterAck,
+    encode_frame,
+)
+
+__all__ = [
+    "TransportEvent",
+    "RemoteWorker",
+    "AsyncSchedulerServer",
+    "AsyncWorkerClient",
+]
+
+_READ_CHUNK = 65536
+
+
+@dataclass(frozen=True)
+class TransportEvent:
+    """One ``scheduler.*`` event recorded by the async server, shaped
+    like the sim event log's records so the conformance invariants can
+    replay either."""
+
+    seq: int
+    at: float
+    type: str
+    fields: dict[str, Any]
+
+
+class RemoteWorker:
+    """The server's view of one connected worker registration.
+
+    Satisfies the :class:`~repro.scheduler.transport.core.WorkerPort`
+    protocol: ``push`` writes a ``dispatch`` frame down the connection,
+    ``take_queue`` hands back the items the server still believes are
+    queued (not yet reported ``executing``)."""
+
+    def __init__(
+        self,
+        server: "AsyncSchedulerServer",
+        name: str,
+        epoch: int,
+        writer: asyncio.StreamWriter,
+        node: str | None = None,
+    ) -> None:
+        self.server = server
+        self.name = name
+        self.epoch = epoch
+        self.writer = writer
+        self.node = node
+        self.machine = WorkerStateMachine()
+        self.installed: set[str] = set()
+        #: request_id -> item the worker currently holds (queued or
+        #: executing); ``executing`` marks the in-flight subset.
+        self.items: dict[str, DispatchItem] = {}
+        self.executing: set[str] = set()
+        self.last_beat = server.now()
+        self.dispatched_count = 0
+        self.completed_count = 0
+        self.heartbeats_sent = 0
+        self.retired = False
+
+    @property
+    def state(self) -> WorkerState:
+        return self.machine.state
+
+    def push(self, item: DispatchItem) -> None:
+        request = item.request
+        entry = self.server.core.ledger.entry(request.request_id)
+        self.items[request.request_id] = item
+        self.dispatched_count += 1
+        self.send(
+            Dispatch(
+                request_id=request.request_id,
+                object_id=request.object_id,
+                fn_name=request.fn_name,
+                epoch=item.epoch,
+                seq=entry.seq if entry is not None else -1,
+                cls=request.cls,
+                payload=dict(request.payload),
+            )
+        )
+
+    def take_queue(self) -> list[DispatchItem]:
+        queued = [
+            item
+            for rid, item in self.items.items()
+            if rid not in self.executing
+        ]
+        for item in queued:
+            del self.items[item.request.request_id]
+        return queued
+
+    def take_all(self) -> list[DispatchItem]:
+        items = list(self.items.values())
+        self.items.clear()
+        self.executing.clear()
+        return items
+
+    def send(self, message: Message) -> None:
+        if self.writer.is_closing():
+            return
+        self.writer.write(encode_frame(message))
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "worker": self.name,
+            "state": self.state.value,
+            "node": self.node,
+            "epoch": self.epoch,
+            "installed": sorted(self.installed),
+            "queue_depth": len(self.items) - len(self.executing),
+            "in_flight": bool(self.executing),
+            "dispatched": self.dispatched_count,
+            "completed": self.completed_count,
+            "heartbeats": self.heartbeats_sent,
+        }
+
+
+class AsyncSchedulerServer:
+    """The scheduler side of the protocol over real asyncio streams.
+
+    Owns a :class:`DispatchCore` (the same state machine the sim plane
+    drives), a TCP listener, and a heartbeat monitor task.  Submissions
+    return futures resolved on first completion."""
+
+    def __init__(
+        self,
+        *,
+        config: Any = None,
+        classes: list[str] | None = None,
+        emit: Callable[..., None] | None = None,
+    ) -> None:
+        # config is a SchedulerConfig; typed loosely to avoid importing
+        # the plane module (which imports this package).
+        from repro.scheduler.plane import SchedulerConfig
+
+        self.config = config or SchedulerConfig(enabled=True, transport="asyncio")
+        self.core = DispatchCore(clock=self.now, emit=self._emit)
+        for cls in classes or ():
+            self.core.note_class(cls)
+        self.events: list[TransportEvent] = []
+        self.heartbeats = 0
+        self.fenced = 0
+        self.on_complete: Callable[[InvocationRequest, InvocationResult], None] | None = None
+        self.on_worker_lost: Callable[[str], None] | None = None
+        self._external_emit = emit
+        self._server: asyncio.AbstractServer | None = None
+        self._monitor_task: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._t0 = 0.0
+        self._epochs: dict[str, int] = {}
+        self._futures: dict[str, asyncio.Future] = {}
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._seq = 0
+        self._running = False
+        self.core.on_complete = self._resolve
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self._running = True
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> dict[str, int]:
+        """Stop listening and report what was still pending, with the
+        parked subset broken out (same contract as the sim plane)."""
+        report = self.core.stop_report()
+        if not self._running:
+            return report
+        self._running = False
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        await asyncio.sleep(0)
+        return report
+
+    def now(self) -> float:
+        if self._loop is None:
+            return 0.0
+        return self._loop.time() - self._t0
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, request: InvocationRequest) -> "asyncio.Future[InvocationResult]":
+        """Accept one invocation; the future resolves on delivery."""
+        assert self._loop is not None, "server not started"
+        future: asyncio.Future = self._loop.create_future()
+        self._futures[request.request_id] = future
+        self.core.submit(request)
+        return future
+
+    def _resolve(self, request: InvocationRequest, result: InvocationResult) -> None:
+        future = self._futures.pop(request.request_id, None)
+        if future is not None and not future.done():
+            future.set_result(result)
+        if self.on_complete is not None:
+            self.on_complete(request, result)
+
+    def on_deploy(self, cls: str) -> None:
+        """A class was (re)deployed: install it on every live worker."""
+        self.core.note_class(cls)
+        for _, worker in sorted(self.core.workers.items()):
+            if not worker.machine.is_dead:
+                worker.send(Install(cls=cls))  # type: ignore[attr-defined]
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        decoder = FrameDecoder()
+        worker: RemoteWorker | None = None
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for message in decoder.feed(data):
+                    if worker is None:
+                        worker = self._register(message, writer)
+                        if worker is None:
+                            return  # rejected; frame already sent
+                    else:
+                        self._on_message(worker, message)
+        except (ConnectionError, TransportError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            if worker is not None:
+                self._connection_lost(worker)
+
+    def _register(
+        self, message: Message, writer: asyncio.StreamWriter
+    ) -> RemoteWorker | None:
+        if not isinstance(message, Register):
+            writer.write(
+                encode_frame(
+                    RegisterAck(
+                        worker="?", epoch=-1, error="expected register first"
+                    )
+                )
+            )
+            writer.close()
+            return None
+        name = message.worker
+        current = self.core.workers.get(name)
+        if current is not None and not current.machine.is_dead:
+            writer.write(
+                encode_frame(
+                    RegisterAck(
+                        worker=name,
+                        epoch=-1,
+                        error=f"worker {name!r} is already registered",
+                    )
+                )
+            )
+            writer.close()
+            return None
+        epoch = self._epochs.get(name, 0) + 1
+        self._epochs[name] = epoch
+        worker = RemoteWorker(self, name, epoch, writer, node=message.node)
+        self.core.add_worker(worker)
+        self._emit("scheduler.register", worker=name, node=worker.node)
+        worker.send(
+            RegisterAck(
+                worker=name, epoch=epoch, classes=tuple(self.core.deployed_classes())
+            )
+        )
+        return worker
+
+    def _fenced(self, worker: RemoteWorker, epoch: int) -> bool:
+        """Is a message from this connection speaking for a fenced past?"""
+        if (
+            self.core.workers.get(worker.name) is not worker
+            or worker.machine.is_dead
+            or epoch != worker.epoch
+        ):
+            self.fenced += 1
+            return True
+        return False
+
+    def _on_message(self, worker: RemoteWorker, message: Message) -> None:
+        if isinstance(message, Ready):
+            if self._fenced(worker, message.epoch):
+                return
+            worker.machine.transition(WorkerState.READY, self.now(), "activated")
+            worker.last_beat = self.now()
+            self._emit("scheduler.ready", worker=worker.name, node=worker.node)
+            self.core.flush_unassigned()
+        elif isinstance(message, Heartbeat):
+            if self._fenced(worker, message.epoch):
+                return
+            worker.last_beat = self.now()
+            worker.heartbeats_sent += 1
+            self.heartbeats += 1
+            if worker.machine.state is WorkerState.DEGRADED:
+                worker.machine.transition(
+                    WorkerState.READY, self.now(), "heartbeat-resumed"
+                )
+                self._emit("scheduler.recovered", worker=worker.name)
+                self.core.flush_unassigned()
+        elif isinstance(message, InstallAck):
+            if self._fenced(worker, message.epoch):
+                return
+            worker.installed.add(message.cls)
+            self._emit("scheduler.install", worker=worker.name, cls=message.cls)
+            if worker.machine.is_dispatchable:
+                self.core.flush_unassigned()
+        elif isinstance(message, Executing):
+            if self._fenced(worker, message.epoch):
+                return
+            if message.request_id in worker.items:
+                worker.executing.add(message.request_id)
+        elif isinstance(message, Complete):
+            self._on_complete_msg(worker, message)
+        elif isinstance(message, Drained):
+            if self._fenced(worker, message.epoch):
+                return
+            self._retire(worker, "drained")
+
+    def _on_complete_msg(self, worker: RemoteWorker, message: Complete) -> None:
+        if self._fenced(worker, message.epoch):
+            # A zombie connection the scheduler already declared dead:
+            # its item was requeued when the epoch was fenced, so
+            # completing it here would wrongly close a redispatched
+            # entry.  Drop silently, exactly like the sim work loop.
+            return
+        item = worker.items.pop(message.request_id, None)
+        worker.executing.discard(message.request_id)
+        if item is not None:
+            worker.completed_count += 1
+            request = item.request
+        else:
+            # The item is no longer tracked on this port — a duplicate
+            # Complete, or a queued item rebound away that the client
+            # had already pulled.  The ledger still decides: first
+            # completion wins, later ones emit ``scheduler.suppressed``.
+            entry = self.core.ledger.entry(message.request_id)
+            if entry is None:
+                return  # never accepted here: bogus frame
+            request = entry.request
+        result = InvocationResult(
+            request_id=request.request_id,
+            cls=request.cls or "",
+            object_id=request.object_id,
+            fn_name=request.fn_name,
+            ok=message.ok,
+            output=dict(message.output),
+            error=message.error,
+            error_type=message.error_type,
+        )
+        self.core.complete(worker.name, request, result)
+
+    def _connection_lost(self, worker: RemoteWorker) -> None:
+        if worker.retired or worker.machine.is_dead:
+            return
+        self._crash(worker, "connection-lost")
+
+    # -- failure handling ----------------------------------------------------
+
+    def _crash(self, worker: RemoteWorker, reason: str) -> None:
+        # Fence FIRST: anything the old connection says after this
+        # carries a stale epoch and is discarded.
+        worker.epoch += 1
+        self._epochs[worker.name] = max(self._epochs[worker.name], worker.epoch)
+        held = worker.take_all()
+        worker.machine.transition(WorkerState.DEAD, self.now(), reason)
+        self._emit(
+            "scheduler.dead", worker=worker.name, reason=reason, requeued=len(held)
+        )
+        self.core.reroute(worker.name, held)
+        if self.on_worker_lost is not None:
+            self.on_worker_lost(worker.name)
+
+    def crash_worker(self, name: str, reason: str = "crash") -> bool:
+        """Declare ``name`` dead now and sever its connection."""
+        worker = self.core.workers.get(name)
+        if worker is None or worker.machine.is_dead:
+            return False
+        assert isinstance(worker, RemoteWorker)
+        self._crash(worker, reason)
+        worker.writer.close()
+        return True
+
+    def drain(self, name: str) -> None:
+        """Gracefully retire ``name``: hand queued work to peers, tell
+        the worker to finish in-flight and report drained."""
+        worker = self.core.workers.get(name)
+        if worker is None:
+            raise SchedulingError(f"unknown worker {name!r}")
+        assert isinstance(worker, RemoteWorker)
+        if worker.machine.state is WorkerState.DRAINING:
+            return
+        if not worker.machine.can_transition(WorkerState.DRAINING):
+            raise SchedulingError(
+                f"worker {name!r} cannot drain from {worker.state.value}"
+            )
+        worker.machine.transition(WorkerState.DRAINING, self.now(), "drain")
+        self._emit("scheduler.draining", worker=name)
+        moved = self.core.reroute(name, worker.take_queue())
+        if moved:
+            self._emit(
+                "scheduler.rebind", worker=name, moved=moved, reason="drain-handoff"
+            )
+        worker.send(DrainCmd())
+
+    def _retire(self, worker: RemoteWorker, reason: str) -> None:
+        worker.retired = True
+        worker.machine.transition(WorkerState.DEAD, self.now(), reason)
+        self._emit("scheduler.dead", worker=worker.name, reason=reason, requeued=0)
+        worker.writer.close()
+
+    # -- health monitoring ---------------------------------------------------
+
+    async def _monitor(self) -> None:
+        interval = self.config.heartbeat_interval_s
+        while self._running:
+            await asyncio.sleep(interval)
+            if not self._running:
+                return
+            now = self.now()
+            for name in sorted(self.core.workers):
+                worker = self.core.workers[name]
+                assert isinstance(worker, RemoteWorker)
+                if worker.machine.state not in (
+                    WorkerState.READY,
+                    WorkerState.DEGRADED,
+                ):
+                    continue
+                silent_for = now - worker.last_beat
+                if silent_for >= self.config.dead_after_misses * interval:
+                    self.crash_worker(name, reason="heartbeat-timeout")
+                elif (
+                    worker.machine.state is WorkerState.READY
+                    and silent_for >= self.config.degraded_after_misses * interval
+                ):
+                    self._degrade(worker)
+
+    def _degrade(self, worker: RemoteWorker) -> None:
+        worker.machine.transition(
+            WorkerState.DEGRADED, self.now(), "missed-heartbeats"
+        )
+        self._emit("scheduler.degraded", worker=worker.name)
+        if self.config.rebind_on_degraded:
+            moved = self.core.reroute(worker.name, worker.take_queue())
+            if moved:
+                self._emit(
+                    "scheduler.rebind",
+                    worker=worker.name,
+                    moved=moved,
+                    reason="degraded",
+                )
+
+    # -- observability -------------------------------------------------------
+
+    def describe_workers(self) -> list[dict[str, Any]]:
+        return [
+            self.core.workers[name].describe()  # type: ignore[attr-defined]
+            for name in sorted(self.core.workers)
+        ]
+
+    def stats(self) -> dict[str, Any]:
+        audit = self.core.ledger.audit()
+        return {
+            "workers": self.describe_workers(),
+            "ledger": audit,
+            "dispatched": self.core.dispatched,
+            "delivered": self.core.delivered,
+            "heartbeats": self.heartbeats,
+            "fenced": self.fenced,
+            "parked": self.core.parked,
+            "parked_total": self.core.parked_total,
+            "registrations": len(self.core.registrations),
+            "live_workers": self.core.live_workers,
+        }
+
+    def _emit(self, type: str, **fields: Any) -> None:
+        self.events.append(
+            TransportEvent(seq=self._seq, at=self.now(), type=type, fields=fields)
+        )
+        self._seq += 1
+        if self._external_emit is not None:
+            self._external_emit(type, **fields)
+
+
+class AsyncWorkerClient:
+    """The worker side of the protocol: one process (task) per worker.
+
+    ``executor`` is an async callable ``(dispatch: Dispatch, client) ->
+    dict`` returning result fields (``ok``, ``output``, ``error``,
+    ``error_type``); the HTTP front end plugs the real invocation
+    engine in here, tests plug in sleeps and failures."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        executor: Callable[[Dispatch, "AsyncWorkerClient"], Awaitable[dict]],
+        *,
+        heartbeat_interval_s: float = 0.5,
+        install_delay_s: float = 0.0,
+        node: str | None = None,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.executor = executor
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.install_delay_s = install_delay_s
+        self.node = node
+        self.epoch = -1
+        self.installed: set[str] = set()
+        self.slow_factor = 1.0
+        self.completed = 0
+        self.draining = False
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._queue: asyncio.Queue[Dispatch | None] = asyncio.Queue()
+        self._in_flight: Dispatch | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._suppress_until = -1.0
+        self._done = asyncio.Event()
+        self._registered = asyncio.Event()
+        self._register_error: str | None = None
+
+    async def connect(self) -> None:
+        """Open the connection, register, install, report ready, and
+        start the heartbeat + work loops.  Raises ``SchedulingError``
+        if the scheduler rejects the registration."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._send(Register(worker=self.name, node=self.node))
+        self._tasks.append(asyncio.ensure_future(self._read_loop()))
+        await self._registered.wait()
+        if self._register_error is not None:
+            await self.close()
+            raise SchedulingError(self._register_error)
+        self._tasks.append(asyncio.ensure_future(self._heartbeat_loop()))
+        self._tasks.append(asyncio.ensure_future(self._work_loop()))
+
+    # -- scheduler-facing ----------------------------------------------------
+
+    def kill(self) -> None:
+        """Crash: abort the transport with no goodbye.  The scheduler
+        sees a connection drop and fences this registration's epoch."""
+        for task in self._tasks:
+            task.cancel()
+        if self._writer is not None:
+            transport = self._writer.transport
+            if transport is not None:
+                transport.abort()
+        self._done.set()
+
+    async def close(self) -> None:
+        """Graceful local teardown (tests); not a protocol drain."""
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._writer is not None:
+            self._writer.close()
+        self._done.set()
+
+    async def wait_done(self) -> None:
+        await self._done.wait()
+
+    def suppress_heartbeats(self, duration_s: float) -> None:
+        loop = asyncio.get_running_loop()
+        self._suppress_until = loop.time() + duration_s
+
+    # -- protocol loops ------------------------------------------------------
+
+    def _send(self, message: Message) -> None:
+        if self._writer is None or self._writer.is_closing():
+            return
+        self._writer.write(encode_frame(message))
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for message in decoder.feed(data):
+                    self._on_message(message)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if not self._registered.is_set():
+                self._register_error = "connection closed during registration"
+                self._registered.set()
+            self._done.set()
+
+    def _on_message(self, message: Message) -> None:
+        if isinstance(message, RegisterAck):
+            if message.error is not None:
+                self._register_error = message.error
+                self._registered.set()
+                return
+            self.epoch = message.epoch
+            self._registered.set()
+            self._tasks.append(
+                asyncio.ensure_future(self._startup(list(message.classes)))
+            )
+        elif isinstance(message, Dispatch):
+            if not self.draining:
+                self._queue.put_nowait(message)
+        elif isinstance(message, Install):
+            self._tasks.append(
+                asyncio.ensure_future(self._install(message.cls))
+            )
+        elif isinstance(message, DrainCmd):
+            self.draining = True
+            # Drop queued-but-unstarted items: the scheduler rebound
+            # them to peers before sending the drain.
+            while not self._queue.empty():
+                self._queue.get_nowait()
+            self._queue.put_nowait(None)
+
+    async def _startup(self, classes: list[str]) -> None:
+        for cls in classes:
+            await self._install(cls)
+        self._send(Ready(worker=self.name, epoch=self.epoch))
+
+    async def _install(self, cls: str) -> None:
+        if cls in self.installed:
+            return
+        if self.install_delay_s:
+            await asyncio.sleep(self.install_delay_s)
+        self.installed.add(cls)
+        self._send(InstallAck(worker=self.name, epoch=self.epoch, cls=cls))
+
+    async def _heartbeat_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.heartbeat_interval_s)
+            if loop.time() < self._suppress_until:
+                continue
+            self._send(Heartbeat(worker=self.name, epoch=self.epoch))
+
+    async def _work_loop(self) -> None:
+        while True:
+            dispatch = await self._queue.get()
+            if dispatch is None:  # drain sentinel
+                self._send(Drained(worker=self.name, epoch=self.epoch))
+                if self._writer is not None:
+                    await self._writer.drain()
+                self._done.set()
+                return
+            self._in_flight = dispatch
+            self._send(
+                Executing(
+                    worker=self.name,
+                    epoch=self.epoch,
+                    request_id=dispatch.request_id,
+                )
+            )
+            try:
+                fields = await self.executor(dispatch, self)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # an executor bug, not a protocol event
+                fields = {
+                    "ok": False,
+                    "error": str(exc),
+                    "error_type": type(exc).__name__,
+                }
+            self._in_flight = None
+            self.completed += 1
+            self._send(
+                Complete(
+                    worker=self.name,
+                    epoch=dispatch.epoch,
+                    request_id=dispatch.request_id,
+                    ok=bool(fields.get("ok", True)),
+                    output=dict(fields.get("output", {})),
+                    error=fields.get("error"),
+                    error_type=fields.get("error_type"),
+                )
+            )
+            if self.draining and self._queue.empty():
+                self._queue.put_nowait(None)

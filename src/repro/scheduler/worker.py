@@ -23,11 +23,11 @@ discards its result instead of reporting a second completion.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.invoker.request import InvocationRequest, InvocationResult
+from repro.invoker.request import InvocationResult
 from repro.scheduler.state import WorkerState, WorkerStateMachine
+from repro.scheduler.transport.core import DispatchItem
 from repro.sim.kernel import Environment, Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,15 +35,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scheduler.plane import SchedulerPlane
 
 __all__ = ["DispatchItem", "SimWorker"]
-
-
-@dataclass(frozen=True)
-class DispatchItem:
-    """One invocation handed to a worker, fenced by its epoch."""
-
-    request: InvocationRequest
-    epoch: int
-    dispatched_at: float
 
 
 class SimWorker:
@@ -72,6 +63,7 @@ class SimWorker:
         self.completed_count = 0
         self.slow_factor = 1.0
         self.registered_at = env.now
+        self._halted = False
         self._suppress_until = -1.0
         self._pending_classes: deque[str] = deque(plane.deployed_classes())
         self._wake: Event | None = None
@@ -144,6 +136,13 @@ class SimWorker:
         self._wake_up()
         return dropped
 
+    def halt(self) -> None:
+        """Plane shutdown: end this worker's processes at their next
+        scheduling point without emitting events or changing state, so
+        nothing of the plane stays scheduled on the kernel."""
+        self._halted = True
+        self._wake_up()
+
     def suppress_heartbeats(self, duration_s: float) -> None:
         self._suppress_until = self.env.now + duration_s
 
@@ -159,10 +158,10 @@ class SimWorker:
     def _activate(self) -> Generator:
         if self.config.register_delay_s:
             yield self.env.timeout(self.config.register_delay_s)
-        while self._pending_classes:
+        while self._pending_classes and not self._halted:
             cls = self._pending_classes.popleft()
             yield from self._install(cls)
-        if self.machine.state is WorkerState.REGISTERED:
+        if self.machine.state is WorkerState.REGISTERED and not self._halted:
             self.plane.on_worker_ready(self)
 
     def _install_one(self, cls: str) -> Generator:
@@ -175,15 +174,15 @@ class SimWorker:
             yield self.env.timeout(self.config.install_delay_s)
         else:
             yield self.env.timeout(0)
-        if self.machine.is_dead or cls in self.installed:
+        if self.machine.is_dead or self._halted or cls in self.installed:
             return
         self.installed.add(cls)
         self.plane.on_worker_installed(self, cls)
 
     def _heartbeat_loop(self) -> Generator:
-        while not self.machine.is_dead:
+        while not self.machine.is_dead and not self._halted:
             yield self.env.timeout(self.config.heartbeat_interval_s)
-            if self.machine.is_dead:
+            if self.machine.is_dead or self._halted:
                 return
             if self.env.now < self._suppress_until:
                 continue
@@ -192,7 +191,7 @@ class SimWorker:
 
     def _work_loop(self) -> Generator:
         while True:
-            if self.machine.is_dead:
+            if self.machine.is_dead or self._halted:
                 return
             if not self.queue:
                 if (
@@ -212,6 +211,8 @@ class SimWorker:
                 yield self.env.timeout(overhead)
             result: InvocationResult = yield self.plane.engine.invoke(item.request)
             self.in_flight = None
+            if self._halted:
+                return
             if self.machine.is_dead or item.epoch != self.epoch:
                 # Fenced: the scheduler requeued this item when it
                 # declared us dead; a redispatched attempt owns it now.

@@ -1,0 +1,79 @@
+"""Conformance over the real asyncio transport.
+
+The same named scenarios and a band of seeded interleavings as the sim
+suite, replayed through :func:`tests.conformance.aio.run_scenario_asyncio`
+— real TCP connections, real connection-drop crashes, real heartbeat
+timeouts — and checked against the same invariants: exactly-once
+completion, dispatch-only-to-READY, monotone worker histories, and
+ledger conservation.
+
+Gated behind ``--asyncio-transport`` because every scenario runs on the
+wall clock (a few seconds each, vs milliseconds in the sim).  The sim
+suite's byte-identical-replay check has no analogue here: real
+interleavings are nondeterministic, which is precisely the coverage this
+variant adds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduler import WorkerState
+
+from tests.conformance.aio import describe, run_scenario_asyncio
+from tests.conformance.dsl import check_all, check_exactly_once, random_scenario
+from tests.conformance.test_conformance import NAMED_SCENARIOS
+
+pytestmark = pytest.mark.asyncio_transport
+
+
+@pytest.mark.parametrize(
+    "scenario", NAMED_SCENARIOS, ids=[s.name for s in NAMED_SCENARIOS]
+)
+def test_named_scenario_invariants_over_asyncio(scenario):
+    result = run_scenario_asyncio(scenario)
+    problems = check_all(result)
+    assert problems == [], f"{problems}\n{describe(result)}"
+
+
+def test_connection_drop_crash_requeues_over_asyncio():
+    # crash-in-flight: two workers killed by severing their TCP
+    # connections right after a 20-invocation burst.
+    result = run_scenario_asyncio(NAMED_SCENARIOS[2])
+    assert result.audit["requeues"] > 0, describe(result)
+    assert check_exactly_once(result) == []
+    reasons = {
+        e.fields["reason"] for e in result.events if e.type == "scheduler.dead"
+    }
+    assert "connection-lost" in reasons
+
+
+def test_heartbeat_loss_escalates_to_dead_over_asyncio():
+    result = run_scenario_asyncio(NAMED_SCENARIOS[3])
+    assert result.delivered == result.audit["completed"]
+    dead = [
+        e
+        for e in result.events
+        if e.type == "scheduler.dead"
+        and e.fields.get("reason") == "heartbeat-timeout"
+    ]
+    assert dead, f"heartbeat loss never escalated\n{describe(result)}"
+
+
+def test_drain_handshake_retires_worker_over_asyncio():
+    result = run_scenario_asyncio(NAMED_SCENARIOS[1])
+    drained = [r for r in result.workers if r.name == "worker-0"]
+    assert drained and drained[0].final_state == WorkerState.DEAD.value
+    states = [t.target for t in drained[0].machine.history]
+    assert WorkerState.DRAINING in states
+    assert check_exactly_once(result) == []
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_interleaving_invariants_over_asyncio(seed):
+    result = run_scenario_asyncio(random_scenario(seed))
+    problems = check_all(result)
+    assert problems == [], (
+        f"seed {seed} violated invariants over asyncio: {problems}\n"
+        f"{describe(result)}"
+    )

@@ -8,6 +8,8 @@ Suite options:
 
 * ``--chaos`` — run the heavier chaos-marked conformance variants
   (skipped by default to keep the tier-1 wall clock tight).
+* ``--asyncio-transport`` — run the conformance scenarios over the real
+  asyncio TCP transport (wall-clock timing, so slower than the sim).
 * ``--shuffle`` / ``--shuffle-seed N`` — run the collected tests in a
   seeded random order.  CI runs a shuffled pass so hidden test-order
   coupling (module-level shared state leaking between tests) fails
@@ -42,6 +44,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="run the heavier chaos-marked conformance variants",
     )
     parser.addoption(
+        "--asyncio-transport",
+        action="store_true",
+        default=False,
+        help="run conformance scenarios over the real asyncio transport",
+    )
+    parser.addoption(
         "--shuffle",
         action="store_true",
         default=False,
@@ -63,6 +71,11 @@ def pytest_collection_modifyitems(
         for item in items:
             if "chaos" in item.keywords:
                 item.add_marker(skip_chaos)
+    if not config.getoption("--asyncio-transport"):
+        skip_aio = pytest.mark.skip(reason="needs --asyncio-transport")
+        for item in items:
+            if "asyncio_transport" in item.keywords:
+                item.add_marker(skip_aio)
     if config.getoption("--shuffle"):
         random.Random(config.getoption("--shuffle-seed")).shuffle(items)
 

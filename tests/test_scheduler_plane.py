@@ -304,3 +304,94 @@ class TestExactlyOnceProperty:
         scenario = Scenario(name="hypothesis", steps=tuple(steps))
         result = run_scenario(scenario)
         assert check_exactly_once(result) == [], result.skipped_steps
+
+
+LATE_YAML = """
+name: late-app
+classes:
+  - name: Late
+    keySpecs: [{name: n, type: INT, default: 0}]
+    functions:
+      - name: bump
+        image: s/bump
+"""
+
+
+class TestBugfixSweep:
+    """Regressions for the scheduler-plane bugfix sweep (PR 8)."""
+
+    def test_unknown_class_parks_until_deploy(self):
+        """A submit racing ``on_deploy`` must park, not dispatch to a
+        worker that never installed the class."""
+        from repro.invoker.request import InvocationRequest
+
+        platform = sched_platform()
+        plane = platform.scheduler_plane
+        request = InvocationRequest(
+            object_id="Late~r0", fn_name="bump", cls="Late"
+        )
+        plane.submit(request)
+        platform.advance(1.0)
+        # Parked, not dispatched: no worker ever saw it.
+        assert plane.core.parked == 1
+        # Cumulative: every flush attempt that re-parks counts.
+        assert plane.parked_total >= 1
+        assert plane.ledger.entry(request.request_id).state.value == "ACCEPTED"
+        assert all(
+            w.dispatched_count == 0 for w in plane.workers.values()
+        )
+        # The deploy lands; the parked request flushes and completes.
+        platform.deploy(LATE_YAML)
+        platform.new_object("Late", object_id="r0")
+        platform.advance(2.0)
+        assert plane.core.parked == 0
+        entry = plane.ledger.entry(request.request_id)
+        assert entry.state.value == "COMPLETED"
+        platform.shutdown()
+
+    def test_chaos_seam_guards_consistent_on_dead_workers(self):
+        """clear_worker_slow must refuse dead workers exactly like
+        set_worker_slow and resume_heartbeats."""
+        platform = sched_platform()
+        platform.advance(0.5)
+        plane = platform.scheduler_plane
+        assert plane.set_worker_slow("worker-0", 3.0) is True
+        assert plane.clear_worker_slow("worker-0") is True
+        plane.crash_worker("worker-0", reason="test")
+        assert plane.set_worker_slow("worker-0", 3.0) is False
+        assert plane.resume_heartbeats("worker-0") is False
+        assert plane.suppress_heartbeats("worker-0", 1.0) is False
+        assert plane.clear_worker_slow("worker-0") is False
+        assert plane.clear_worker_slow("no-such-worker") is False
+        platform.shutdown()
+
+    def test_stop_reports_parked_and_halts_workers(self):
+        """stop() must mirror ConsumerGroup.stop()'s report shape and
+        leave no worker processes running on the kernel."""
+        from repro.invoker.request import InvocationRequest
+
+        platform = sched_platform()
+        obj = platform.new_object("Task", object_id="t-0")
+        for _ in range(3):
+            platform.invoke_async(obj, "bump")
+        platform.advance(2.0)
+        plane = platform.scheduler_plane
+        plane.submit(
+            InvocationRequest(object_id="Late~r1", fn_name="bump", cls="Late")
+        )
+        report = plane.stop()
+        assert report == {"pending": 1, "parked": 1}
+        # Idempotent: a second stop (shutdown calls it again) re-reports.
+        assert plane.stop() == {"pending": 1, "parked": 1}
+        # Halted: no heartbeat/work-loop activity after stop, ever.
+        beats = plane.heartbeats
+        sent = [w.heartbeats_sent for w in plane.workers.values()]
+        platform.advance(5.0)
+        assert plane.heartbeats == beats
+        assert [w.heartbeats_sent for w in plane.workers.values()] == sent
+        platform.shutdown()
+
+    def test_transport_config_validated(self):
+        with pytest.raises(ValidationError):
+            SchedulerConfig(enabled=True, transport="carrier-pigeon")
+        assert SchedulerConfig(enabled=True, transport="asyncio").transport == "asyncio"

@@ -1,0 +1,518 @@
+"""Tests for the real asyncio scheduler/worker transport: registration,
+dispatch/complete round trips, connection-drop crashes with epoch
+fencing, stale/duplicate completions, drain, and the HTTP front end.
+
+All asyncio here is driven through ``asyncio.run`` inside sync tests so
+the suite needs no pytest plugin.  Wall-clock timings are generous
+multiples of the heartbeat interval — the assertions are about protocol
+invariants, never about exact timing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.invoker.request import InvocationRequest
+from repro.scheduler.plane import SchedulerConfig
+from repro.scheduler.transport.aio import AsyncSchedulerServer, AsyncWorkerClient
+from repro.scheduler.transport.protocol import (
+    Complete,
+    Dispatch,
+    FrameDecoder,
+    InstallAck,
+    Message,
+    Ready,
+    Register,
+    RegisterAck,
+    encode_frame,
+)
+
+CONFIG = SchedulerConfig(
+    enabled=True,
+    transport="asyncio",
+    pool_size=2,
+    heartbeat_interval_s=0.05,
+    degraded_after_misses=2,
+    dead_after_misses=4,
+)
+
+
+async def start_server(classes=("C",)) -> AsyncSchedulerServer:
+    server = AsyncSchedulerServer(config=CONFIG, classes=list(classes))
+    await server.start()
+    return server
+
+
+def echo_executor(delay_s: float = 0.0):
+    async def executor(dispatch: Dispatch, client: AsyncWorkerClient) -> dict:
+        if delay_s:
+            await asyncio.sleep(delay_s * client.slow_factor)
+        return {"ok": True, "output": {"fn": dispatch.fn_name}}
+
+    return executor
+
+
+async def connect_worker(
+    server: AsyncSchedulerServer, name: str, executor=None
+) -> AsyncWorkerClient:
+    client = AsyncWorkerClient(
+        name,
+        "127.0.0.1",
+        server.port,
+        executor or echo_executor(),
+        heartbeat_interval_s=CONFIG.heartbeat_interval_s,
+    )
+    await client.connect()
+    return client
+
+
+async def wait_for(predicate, timeout_s: float = 5.0, message: str = "condition"):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while loop.time() < deadline:
+        if predicate():
+            return
+        await asyncio.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def request_for(suffix: str) -> InvocationRequest:
+    return InvocationRequest(object_id=f"C~{suffix}", fn_name="f", cls="C")
+
+
+class RawWorker:
+    """A hand-rolled protocol speaker for adversarial server tests."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.epoch = -1
+        self.inbox: asyncio.Queue[Message] = asyncio.Queue()
+        self._reader = None
+        self._writer = None
+        self._task = None
+
+    async def connect(self, port: int) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            "127.0.0.1", port
+        )
+        self.send(Register(worker=self.name))
+        self._task = asyncio.ensure_future(self._pump())
+        ack = await self.recv(RegisterAck)
+        if ack.error is not None:
+            raise SchedulingError(ack.error)
+        self.epoch = ack.epoch
+        for cls in ack.classes:
+            self.send(InstallAck(worker=self.name, epoch=self.epoch, cls=cls))
+        self.send(Ready(worker=self.name, epoch=self.epoch))
+
+    async def _pump(self) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    return
+                for message in decoder.feed(data):
+                    self.inbox.put_nowait(message)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    def send(self, message: Message) -> None:
+        self._writer.write(encode_frame(message))
+
+    async def recv(self, kind, timeout_s: float = 5.0):
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while loop.time() < deadline:
+            try:
+                message = await asyncio.wait_for(self.inbox.get(), 0.25)
+            except asyncio.TimeoutError:
+                continue
+            if isinstance(message, kind):
+                return message
+        raise AssertionError(f"no {kind.__name__} frame arrived")
+
+    async def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+        await asyncio.sleep(0)
+
+
+class TestRoundTrip:
+    def test_register_dispatch_complete(self):
+        async def scenario():
+            server = await start_server()
+            workers = [
+                await connect_worker(server, f"w-{i}", echo_executor(0.002))
+                for i in range(2)
+            ]
+            await wait_for(
+                lambda: server.core.live_workers == 2
+                and all(
+                    w.machine.is_dispatchable for w in server.core.workers.values()
+                ),
+                message="pool ready",
+            )
+            futures = [server.submit(request_for(str(i))) for i in range(10)]
+            results = await asyncio.wait_for(asyncio.gather(*futures), 10)
+            assert all(r.ok for r in results)
+            assert server.core.ledger.audit() == {
+                "accepted": 10,
+                "completed": 10,
+                "outstanding": 0,
+                "requeues": 0,
+                "suppressed": 0,
+            }
+            types = [e.type for e in server.events]
+            assert types.count("scheduler.register") == 2
+            assert types.count("scheduler.ready") == 2
+            assert types.count("scheduler.dispatch") == 10
+            assert types.count("scheduler.complete") == 10
+            for worker in workers:
+                await worker.close()
+            assert await server.stop() == {"pending": 0, "parked": 0}
+
+        asyncio.run(scenario())
+
+    def test_duplicate_registration_rejected(self):
+        async def scenario():
+            server = await start_server()
+            first = await connect_worker(server, "w-0")
+            with pytest.raises(SchedulingError, match="already registered"):
+                await connect_worker(server, "w-0")
+            # The rejection must not have crashed the live registration.
+            assert server.core.live_workers == 1
+            await first.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_unknown_class_parks_until_deploy(self):
+        async def scenario():
+            server = await start_server(classes=())
+            worker = await connect_worker(server, "w-0")
+            await wait_for(lambda: server.core.live_workers == 1)
+            future = server.submit(
+                InvocationRequest(object_id="Late~a", fn_name="f", cls="Late")
+            )
+            await asyncio.sleep(0.1)
+            assert server.core.parked == 1 and not future.done()
+            server.on_deploy("Late")  # install + flush
+            result = await asyncio.wait_for(future, 5)
+            assert result.ok
+            await worker.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestConnectionDropCrash:
+    def test_mid_dispatch_drop_fences_and_requeues(self):
+        """The satellite edge case: a connection drop while the worker
+        is mid-execution must fence its epoch and requeue the item, and
+        the redispatched attempt completes exactly once."""
+
+        async def scenario():
+            server = await start_server()
+            hold = asyncio.Event()
+
+            async def sticky(dispatch: Dispatch, client: AsyncWorkerClient) -> dict:
+                if client.name == "victim":
+                    await hold.wait()  # never released: the crash wins
+                return {"ok": True, "output": {}}
+
+            victim = await connect_worker(server, "victim", sticky)
+            backup = await connect_worker(server, "backup", sticky)
+            await wait_for(
+                lambda: all(
+                    w.machine.is_dispatchable for w in server.core.workers.values()
+                )
+            )
+            # Find an object the victim owns under rendezvous hashing.
+            suffix = next(
+                s
+                for s in (f"o{i}" for i in range(64))
+                if server.core.pick(request_for(s)).name == "victim"
+            )
+            request = request_for(suffix)
+            future = server.submit(request)
+            port = server.core.workers["victim"]
+            await wait_for(
+                lambda: request.request_id in port.executing,
+                message="victim executing",
+            )
+            epoch_before = port.epoch
+            victim.kill()  # real connection drop, no goodbye
+            result = await asyncio.wait_for(future, 10)
+            assert result.ok
+            assert port.epoch == epoch_before + 1  # fenced
+            assert port.machine.is_dead
+            audit = server.core.ledger.audit()
+            assert audit["requeues"] == 1
+            assert audit["completed"] == 1 and audit["outstanding"] == 0
+            dead = [e for e in server.events if e.type == "scheduler.dead"]
+            assert dead and dead[0].fields["reason"] == "connection-lost"
+            assert dead[0].fields["requeued"] == 1
+            await backup.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_heartbeat_timeout_crashes_zombie(self):
+        async def scenario():
+            server = await start_server()
+            zombie = await connect_worker(server, "zombie")
+            spare = await connect_worker(server, "spare")
+            await wait_for(
+                lambda: all(
+                    w.machine.is_dispatchable for w in server.core.workers.values()
+                )
+            )
+            zombie.suppress_heartbeats(30.0)
+            await wait_for(
+                lambda: server.core.workers["zombie"].machine.is_dead,
+                message="zombie declared dead",
+            )
+            reasons = [
+                e.fields["reason"]
+                for e in server.events
+                if e.type == "scheduler.dead"
+            ]
+            assert "heartbeat-timeout" in reasons
+            # Submissions keep flowing through the survivor.
+            result = await asyncio.wait_for(server.submit(request_for("x")), 10)
+            assert result.ok
+            await spare.close()
+            await zombie.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_lost_worker_can_rejoin_with_fresh_epoch(self):
+        async def scenario():
+            server = await start_server()
+            first = await connect_worker(server, "w-0")
+            await wait_for(lambda: server.core.live_workers == 1)
+            first_epoch = server.core.workers["w-0"].epoch
+            first.kill()
+            await wait_for(lambda: server.core.live_workers == 0)
+            second = await connect_worker(server, "w-0")
+            await wait_for(
+                lambda: server.core.live_workers == 1
+                and server.core.workers["w-0"].machine.is_dispatchable
+            )
+            assert server.core.workers["w-0"].epoch > first_epoch
+            assert len(server.core.registrations) == 2
+            result = await asyncio.wait_for(server.submit(request_for("y")), 10)
+            assert result.ok
+            await second.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestFencingAndDuplicates:
+    def test_same_epoch_duplicate_complete_suppressed(self):
+        """A duplicate completion over the same registration is
+        suppressed by the ledger exactly like the sim path, emitting
+        ``scheduler.suppressed``."""
+
+        async def scenario():
+            server = await start_server()
+            raw = RawWorker("raw-0")
+            await raw.connect(server.port)
+            await wait_for(
+                lambda: server.core.workers["raw-0"].machine.is_dispatchable
+            )
+            request = request_for("dup")
+            future = server.submit(request)
+            dispatch = await raw.recv(Dispatch)
+            done = Complete(
+                worker="raw-0",
+                epoch=dispatch.epoch,
+                request_id=dispatch.request_id,
+                ok=True,
+            )
+            raw.send(done)
+            raw.send(done)  # the duplicate
+            result = await asyncio.wait_for(future, 10)
+            assert result.ok
+            await wait_for(
+                lambda: server.core.ledger.audit()["suppressed"] == 1,
+                message="duplicate suppressed",
+            )
+            assert server.core.delivered == 1
+            assert any(e.type == "scheduler.suppressed" for e in server.events)
+            await raw.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_stale_epoch_complete_is_fenced_silently(self):
+        """A completion carrying a fenced (old) epoch must be dropped
+        without touching the ledger — completing it would wrongly close
+        a redispatched entry."""
+
+        async def scenario():
+            server = await start_server()
+            raw = RawWorker("raw-0")
+            await raw.connect(server.port)
+            await wait_for(
+                lambda: server.core.workers["raw-0"].machine.is_dispatchable
+            )
+            request = request_for("stale")
+            future = server.submit(request)
+            dispatch = await raw.recv(Dispatch)
+            raw.send(
+                Complete(
+                    worker="raw-0",
+                    epoch=dispatch.epoch - 1,  # a fenced past
+                    request_id=dispatch.request_id,
+                    ok=True,
+                )
+            )
+            await wait_for(lambda: server.fenced >= 1, message="fence counter")
+            audit = server.core.ledger.audit()
+            assert audit["completed"] == 0 and audit["suppressed"] == 0
+            assert not future.done()
+            raw.send(
+                Complete(
+                    worker="raw-0",
+                    epoch=dispatch.epoch,
+                    request_id=dispatch.request_id,
+                    ok=True,
+                )
+            )
+            result = await asyncio.wait_for(future, 10)
+            assert result.ok and server.core.delivered == 1
+            await raw.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestDrain:
+    def test_drain_hands_off_and_retires(self):
+        async def scenario():
+            server = await start_server()
+            slow = await connect_worker(server, "w-0", echo_executor(0.01))
+            peer = await connect_worker(server, "w-1", echo_executor(0.01))
+            await wait_for(
+                lambda: all(
+                    w.machine.is_dispatchable for w in server.core.workers.values()
+                )
+            )
+            futures = [server.submit(request_for(str(i))) for i in range(8)]
+            server.drain("w-0")
+            results = await asyncio.wait_for(asyncio.gather(*futures), 10)
+            assert all(r.ok for r in results)
+            await asyncio.wait_for(slow.wait_done(), 5)  # Drained handshake
+            await wait_for(
+                lambda: server.core.workers["w-0"].machine.is_dead,
+                message="drained worker retired",
+            )
+            drained = [
+                e
+                for e in server.events
+                if e.type == "scheduler.dead" and e.fields["worker"] == "w-0"
+            ]
+            assert drained[0].fields["reason"] == "drained"
+            assert server.core.ledger.audit()["outstanding"] == 0
+            with pytest.raises(SchedulingError, match="unknown worker"):
+                server.drain("nope")
+            await slow.close()
+            await peer.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestHttpFrontEnd:
+    @staticmethod
+    async def _request(host, port, method, path, body=None):
+        import json
+
+        reader, writer = await asyncio.open_connection(host, port)
+        payload = json.dumps(body or {}).encode()
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+                f"Content-Length: {len(payload)}\r\n\r\n"
+            ).encode()
+            + payload
+        )
+        head = await reader.readuntil(b"\r\n\r\n")
+        status = int(head.split(b" ")[1])
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.partition(b":")[2])
+        data = await reader.readexactly(length)
+        writer.close()
+        return status, json.loads(data)
+
+    def test_concurrent_requests_flow_gateway_to_workers(self):
+        from tests.helpers import listing1_platform
+
+        platform = listing1_platform(
+            scheduler=SchedulerConfig(
+                enabled=True,
+                transport="asyncio",
+                pool_size=3,
+                heartbeat_interval_s=0.25,
+                degraded_after_misses=2,
+                dead_after_misses=4,
+            )
+        )
+        # The sim plane must NOT exist on the asyncio transport: the sim
+        # dispatch path stays at baseline.
+        assert platform.scheduler_plane is None
+
+        async def scenario():
+            front = await platform.serve_http()
+            host, port = front.host, front.port
+            status, body = await self._request(
+                host, port, "POST", "/api/classes/Image", {"state": {"width": 2}}
+            )
+            assert status == 201
+            object_id = body["id"]
+            results = await asyncio.gather(
+                *[
+                    self._request(
+                        host,
+                        port,
+                        "POST",
+                        f"/api/objects/{object_id}/invokes/resize",
+                        {"width": i + 1},
+                    )
+                    for i in range(12)
+                ]
+            )
+            assert [status for status, _ in results] == [200] * 12
+            status, listing = await self._request(host, port, "GET", "/api/workers")
+            assert status == 200 and listing["count"] == 3
+            assert listing["ledger"]["completed"] == 13
+            status, body = await self._request(host, port, "GET", "/api/nope")
+            assert status == 404 and body["type"] == "NoRouteError"
+            assert await front.stop() == {"pending": 0, "parked": 0}
+
+        asyncio.run(scenario())
+        platform.shutdown()
+
+    def test_serve_http_requires_asyncio_transport(self):
+        from repro.errors import ValidationError
+        from tests.helpers import make_platform
+
+        platform = make_platform(nodes=2)
+
+        async def scenario():
+            with pytest.raises(ValidationError, match="serve_http requires"):
+                await platform.serve_http()
+
+        asyncio.run(scenario())
+        platform.shutdown()
