@@ -72,12 +72,15 @@ WALL_LOWER_IS_WORSE = ("events_per_sec", "invocations_per_sec")
 WALL_HIGHER_IS_WORSE = ("peak_rss_kb",)
 
 
-def run_macro(seed: int = 0, objects: int = 6, rounds: int = 150) -> dict:
+def run_macro(
+    seed: int = 0, objects: int = 6, rounds: int = 150, backend: str = "dict"
+) -> dict:
     """One full-stack seeded run; returns the BENCH result document."""
     from repro.durability.plane import DurabilityConfig
     from repro.monitoring.plane import MetricsConfig
     from repro.platform.oparaca import Oparaca, PlatformConfig
     from repro.qos.plane import QosConfig
+    from repro.storage.backends import StorageConfig
 
     oparaca = Oparaca(
         PlatformConfig(
@@ -86,6 +89,7 @@ def run_macro(seed: int = 0, objects: int = 6, rounds: int = 150) -> dict:
             qos=QosConfig(enabled=True),
             durability=DurabilityConfig(enabled=True),
             metrics=MetricsConfig(enabled=True),
+            storage=StorageConfig(backend=backend),
         )
     )
 
@@ -155,6 +159,7 @@ def run_macro(seed: int = 0, objects: int = 6, rounds: int = 150) -> dict:
         "seed": seed,
         "objects": objects,
         "rounds": rounds,
+        "backend": backend,
         "host": {
             "platform": host_platform.platform(),
             "python": host_platform.python_version(),
@@ -188,6 +193,61 @@ def run_macro(seed: int = 0, objects: int = 6, rounds: int = 150) -> dict:
             "peak_rss_kb": int(peak_rss_kb),
         },
     }
+
+
+def run_storage_dimension(seed: int = 0, objects: int = 120, queries: int = 30) -> dict:
+    """The storage-backend dimension: the same seeded corpus and range
+    queries over every engine, so the BENCH file records what declaring
+    keySpecs buys (indexed scans examine fewer documents and are billed
+    fewer work units) alongside the wall cost of each engine."""
+    from repro.platform.oparaca import Oparaca, PlatformConfig
+    from repro.storage.backends import StorageConfig
+
+    out: dict[str, dict] = {}
+    for backend in ("dict", "sqlite"):
+        oparaca = Oparaca(
+            PlatformConfig(seed=seed, storage=StorageConfig(backend=backend))
+        )
+
+        @oparaca.function("bench/add", service_time_s=0.004)
+        def add(ctx):
+            return {}
+
+        @oparaca.function("bench/touch", service_time_s=0.001)
+        def touch(ctx):
+            return {}
+
+        oparaca.deploy(PACKAGE)
+        for i in range(objects):
+            oparaca.new_object(
+                "Order", {"total": (i * 37) % 1000}, object_id=f"order-{i:04d}"
+            )
+        oparaca.flush()
+        started = time.perf_counter()
+        last = None
+        for q in range(queries):
+            threshold = (q * 97) % 1000
+            last = oparaca.http(
+                "GET",
+                f"/api/classes/Order/objects"
+                f"?where=total>={threshold}&order=total&limit=10&explain=1",
+            )
+            assert last.status == 200, last.body
+        wall_seconds = time.perf_counter() - started
+        store = oparaca.store
+        out[backend] = {
+            "query_ops": store.query_ops,
+            "docs_scanned": store.query_docs_scanned,
+            "query_units": round(
+                store.query_ops * store.model.op_cost
+                + store.query_docs_scanned * store.model.read_cost,
+                2,
+            ),
+            "index_used": bool(last.body.get("index_used")),
+            "wall_seconds": round(wall_seconds, 4),
+        }
+        oparaca.shutdown()
+    return out
 
 
 def _latest_baseline(bench_dir: Path, exclude: Path | None = None) -> Path | None:
@@ -243,6 +303,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--objects", type=int, default=6)
     parser.add_argument("--rounds", type=int, default=150)
     parser.add_argument(
+        "--backend",
+        choices=("dict", "sqlite"),
+        default="dict",
+        help="store engine behind the macro workload (default dict)",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="output path (default benchmarks/BENCH_<today>.json; '-' for stdout)",
@@ -263,7 +329,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    result = run_macro(seed=args.seed, objects=args.objects, rounds=args.rounds)
+    result = run_macro(
+        seed=args.seed, objects=args.objects, rounds=args.rounds, backend=args.backend
+    )
+    result["storage_backends"] = run_storage_dimension(seed=args.seed)
     bench_dir = Path(__file__).resolve().parent
 
     out_path: Path | None
@@ -291,6 +360,12 @@ def main(argv: list[str] | None = None) -> int:
         f"invocations/s={wall['invocations_per_sec']:.0f} "
         f"peak_rss={wall['peak_rss_kb']}kB"
     )
+    for name, stats in result["storage_backends"].items():
+        print(
+            f"storage[{name}]: scanned={stats['docs_scanned']} "
+            f"units={stats['query_units']} index={stats['index_used']} "
+            f"wall={stats['wall_seconds']:.3f}s"
+        )
 
     if not args.check:
         return 0

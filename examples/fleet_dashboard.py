@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Fleet dashboard — keySpec-indexed queries over the store backends.
+
+A delivery fleet's vehicles are OaaS objects whose class declares
+``keySpecs`` (region, battery, odometer).  The platform — not the
+application — owns that structured state, so the platform can index
+and query it: the dashboards below are plain
+``GET /api/classes/Vehicle/objects?where=...`` calls, no
+application-side scan code.
+
+The script runs the same dashboards twice:
+
+1. on the default **dict** engine — the reference full-scan evaluator;
+2. on the **SQLite** engine — the same answers from secondary indexes,
+   billed fewer work units, and durable: the platform is torn down and
+   a second one reopens the database file with the fleet intact.
+
+Everything here is also reachable from the shell::
+
+    ocli query examples/packages/fleet_dashboard.yaml --auto-handlers \\
+        --new Vehicle --create '{"battery_pct": 17, "region": "eu-west"}' \\
+        --where 'battery_pct<=20' --backend sqlite --explain
+    ocli serve examples/packages/fleet_dashboard.yaml --auto-handlers \\
+        --new Vehicle --backend sqlite --db fleet.db --linger
+
+Run:  python examples/fleet_dashboard.py
+"""
+
+import os
+import tempfile
+
+from repro import Oparaca
+from repro.platform.oparaca import PlatformConfig
+from repro.storage.backends import StorageConfig
+
+PACKAGE_PATH = os.path.join(
+    os.path.dirname(__file__), "packages", "fleet_dashboard.yaml"
+)
+
+REGIONS = ["eu-west", "eu-north", "us-east", "ap-south"]
+
+
+def build_platform(backend: str = "dict", path: str | None = None) -> Oparaca:
+    oparaca = Oparaca(
+        PlatformConfig(nodes=3, storage=StorageConfig(backend=backend, path=path))
+    )
+
+    @oparaca.function("fleet/drive", service_time_s=0.003)
+    def drive(ctx):
+        km = float(ctx.payload.get("km", 1.0))
+        ctx.state["odometer_km"] = ctx.state.get("odometer_km", 0.0) + km
+        ctx.state["battery_pct"] = max(
+            0, ctx.state.get("battery_pct", 100) - int(km // 2)
+        )
+        return {"odometer_km": ctx.state["odometer_km"]}
+
+    @oparaca.function("fleet/charge", service_time_s=0.002)
+    def charge(ctx):
+        ctx.state["battery_pct"] = 100
+        return {"battery_pct": 100}
+
+    with open(PACKAGE_PATH, encoding="utf-8") as fh:
+        oparaca.deploy(fh.read())
+    return oparaca
+
+
+def seed_fleet(oparaca: Oparaca, vehicles: int = 24) -> None:
+    for i in range(vehicles):
+        oparaca.new_object(
+            "Vehicle",
+            {
+                "region": REGIONS[i % len(REGIONS)],
+                "battery_pct": (i * 13) % 101,
+                "odometer_km": float(i * 311 % 5000),
+            },
+            object_id=f"veh-{i:03d}",
+        )
+
+
+def dashboard(oparaca: Oparaca, title: str) -> None:
+    print(f"--- {title} " + "-" * max(0, 54 - len(title)))
+
+    low = oparaca.http(
+        "GET",
+        "/api/classes/Vehicle/objects"
+        "?where=battery_pct<=20&order=battery_pct&explain=1",
+    )
+    print(f"low battery (<=20%): {low.body['count']} vehicles, "
+          f"{low.body['scanned']} scanned, index={low.body['index_used']}")
+    for doc in low.body["objects"][:3]:
+        state = doc["state"]
+        print(f"  {doc['id']}  {state['battery_pct']:3d}%  {state['region']}")
+
+    europe = oparaca.http(
+        "GET", "/api/classes/Vehicle/objects?where=region^=eu-"
+    )
+    print(f"in Europe (region^=eu-): {europe.body['count']} vehicles")
+
+    page = oparaca.http(
+        "GET",
+        "/api/classes/Vehicle/objects?order=odometer_km:desc&limit=5",
+    )
+    top = [d["state"]["odometer_km"] for d in page.body["objects"]]
+    print(f"highest odometers (page 1 of cursor walk): {top}")
+    if page.body["cursor"]:
+        nxt = oparaca.http(
+            "GET",
+            "/api/classes/Vehicle/objects?order=odometer_km:desc&limit=5"
+            f"&cursor={page.body['cursor']}",
+        )
+        print(f"  next page: {[d['state']['odometer_km'] for d in nxt.body['objects']]}")
+    print(f"plan: {low.body['plan']}")
+
+
+def main() -> None:
+    # 1. The default dict engine: reference semantics, full scans.
+    ephemeral = build_platform()
+    seed_fleet(ephemeral)
+    dashboard(ephemeral, "dict engine (default)")
+    ephemeral.shutdown()
+
+    # 2. The SQLite engine: same dashboards from secondary indexes,
+    #    then survive a "crash" (the platform is dropped, not shut
+    #    down) and serve the fleet again from the file.
+    with tempfile.TemporaryDirectory() as tmp:
+        db = os.path.join(tmp, "fleet.db")
+        first = build_platform(backend="sqlite", path=db)
+        seed_fleet(first)
+        dashboard(first, "sqlite engine")
+        first.store.close()  # abandon everything else: no clean shutdown
+
+        second = build_platform(backend="sqlite", path=db)
+        listing = second.http("GET", "/api/classes/Vehicle/objects")
+        print(f"--- after restart on {os.path.basename(db)} " + "-" * 24)
+        print(f"fleet intact: {listing.body['count']} vehicles")
+        dashboard(second, "sqlite engine, reopened file")
+        second.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -152,6 +152,19 @@ class ClassRuntimeManager:
             collection=f"objects.{resolved.name}",
             tracer=self.tracer,
         )
+        if config.persistent:
+            # Compile the class's declared keySpecs into the store
+            # engine's schema so it can maintain secondary indexes
+            # (the SQLite engine creates typed columns + indexes; the
+            # dict engine just remembers the declaration).
+            self.store.register_schema(
+                f"objects.{resolved.name}",
+                {
+                    spec.name: spec.dtype
+                    for spec in resolved.state
+                    if not spec.is_file
+                },
+            )
         router = ObjectRouter(dht, config.placement, self.rng)
         services: dict[str, FunctionService] = {}
         try:
@@ -268,6 +281,17 @@ class ClassRuntimeManager:
                 services=self.handler_services,
             )
         old_runtime.router.policy = config.placement
+        if config.persistent and old_runtime.dht.store is not None:
+            # Additive schema evolution: the engine indexes any keys the
+            # update introduced (existing documents are backfilled).
+            self.store.register_schema(
+                f"objects.{resolved.name}",
+                {
+                    spec.name: spec.dtype
+                    for spec in resolved.state
+                    if not spec.is_file
+                },
+            )
         runtime = ClassRuntime(
             cls=resolved.name,
             resolved=resolved,

@@ -133,6 +133,19 @@ class DurabilityPlane:
             # Class update: state (and its durability history) carries
             # over with the DHT; only the policy is re-derived.
             tracker.policy = policy
+        dht = runtime.dht
+        if (
+            dht.store is not None
+            and dht.model.persistent
+            and getattr(dht.store, "durable", False)
+        ):
+            # A durable store backend (SQLite) gets every strong-
+            # persistence commit written through alongside the epoch
+            # write, so a restarted process finds its objects in the
+            # database file itself.
+            tracker.write_through = (dht.store, dht.collection)
+        else:
+            tracker.write_through = None
         runtime.dht.attach_durability(tracker)
         coordinator = SnapshotCoordinator(self.env, runtime.dht, tracker, self.tracer)
         self._coordinators[runtime.cls] = coordinator

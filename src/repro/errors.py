@@ -22,6 +22,13 @@ class PackageError(ValidationError):
     """A package file could not be parsed or resolved."""
 
 
+class QueryError(ValidationError):
+    """An object query is malformed: bad predicate syntax, an unknown or
+    untyped key, a value that does not coerce to the key's declared
+    type, or a cursor that does not match the query's ordering.
+    Gateways map this to HTTP 400."""
+
+
 class ClassResolutionError(ValidationError):
     """Inheritance resolution failed (unknown parent, cycle, conflict)."""
 

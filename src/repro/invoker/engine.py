@@ -30,6 +30,7 @@ from repro.errors import (
     InvocationTimeoutError,
     KeyNotFoundError,
     OaasError,
+    QueryError,
     TransportError,
     UnknownClassError,
     UnknownFunctionError,
@@ -53,8 +54,19 @@ from repro.sim.kernel import Environment, Process, any_of
 from repro.sim.rng import RngStreams
 from repro.storage.dht import Dht
 from repro.storage.object_store import ObjectStore
+from repro.storage.query import Query, QueryResult, evaluate_query
 
-__all__ = ["InvocationEngine", "RuntimeDirectory", "BUILTIN_METHODS", "split_object_id"]
+__all__ = [
+    "InvocationEngine",
+    "RuntimeDirectory",
+    "BUILTIN_METHODS",
+    "split_object_id",
+    "STORAGE_TRACE_ID",
+]
+
+#: Synthetic trace id grouping storage-plane spans (queries), mirroring
+#: the durability plane's ``DURABILITY_TRACE_ID``.
+STORAGE_TRACE_ID = "storage"
 
 BUILTIN_METHODS = ("new", "get", "update", "delete", "file-url")
 
@@ -645,6 +657,72 @@ class InvocationEngine:
         """Ids of every live object of ``cls`` (not subclasses)."""
         self.directory.resolved(cls)  # raises UnknownClassError if absent
         return self.directory.dht_for(cls).scan_ids()
+
+    def query_objects(self, cls: str, query: Query) -> Process:
+        """Run a typed query over the objects of ``cls``; the process
+        resolves to a :class:`~repro.storage.query.QueryResult`.
+
+        Persistent classes answer from the store backend (flushing the
+        write-behind queue first so every acknowledged commit is
+        visible); ephemeral classes scan the DHT's resident records with
+        the same reference evaluator, so the query surface works either
+        way — only the plan differs.
+        """
+        return self.env.process(self._query_objects(cls, query))
+
+    def _query_objects(
+        self, cls: str, query: Query
+    ) -> Generator[Any, Any, QueryResult]:
+        resolved = self.directory.resolved(cls)
+        wanted = {pred.key for pred in query.where}
+        if query.order_by is not None:
+            wanted.add(query.order_by)
+        for key in sorted(wanted):
+            spec = resolved.state.get(key)
+            if spec is None:
+                raise QueryError(
+                    f"class {cls!r} declares no state key {key!r}"
+                )
+            if spec.is_file:
+                raise QueryError(
+                    f"state key {key!r} of class {cls!r} is a FILE key; "
+                    "file keys are not queryable"
+                )
+        dht = self.directory.dht_for(cls)
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                STORAGE_TRACE_ID,
+                "storage.query",
+                cls=cls,
+                predicates=len(query.where),
+            )
+        if dht.store is not None and dht.model.persistent:
+            # Queued write-behind buffers hold acknowledged commits the
+            # backend has not seen yet; drain them so the query observes
+            # every acknowledged write (read-your-writes at the surface).
+            yield dht.flush_all()
+            result = yield dht.store.query(dht.collection, query)
+        else:
+            docs = (dht.peek(key) for key in dht.scan_ids())
+            result = evaluate_query(
+                (doc for doc in docs if doc is not None), query, plan="memory-scan"
+            )
+        self.events.record(
+            "storage.query",
+            cls=cls,
+            matched=len(result.docs),
+            scanned=result.scanned,
+            index_used=result.index_used,
+            plan=result.plan,
+        )
+        self.tracer.finish(
+            span,
+            matched=len(result.docs),
+            scanned=result.scanned,
+            index_used=result.index_used,
+        )
+        return result
 
     # -- file attachment (platform-internal) ----------------------------------------------
 

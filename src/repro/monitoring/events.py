@@ -53,6 +53,8 @@ scheduler.recovered            SchedulerPlane — worker
 scheduler.rebind               SchedulerPlane — worker, moved, reason
 scheduler.draining             SchedulerPlane — worker
 scheduler.dead                 SchedulerPlane — worker, reason, requeued
+storage.query                  InvocationEngine.query_objects — cls, matched, scanned,
+                               index_used, plan
 =============================  ======================================================
 """
 

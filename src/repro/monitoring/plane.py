@@ -173,6 +173,14 @@ class MetricsPlane:
         store = platform.store
         set_counter(registry, "db.write_ops", float(store.write_ops), {"plane": "storage"})
         set_counter(registry, "db.docs_written", float(store.docs_written), {"plane": "storage"})
+        query_labels = {"plane": "storage", "backend": store.backend.name}
+        set_counter(registry, "db.query_ops", float(store.query_ops), query_labels)
+        set_counter(
+            registry,
+            "db.query_docs_scanned",
+            float(store.query_docs_scanned),
+            query_labels,
+        )
         registry.gauge("db.backlog_s", {"plane": "storage"}).set(store.backlog_seconds)
 
     def _collect_runtimes(self, platform: "Oparaca", registry: MetricsRegistry) -> None:

@@ -47,6 +47,15 @@ Commands:
 * ``ocli restore <package> --new CLS [...]`` — run the workload, cut a
   snapshot, mutate further, then point-in-time restore the class back
   to the cut and print the restore summary plus the rewound state.
+* ``ocli query <package> --new CLS [--create STATE ...] --where ...`` —
+  deploy a package, create objects, and run a typed query over the
+  class's declared keySpecs (equality/range/prefix predicates, ordering,
+  limit/cursor pagination); ``--backend sqlite`` answers it from
+  secondary indexes, ``--explain`` prints the plan.
+
+Workload commands accept ``--backend {dict,sqlite}`` and ``--db PATH``
+to choose the store engine; with ``--backend sqlite --db FILE`` the
+platform's objects survive process death (see ``serve --linger``).
 """
 
 from __future__ import annotations
@@ -98,6 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="function to invoke on the new object (repeatable)",
         )
         cmd.add_argument("--nodes", type=int, default=3, help="worker VM count")
+        cmd.add_argument(
+            "--backend",
+            choices=("dict", "sqlite"),
+            default="dict",
+            help="store engine behind the document store (sqlite survives "
+            "process death and auto-enables the durability plane)",
+        )
+        cmd.add_argument(
+            "--db",
+            default=None,
+            metavar="PATH",
+            help="SQLite database file (default: in-memory); requires "
+            "--backend sqlite",
+        )
 
     run = sub.add_parser("run", help="deploy a package and invoke functions")
     add_workload_args(run)
@@ -253,6 +276,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="WORKER",
         help="abort this worker's connection mid-run (epoch fence + requeue)",
+    )
+    serve.add_argument(
+        "--linger",
+        action="store_true",
+        help="serve until killed instead of driving a benchmark workload "
+        "(no object is created; pair with --backend sqlite --db FILE for "
+        "a store that survives the kill)",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="deploy a package, create objects, and run a typed query "
+        "(where/order/limit) over a class's declared keySpecs",
+    )
+    add_workload_args(query)
+    query.add_argument(
+        "--create",
+        action="append",
+        default=[],
+        metavar="STATE_JSON",
+        help="additional object to create with this initial state "
+        "(repeatable)",
+    )
+    query.add_argument(
+        "--where",
+        default=None,
+        help="predicate conjunction, e.g. 'total>=10,region^=eu'",
+    )
+    query.add_argument("--order", default=None, help="order key, e.g. 'total:desc'")
+    query.add_argument("--limit", type=int, default=None, help="page size")
+    query.add_argument("--cursor", default=None, help="resume token from a previous page")
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the engine's query plan and whether an index was used",
     )
 
     workers = sub.add_parser(
@@ -424,13 +482,23 @@ def _build_platform(
     from repro.platform.oparaca import Oparaca, PlatformConfig
     from repro.qos.plane import QosConfig
     from repro.scheduler.plane import SchedulerConfig
+    from repro.storage.backends import StorageConfig
 
+    storage_config = StorageConfig(
+        backend=getattr(args, "backend", "dict"), path=getattr(args, "db", None)
+    )
+    if storage_config.backend == "sqlite" and durability_config is None:
+        # A durable engine without the durability plane would still lose
+        # queued write-behind commits on a kill; enabling the plane makes
+        # strong-persistence classes write through synchronously.
+        durability_config = DurabilityConfig(enabled=True)
     platform = Oparaca(
         PlatformConfig(
             nodes=args.nodes,
             seed=getattr(args, "seed", 0),
             tracing_enabled=tracing,
             events_enabled=events,
+            storage=storage_config,
             qos=qos_config if qos_config is not None else QosConfig(),
             durability=(
                 durability_config
@@ -887,7 +955,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def drive() -> dict:
         front = await platform.serve_http(port=args.port)
         host, port = front.host, front.port
-        print(f"serving on http://{host}:{port} with {args.pool} workers")
+        print(f"serving on http://{host}:{port} with {args.pool} workers", flush=True)
+        if args.linger:
+            # Serve real clients until the process is killed.  This is
+            # the mode the sqlite durability drill runs: kill -9 this
+            # process, restart it on the same --db file, and the objects
+            # are still there.
+            await asyncio.Event().wait()
         body = {"state": json.loads(args.state)} if args.state != "{}" else {}
         status, created = await request(
             host, port, "POST", f"/api/classes/{args.new_cls}", body
@@ -928,7 +1002,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "fenced": front.scheduler.fenced,
         }
 
-    outcome = asyncio.run(drive())
+    try:
+        outcome = asyncio.run(drive())
+    except KeyboardInterrupt:
+        return 0
     counts: dict[int, int] = {}
     for status in outcome["statuses"]:
         counts[status] = counts.get(status, 0) + 1
@@ -1149,6 +1226,56 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    import urllib.parse
+
+    package = _load_pkg(args.package)
+    platform = _build_platform(args, package)
+    if platform is None:
+        return 2
+    platform.deploy(package)
+    _run_workload(platform, args, quiet=True)
+    for state_text in args.create:
+        body = {"state": json.loads(state_text)}
+        created = platform.http("POST", f"/api/classes/{args.new_cls}", body)
+        if not created.ok:
+            raise OaasError(f"object creation failed: {created.body.get('error')}")
+    params = []
+    if args.where:
+        params.append(("where", args.where))
+    if args.order:
+        params.append(("order", args.order))
+    if args.limit is not None:
+        params.append(("limit", str(args.limit)))
+    if args.cursor:
+        params.append(("cursor", args.cursor))
+    if args.explain:
+        params.append(("explain", "1"))
+    # A bare "?" still selects the query route (an unfiltered query),
+    # which is the point: same surface, same accounting.
+    query_string = urllib.parse.urlencode(params)
+    response = platform.http(
+        "GET", f"/api/classes/{args.new_cls}/objects?{query_string}"
+    )
+    if not response.ok:
+        print(f"error: query failed: {response.body.get('error')}", file=sys.stderr)
+        return 1
+    body = response.body
+    for doc in body["objects"]:
+        print(f"{doc['id']}  {json.dumps(doc.get('state', {}), default=str)}")
+    print(
+        f"\n{body['count']} object(s), {body['scanned']} scanned "
+        f"(backend={platform.store.backend.name})"
+    )
+    if body.get("cursor"):
+        print(f"next page: --cursor {body['cursor']}")
+    if args.explain:
+        print(f"plan: {body.get('plan')}")
+        print(f"index used: {body.get('index_used')}")
+    platform.shutdown()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1168,6 +1295,7 @@ def main(argv: list[str] | None = None) -> int:
         "workers": _cmd_workers,
         "snapshot": _cmd_snapshot,
         "restore": _cmd_restore,
+        "query": _cmd_query,
     }
     try:
         return handlers[args.command](args)

@@ -8,6 +8,7 @@ method    path                                       action
 ========  =========================================  ==================
 POST      /api/classes/{cls}                         create object
 GET       /api/classes/{cls}/objects                 list object ids
+GET       /api/classes/{cls}/objects?where=...       query objects
 GET       /api/objects/{oid}                         read object
 PATCH     /api/objects/{oid}                         update state
 DELETE    /api/objects/{oid}                         delete object
@@ -34,6 +35,7 @@ platform.
 from __future__ import annotations
 
 import dataclasses
+import urllib.parse
 from dataclasses import dataclass, field
 from typing import Any, Generator, Mapping
 
@@ -57,6 +59,7 @@ _STATUS_BY_ERROR = {
     "SnapshotNotFoundError": 404,
     "ValidationError": 400,
     "PackageError": 400,
+    "QueryError": 400,
     "InvocationError": 403,
     "DataflowError": 400,
     "ConcurrentModificationError": 409,
@@ -158,7 +161,9 @@ class Gateway:
             )
 
     def _handle_inner(self, http: HttpRequest) -> Generator[Any, Any, HttpResponse]:
-        admin = self._durability_route(http)
+        admin = self._storage_route(http)
+        if admin is None:
+            admin = self._durability_route(http)
         if admin is None:
             admin = self._scheduler_route(http)
         if admin is not None:
@@ -326,6 +331,55 @@ class Gateway:
                 202, {"worker": name, "state": worker.state.value}
             )
         return None
+
+    def _storage_route(
+        self, http: HttpRequest
+    ) -> Generator | HttpResponse | None:
+        """The object-query surface: ``GET /api/classes/{cls}/objects``
+        with a query string.
+
+        Only paths carrying a ``?`` are considered, so a platform that
+        never queries sees the exact route behavior it always had (the
+        plain objects listing keeps its historical route in
+        :meth:`_route`).
+        """
+        if "?" not in http.path:
+            return None
+        path, _, query_string = http.path.partition("?")
+        parts = [p for p in path.split("/") if p]
+        if (
+            len(parts) != 4
+            or parts[0] != "api"
+            or parts[1] != "classes"
+            or parts[3] != "objects"
+            or http.method != "GET"
+        ):
+            return None
+        params = dict(urllib.parse.parse_qsl(query_string, keep_blank_values=True))
+        return self._query_objects_route(parts[2], params)
+
+    def _query_objects_route(
+        self, cls: str, params: Mapping[str, str]
+    ) -> Generator[Any, Any, HttpResponse]:
+        from repro.storage.query import parse_query
+
+        resolved = self.engine.directory.resolved(cls)
+        schema = {
+            spec.name: spec.dtype for spec in resolved.state if not spec.is_file
+        }
+        query = parse_query(params, schema)
+        result = yield self.engine.query_objects(cls, query)
+        body: dict[str, Any] = {
+            "class": cls,
+            "objects": result.docs,
+            "count": len(result.docs),
+            "scanned": result.scanned,
+            "cursor": result.next_cursor,
+        }
+        if params.get("explain"):
+            body["plan"] = result.plan
+            body["index_used"] = result.index_used
+        return HttpResponse(200, body)
 
     def _route(self, http: HttpRequest) -> InvocationRequest | HttpResponse | None:
         parts = [p for p in http.path.split("/") if p]

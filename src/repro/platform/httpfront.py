@@ -23,7 +23,7 @@ import asyncio
 import json
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import ValidationError
+from repro.errors import OaasError, ValidationError
 from repro.invoker.request import InvocationRequest
 from repro.platform.gateway import _STATUS_BY_ERROR, HttpRequest, HttpResponse
 from repro.scheduler.transport.aio import AsyncSchedulerServer, AsyncWorkerClient
@@ -218,6 +218,20 @@ class AsyncPlatformServer:
         admin = self._scheduler_route(http)
         if admin is not None:
             return admin
+        storage = self.platform.gateway._storage_route(http)
+        if storage is not None:
+            if isinstance(storage, HttpResponse):
+                return storage
+            # Query routes are sim generators; drive them on the shared
+            # kernel like the workers drive invocations (no await inside,
+            # so engine runs cannot interleave).
+            try:
+                return self.platform.run(storage)
+            except OaasError as exc:
+                status = _STATUS_BY_ERROR.get(type(exc).__name__, 500)
+                return HttpResponse(
+                    status, {"error": str(exc), "type": type(exc).__name__}
+                )
         routed = self.platform.gateway._route(http)
         if routed is None:
             return HttpResponse(

@@ -60,6 +60,7 @@ from repro.scheduler.plane import SchedulerConfig, SchedulerPlane
 from repro.sim.kernel import Environment, Event, Process, all_of
 from repro.sim.network import Network, NetworkModel
 from repro.sim.rng import RngStreams
+from repro.storage.backends import StorageConfig, make_backend
 from repro.storage.kv import DbModel, DocumentStore
 from repro.storage.object_store import ObjectStore, ObjectStoreModel
 
@@ -81,6 +82,11 @@ class PlatformConfig:
     regions: tuple[str, ...] = ()
     seed: int = 0
     db: DbModel = field(default_factory=DbModel)
+    #: Store engine behind the shared :class:`DocumentStore`.  The
+    #: default dict engine is byte-identical to the historical in-memory
+    #: store; ``StorageConfig(backend="sqlite", path=...)`` swaps in a
+    #: durable SQLite database with keySpec secondary indexes.
+    storage: StorageConfig = field(default_factory=StorageConfig)
     network: NetworkModel = field(default_factory=NetworkModel)
     object_store: ObjectStoreModel = field(default_factory=ObjectStoreModel)
     knative: KnativeModel = field(default_factory=KnativeModel)
@@ -145,7 +151,9 @@ class Oparaca:
         self.registry = FunctionRegistry()
         region_of = self.cluster.region_of if self.config.regions else None
         self.network = Network(self.env, self.config.network, region_of=region_of)
-        self.store = DocumentStore(self.env, self.config.db)
+        self.store = DocumentStore(
+            self.env, self.config.db, backend=make_backend(self.config.storage)
+        )
         self.object_store = ObjectStore(self.env, self.config.object_store)
         self.monitoring = MonitoringSystem(self.env)
         self.crm = ClassRuntimeManager(
@@ -670,6 +678,7 @@ class Oparaca:
                 if stop is not None:
                     stop()
         self.flush()
+        self.store.close()
 
     @staticmethod
     def _raise_if_failed(result: InvocationResult) -> None:

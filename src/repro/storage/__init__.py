@@ -1,22 +1,40 @@
-"""Storage substrates: structured state (DHT + document store) and
-unstructured state (S3-style object store)."""
+"""Storage substrates: structured state (DHT + document store over a
+pluggable backend engine) and unstructured state (S3-style object
+store)."""
 
+from repro.storage.backends import (
+    DictBackend,
+    SqliteBackend,
+    StorageConfig,
+    StoreBackend,
+    make_backend,
+)
 from repro.storage.dht import Dht, DhtModel
 from repro.storage.hashring import HashRing
 from repro.storage.kv import DbModel, DocumentStore
 from repro.storage.object_store import ObjectStore, ObjectStoreModel, PresignedUrl, StoredObject
+from repro.storage.query import Predicate, Query, QueryResult, parse_query
 from repro.storage.write_behind import WriteBehindConfig, WriteBehindQueue
 
 __all__ = [
     "Dht",
     "DhtModel",
+    "DictBackend",
     "HashRing",
     "DbModel",
     "DocumentStore",
     "ObjectStore",
     "ObjectStoreModel",
+    "Predicate",
     "PresignedUrl",
+    "Query",
+    "QueryResult",
+    "SqliteBackend",
+    "StorageConfig",
+    "StoreBackend",
     "StoredObject",
     "WriteBehindConfig",
     "WriteBehindQueue",
+    "make_backend",
+    "parse_query",
 ]

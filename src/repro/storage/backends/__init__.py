@@ -1,0 +1,17 @@
+"""Pluggable store engines behind :class:`~repro.storage.kv.DocumentStore`.
+
+See :mod:`repro.storage.backends.base` for the protocol and
+``docs/storage.md`` for the subsystem overview.
+"""
+
+from repro.storage.backends.base import StorageConfig, StoreBackend, make_backend
+from repro.storage.backends.memory import DictBackend
+from repro.storage.backends.sqlite import SqliteBackend
+
+__all__ = [
+    "StoreBackend",
+    "StorageConfig",
+    "make_backend",
+    "DictBackend",
+    "SqliteBackend",
+]

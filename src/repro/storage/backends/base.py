@@ -1,0 +1,125 @@
+"""The pluggable store-backend protocol.
+
+:class:`DocumentStore` models *when* storage work completes (work
+units, the rate limiter, fault injection); a :class:`StoreBackend` is
+the engine that decides *where documents live and how they are found* —
+an in-process dict (the default, simulation-faithful engine) or SQLite
+(durable files that survive process death, with secondary indexes
+compiled from each class's declared ``keySpecs``).
+
+The split keeps every cost/copy/fault decision in exactly one place:
+backends never sleep, never charge units, and never inject faults.
+``DocumentStore`` performs its defensive copies *around* backend calls,
+so the dict engine can store and return references and remain
+byte-identical to the pre-backend store.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ValidationError
+from repro.model.types import DataType
+from repro.storage.query import Query, QueryResult
+
+__all__ = ["StoreBackend", "StorageConfig", "make_backend"]
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Which engine backs the platform's :class:`DocumentStore`.
+
+    Attributes:
+        backend: ``"dict"`` (default; in-memory, byte-identical to the
+            historical store) or ``"sqlite"``.
+        path: database file for the SQLite engine; ``None`` means a
+            private in-memory database (durable semantics, no file).
+            Ignored by the dict engine.
+    """
+
+    backend: str = "dict"
+    path: str | None = None
+
+
+class StoreBackend(ABC):
+    """Synchronous document engine behind :class:`DocumentStore`.
+
+    Contract (held by ``tests/test_storage_backends.py`` for every
+    engine):
+
+    * documents are dicts with a string ``id``; ``put`` upserts;
+    * ``get`` returns the stored document or ``None`` — the dict engine
+      may return a live reference (the store copies around it);
+    * ``keys`` is sorted; ``delete`` of an absent key is a no-op;
+    * ``query`` follows :func:`repro.storage.query.evaluate_query`
+      semantics exactly, whatever the execution strategy;
+    * ``register_schema`` declares the indexable keys of a collection —
+      engines without indexes may ignore it.
+    """
+
+    #: Engine name, used in config, metrics labels, and query plans.
+    name: str = "abstract"
+    #: True when documents survive process death (enables the
+    #: durability plane's write-through).
+    durable: bool = False
+
+    @abstractmethod
+    def register_schema(
+        self, collection: str, schema: Mapping[str, DataType]
+    ) -> None:
+        """Declare the typed, indexable state keys of ``collection``."""
+
+    @abstractmethod
+    def put(self, collection: str, doc: dict[str, Any]) -> None:
+        """Upsert one document by ``doc["id"]``."""
+
+    def put_many(self, collection: str, docs: list[dict[str, Any]]) -> None:
+        """Upsert a batch atomically (all or nothing where supported)."""
+        for doc in docs:
+            self.put(collection, doc)
+
+    @abstractmethod
+    def get(self, collection: str, key: str) -> dict[str, Any] | None:
+        """Fetch one document or ``None``."""
+
+    def get_many(
+        self, collection: str, keys: list[str]
+    ) -> dict[str, dict[str, Any] | None]:
+        """Fetch a batch; absent keys map to ``None``."""
+        return {key: self.get(collection, key) for key in keys}
+
+    @abstractmethod
+    def delete(self, collection: str, key: str) -> None:
+        """Remove one document (no-op if absent)."""
+
+    @abstractmethod
+    def keys(self, collection: str) -> list[str]:
+        """All document ids in ``collection``, sorted."""
+
+    @abstractmethod
+    def count(self, collection: str) -> int:
+        """Number of documents in ``collection``."""
+
+    @abstractmethod
+    def query(self, collection: str, query: Query) -> QueryResult:
+        """Run a typed query; see :mod:`repro.storage.query`."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release engine resources (connections, file handles)."""
+
+
+def make_backend(config: StorageConfig | None) -> StoreBackend:
+    """Build the engine named by ``config`` (``None`` = default dict)."""
+    from repro.storage.backends.memory import DictBackend
+
+    if config is None or config.backend == "dict":
+        return DictBackend()
+    if config.backend == "sqlite":
+        from repro.storage.backends.sqlite import SqliteBackend
+
+        return SqliteBackend(config.path)
+    raise ValidationError(
+        f"unknown storage backend {config.backend!r}; expected 'dict' or 'sqlite'"
+    )

@@ -10,6 +10,15 @@ operations", §V).
 
 All mutations are applied when their simulated service completes, so a
 read issued after a write's completion event observes it.
+
+The store owns *when* storage work completes — work units, the rate
+limiter, chaos fault injection, defensive copies.  *Where* documents
+live is delegated to a pluggable :class:`~repro.storage.backends.base.
+StoreBackend`: the default dict engine (byte-identical to the
+historical in-memory store) or SQLite (durable files with keySpec
+secondary indexes).  Because faults are raised here, after units are
+consumed but before the backend is touched, fault semantics are
+uniform across engines by construction.
 """
 
 from __future__ import annotations
@@ -17,11 +26,17 @@ from __future__ import annotations
 import copy
 import random
 from dataclasses import dataclass
-from typing import Any, Generator, Mapping
+from typing import TYPE_CHECKING, Any, Generator, Mapping
 
 from repro.errors import StorageError
 from repro.sim.kernel import Environment, Process
 from repro.sim.resources import RateLimiter
+from repro.storage.backends.memory import DictBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.types import DataType
+    from repro.storage.backends.base import StoreBackend
+    from repro.storage.query import Query
 
 __all__ = ["DbModel", "DocumentStore"]
 
@@ -55,21 +70,44 @@ class DbModel:
 class DocumentStore:
     """A collection-oriented document database with a throughput ceiling."""
 
-    def __init__(self, env: Environment, model: DbModel | None = None) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        model: DbModel | None = None,
+        backend: "StoreBackend | None" = None,
+    ) -> None:
         self.env = env
         self.model = model or DbModel()
+        self.backend = backend if backend is not None else DictBackend()
         self._limiter = RateLimiter(env, self.model.capacity_units_per_s)
-        self._collections: dict[str, dict[str, dict[str, Any]]] = {}
         self._units_by_collection: dict[str, float] = {}
         self.write_ops = 0
         self.docs_written = 0
         self.read_ops = 0
         self.docs_read = 0
         self.multi_read_ops = 0
+        self.query_ops = 0
+        self.query_docs_scanned = 0
         # Chaos-plane write-fault injection; rate 0.0 = healthy (default).
         self._write_fault_rate = 0.0
         self._fault_rng: random.Random | None = None
         self.faulted_writes = 0
+
+    @property
+    def durable(self) -> bool:
+        """True when the engine's documents survive process death."""
+        return self.backend.durable
+
+    def register_schema(
+        self, collection: str, schema: "Mapping[str, DataType]"
+    ) -> None:
+        """Declare a collection's typed state keys so the engine can
+        build secondary indexes over them (deploy-time hook)."""
+        self.backend.register_schema(collection, schema)
+
+    def close(self) -> None:
+        """Release engine resources (connections, file handles)."""
+        self.backend.close()
 
     # -- fault injection (chaos plane) -------------------------------------
 
@@ -78,7 +116,9 @@ class DocumentStore:
 
         Failures surface as :class:`StorageError` *after* the operation
         has consumed its work units (the DB did the work, the commit
-        failed).  With no ``rng``, any positive rate fails every write.
+        failed) and before the engine is touched, so no engine observes
+        a partially applied faulted batch.  With no ``rng``, any
+        positive rate fails every write.
         """
         if not 0.0 <= rate <= 1.0:
             raise StorageError(f"write fault rate must be in [0, 1], got {rate}")
@@ -118,9 +158,7 @@ class DocumentStore:
         )
         yield self._limiter.acquire(units)
         self._maybe_fail_write(collection)
-        table = self._collections.setdefault(collection, {})
-        for doc in docs:
-            table[doc["id"]] = doc
+        self.backend.put_many(collection, docs)
         self.write_ops += 1
         self.docs_written += len(docs)
         return len(docs)
@@ -136,7 +174,7 @@ class DocumentStore:
         )
         yield self._limiter.acquire(units)
         self.read_ops += 1
-        doc = self._collections.get(collection, {}).get(key)
+        doc = self.backend.get(collection, key)
         if doc is not None:
             self.docs_read += 1
             return copy.deepcopy(doc)
@@ -163,10 +201,9 @@ class DocumentStore:
         yield self._limiter.acquire(units)
         self.read_ops += 1
         self.multi_read_ops += 1
-        table = self._collections.get(collection, {})
         out: dict[str, Any] = {}
         for key in keys:
-            doc = table.get(key)
+            doc = self.backend.get(collection, key)
             if doc is not None:
                 self.docs_read += 1
                 out[key] = copy.deepcopy(doc)
@@ -185,30 +222,59 @@ class DocumentStore:
         )
         yield self._limiter.acquire(units)
         self.write_ops += 1
-        self._collections.get(collection, {}).pop(key, None)
+        self.backend.delete(collection, key)
+
+    def query(self, collection: str, query: "Query") -> Process:
+        """Run a typed query; the process resolves to a
+        :class:`~repro.storage.query.QueryResult`.
+
+        Cost is two-phase and deterministic: the fixed ``op_cost`` is
+        charged up front (the round trip), then ``scanned * read_cost``
+        once the engine reports how many documents the plan actually
+        examined — an indexed range query over few matches is cheap, a
+        full scan of a large collection is priced like the multi-get
+        that it is.
+        """
+        return self.env.process(self._query(collection, query))
+
+    def _query(self, collection: str, query: "Query") -> Generator:
+        units = self.model.op_cost
+        self._units_by_collection[collection] = (
+            self._units_by_collection.get(collection, 0.0) + units
+        )
+        yield self._limiter.acquire(units)
+        result = self.backend.query(collection, query)
+        scan_units = result.scanned * self.model.read_cost
+        if scan_units > 0:
+            self._units_by_collection[collection] += scan_units
+            yield self._limiter.acquire(scan_units)
+        self.query_ops += 1
+        self.query_docs_scanned += result.scanned
+        result.docs = [copy.deepcopy(doc) for doc in result.docs]
+        return result
 
     # -- instant inspection (control plane / tests) ------------------------
 
     def get_sync(self, collection: str, key: str) -> dict[str, Any] | None:
         """Read without consuming DB capacity (tests and bookkeeping)."""
-        doc = self._collections.get(collection, {}).get(key)
+        doc = self.backend.get(collection, key)
         return copy.deepcopy(doc) if doc is not None else None
 
     def put_sync(self, collection: str, doc: Mapping[str, Any]) -> None:
         """Seed a document without consuming DB capacity."""
         if "id" not in doc:
             raise StorageError("document without 'id'")
-        self._collections.setdefault(collection, {})[doc["id"]] = dict(doc)
+        self.backend.put(collection, dict(doc))
 
     def units_for(self, collection: str) -> float:
         """Cumulative work units this collection has consumed (billing)."""
         return self._units_by_collection.get(collection, 0.0)
 
     def count(self, collection: str) -> int:
-        return len(self._collections.get(collection, {}))
+        return self.backend.count(collection)
 
     def keys(self, collection: str) -> list[str]:
-        return sorted(self._collections.get(collection, {}))
+        return self.backend.keys(collection)
 
     @property
     def backlog_seconds(self) -> float:

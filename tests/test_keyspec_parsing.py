@@ -1,0 +1,108 @@
+"""keySpecs parsing edge cases — the typed schema the storage backends
+index is declared here, so malformed declarations must fail loudly at
+package-parse time, not at query time."""
+
+import pytest
+
+from repro.errors import PackageError, ValidationError
+from repro.model.pkg import loads_package
+from repro.model.types import DataType
+
+
+def package_with(keyspec_yaml: str) -> str:
+    return f"""
+name: edge-app
+classes:
+  - name: Thing
+{keyspec_yaml}
+"""
+
+
+class TestKeySpecParsing:
+    def test_duplicate_key_names_rejected(self):
+        text = package_with(
+            """    keySpecs:
+      - name: total
+        type: FLOAT
+      - name: total
+        type: INT
+"""
+        )
+        with pytest.raises(PackageError, match="invalid class in .*duplicate state keys"):
+            loads_package(text)
+
+    def test_unknown_type_rejected(self):
+        text = package_with(
+            """    keySpecs:
+      - name: total
+        type: DECIMAL
+"""
+        )
+        with pytest.raises(ValidationError, match="unknown data type 'DECIMAL'"):
+            loads_package(text)
+
+    def test_state_spec_alias_parses_identically(self):
+        spec = """    keySpecs:
+      - name: total
+        type: FLOAT
+        default: 0.0
+"""
+        alias = spec.replace("keySpecs:", "stateSpec:")
+        via_keyspecs = loads_package(package_with(spec)).cls("Thing")
+        via_statespec = loads_package(package_with(alias)).cls("Thing")
+        assert via_keyspecs.state == via_statespec.state
+
+    def test_paper_style_annotated_type_takes_first_word(self):
+        # The paper's Listing 1 writes "File Image" — the first word is
+        # the type, the rest is prose.
+        text = package_with(
+            """    keySpecs:
+      - name: image
+        type: File Image
+      - name: format
+        type: str lowercase
+"""
+        )
+        state = loads_package(text).cls("Thing").state
+        assert state.get("image").dtype is DataType.FILE
+        assert state.get("format").dtype is DataType.STR
+
+    def test_keyspecs_must_be_a_list(self):
+        text = package_with(
+            """    keySpecs:
+      total: FLOAT
+"""
+        )
+        with pytest.raises(PackageError, match="keySpecs must be a list"):
+            loads_package(text)
+
+    def test_key_without_name_rejected(self):
+        text = package_with(
+            """    keySpecs:
+      - type: FLOAT
+"""
+        )
+        with pytest.raises(PackageError, match="missing 'name'"):
+            loads_package(text)
+
+    def test_type_defaults_to_json_and_default_is_kept(self):
+        text = package_with(
+            """    keySpecs:
+      - name: labels
+        default: []
+"""
+        )
+        spec = loads_package(text).cls("Thing").state.get("labels")
+        assert spec.dtype is DataType.JSON
+        assert spec.default == []
+
+    def test_unknown_keyspec_field_rejected(self):
+        text = package_with(
+            """    keySpecs:
+      - name: total
+        type: FLOAT
+        indexed: true
+"""
+        )
+        with pytest.raises(PackageError):
+            loads_package(text)

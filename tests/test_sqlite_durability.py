@@ -1,0 +1,203 @@
+"""Crash/restart durability over the SQLite engine.
+
+The acceptance drill for the backend subsystem: every write the gateway
+acknowledged under strong persistence must be served again by a process
+that reopens the same database file — first in-process (a platform is
+abandoned without shutdown, a second one reopens its file), then for
+real (an ``ocli serve`` process is ``kill -9``'d mid-flight).
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.durability.plane import DurabilityConfig
+from repro.storage.backends import StorageConfig
+
+from tests.helpers import make_platform
+
+DEMO_PACKAGE = str(
+    Path(__file__).resolve().parent.parent / "examples/packages/durability_demo.yaml"
+)
+DEMO_YAML = Path(DEMO_PACKAGE).read_text()
+
+
+def sqlite_platform(db_path):
+    platform = make_platform(
+        nodes=2,
+        storage=StorageConfig(backend="sqlite", path=str(db_path)),
+        durability=DurabilityConfig(enabled=True),
+    )
+    for image in ("ledger/add", "cart/add"):
+        @platform.function(image, service_time_s=0.001)
+        def handler(ctx):
+            return dict(ctx.payload)
+    platform.deploy(DEMO_YAML)
+    return platform
+
+
+class TestInProcessRestart:
+    def test_acknowledged_strong_writes_survive_abandonment(self, tmp_path):
+        db = tmp_path / "ledger.db"
+        first = sqlite_platform(db)
+        ids = []
+        for balance in (5, 20, 50):
+            response = first.http(
+                "POST", "/api/classes/Ledger", {"state": {"balance": balance}}
+            )
+            assert response.status == 201
+            ids.append(response.body["id"])
+        first.store.close()  # release the file; everything else abandoned
+
+        second = sqlite_platform(db)
+        try:
+            listing = second.http("GET", "/api/classes/Ledger/objects")
+            assert listing.status == 200
+            assert sorted(listing.body["objects"]) == sorted(ids)
+
+            # The recovered file answers an indexed range query.
+            query = second.http(
+                "GET",
+                "/api/classes/Ledger/objects"
+                "?where=balance>=20&order=balance:desc&explain=1",
+            )
+            assert query.status == 200
+            assert [d["state"]["balance"] for d in query.body["objects"]] == [50, 20]
+            assert query.body["index_used"] is True
+            assert "ix_" in query.body["plan"]
+        finally:
+            second.shutdown()
+
+    def test_objects_readable_and_mutable_after_restart(self, tmp_path):
+        db = tmp_path / "ledger.db"
+        first = sqlite_platform(db)
+        created = first.http(
+            "POST", "/api/classes/Ledger", {"state": {"balance": 7}}
+        )
+        object_id = created.body["id"]
+        first.store.close()
+
+        second = sqlite_platform(db)
+        try:
+            fetched = second.http("GET", f"/api/objects/{object_id}")
+            assert fetched.status == 200
+            assert fetched.body["state"]["balance"] == 7
+            invoked = second.http(
+                "POST", f"/api/objects/{object_id}/invokes/add", {"amount": 3}
+            )
+            assert invoked.status == 200
+        finally:
+            second.shutdown()
+
+    def test_dict_backend_does_not_survive(self, tmp_path):
+        """The contrast case: the ephemeral default loses everything, so
+        the durability the SQLite tests see really comes from the engine."""
+        first = make_platform(nodes=2)
+        @first.function("ledger/add", service_time_s=0.001)
+        def add(ctx):
+            return dict(ctx.payload)
+        @first.function("cart/add", service_time_s=0.001)
+        def cart_add(ctx):
+            return dict(ctx.payload)
+        first.deploy(DEMO_YAML)
+        first.http("POST", "/api/classes/Ledger", {"state": {"balance": 5}})
+        first.store.close()
+
+        second = sqlite_platform(tmp_path / "fresh.db")
+        try:
+            listing = second.http("GET", "/api/classes/Ledger/objects")
+            assert listing.body["count"] == 0
+        finally:
+            second.shutdown()
+
+
+# -- the real thing: kill -9 a serving process --------------------------------
+
+
+REPO_ROOT = str(Path(__file__).resolve().parent.parent)
+
+
+def _start_server(db_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{REPO_ROOT}/src" + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.platform.cli", "serve", DEMO_PACKAGE,
+            "--auto-handlers", "--new", "Ledger",
+            "--backend", "sqlite", "--db", str(db_path),
+            "--linger", "--pool", "2",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    assert match, f"no serving line, got {line!r}"
+    return proc, match.group(1), int(match.group(2))
+
+
+def _request(host, port, method, path, body=None):
+    payload = json.dumps(body or {}).encode()
+    request = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    ).encode() + payload
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(request)
+        data = b""
+        while b"\r\n\r\n" not in data:
+            data += sock.recv(65536)
+        head, _, rest = data.partition(b"\r\n\r\n")
+        status = int(head.split(b" ")[1])
+        length = int(re.search(rb"content-length: (\d+)", head, re.I).group(1))
+        while len(rest) < length:
+            rest += sock.recv(65536)
+    return status, json.loads(rest)
+
+
+@pytest.mark.asyncio_transport
+class TestKillNineDrill:
+    def test_kill_nine_loses_nothing_acknowledged(self, tmp_path):
+        db = tmp_path / "drill.db"
+        proc, host, port = _start_server(db)
+        try:
+            ids = []
+            for balance in (5, 20, 50):
+                status, body = _request(
+                    host, port, "POST", "/api/classes/Ledger",
+                    {"state": {"balance": balance}},
+                )
+                assert status == 201, (status, body)
+                ids.append(body["id"])
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait()
+
+        proc2, host, port = _start_server(db)
+        try:
+            status, listing = _request(host, port, "GET", "/api/classes/Ledger/objects")
+            assert status == 200
+            assert sorted(listing["objects"]) == sorted(ids)  # RPO 0
+
+            status, result = _request(
+                host, port, "GET",
+                "/api/classes/Ledger/objects"
+                "?where=balance%3E%3D20&order=balance:desc&explain=1",
+            )
+            assert status == 200
+            assert [d["state"]["balance"] for d in result["objects"]] == [50, 20]
+            assert result["index_used"] is True
+        finally:
+            os.kill(proc2.pid, signal.SIGKILL)
+            proc2.wait()
