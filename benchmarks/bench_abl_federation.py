@@ -1,0 +1,78 @@
+"""ABL-FEDERATION — edge-pinned vs core-only placement, geo-distributed.
+
+Eight nodes over a three-tier topology (two edge sites, one regional
+DC, one core DC); clients invoke from the edge with ``x-origin-zone``
+headers.  With core-only placement every edge-origin invocation pays
+the 80 ms edge↔core WAN leg and the latency-declared Sensor class blows
+its 20 ms NFR; with NFR-scored placement the class pins to the edge and
+holds the target.  A third, deliberately misconfigured arm sends the
+jurisdiction-pinned Vault class traffic from outside its jurisdiction —
+every access is rejected (HTTP 451) and counted into the
+``jurisdiction`` NFR verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ablations import run_federation_ablation
+from repro.bench.report import format_table
+
+MODES = ("core-only", "edge-pinned", "misconfigured")
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_abl_federation(benchmark, mode):
+    def run():
+        return run_federation_ablation(modes=(mode,))[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append(row)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["sensor_p95_ms"] = round(row.sensor_p95_ms, 3)
+    benchmark.extra_info["vault_rejections"] = row.vault_rejections
+    assert row.completed > 0
+
+
+def teardown_module(module):
+    if not _ROWS:
+        return
+    print("\n\n=== ABL-FEDERATION: placement arms on the three-tier topology ===")
+    print(
+        format_table(
+            (
+                "mode",
+                "placement",
+                "sensor_p95_ms",
+                "target_ms",
+                "met",
+                "ok",
+                "cross_zone",
+                "vault_rej",
+            ),
+            [
+                (
+                    r.mode,
+                    r.placement,
+                    f"{r.sensor_p95_ms:.1f}",
+                    f"{r.sensor_target_ms:.0f}",
+                    "yes" if r.sensor_met else "NO",
+                    r.completed,
+                    r.cross_zone,
+                    r.vault_rejections,
+                )
+                for r in _ROWS
+            ],
+        )
+    )
+    by_mode = {r.mode: r for r in _ROWS}
+    if "core-only" in by_mode and "edge-pinned" in by_mode:
+        core, edge = by_mode["core-only"], by_mode["edge-pinned"]
+        if edge.sensor_p95_ms > 0:
+            print(
+                f"edge-pinned p95 {edge.sensor_p95_ms:.1f}ms vs core-only "
+                f"{core.sensor_p95_ms:.1f}ms "
+                f"({core.sensor_p95_ms / edge.sensor_p95_ms:.1f}x)"
+            )

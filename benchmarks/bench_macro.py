@@ -250,6 +250,29 @@ def run_storage_dimension(seed: int = 0, objects: int = 120, queries: int = 30) 
     return out
 
 
+def run_federation_dimension(seed: int = 0, objects: int = 4, rounds: int = 10) -> dict:
+    """The federation dimension: the ABL-FEDERATION placement arms at a
+    reduced scale, so the BENCH file records what NFR-scored edge
+    placement buys (p95 under the declared latency bound) next to the
+    core-only control, plus the jurisdiction-enforcement counters."""
+    from repro.bench.ablations import run_federation_ablation
+
+    out: dict[str, dict] = {}
+    for row in run_federation_ablation(
+        seed=seed, objects=objects, rounds=rounds
+    ):
+        out[row.mode] = {
+            "placement": row.placement,
+            "sensor_p95_ms": round(row.sensor_p95_ms, 3),
+            "sensor_target_ms": row.sensor_target_ms,
+            "sensor_met": row.sensor_met,
+            "completed": row.completed,
+            "cross_zone": row.cross_zone,
+            "vault_rejections": row.vault_rejections,
+        }
+    return out
+
+
 def _latest_baseline(bench_dir: Path, exclude: Path | None = None) -> Path | None:
     candidates = sorted(
         p
@@ -333,6 +356,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed, objects=args.objects, rounds=args.rounds, backend=args.backend
     )
     result["storage_backends"] = run_storage_dimension(seed=args.seed)
+    result["federation"] = run_federation_dimension(seed=args.seed)
     bench_dir = Path(__file__).resolve().parent
 
     out_path: Path | None
@@ -365,6 +389,12 @@ def main(argv: list[str] | None = None) -> int:
             f"storage[{name}]: scanned={stats['docs_scanned']} "
             f"units={stats['query_units']} index={stats['index_used']} "
             f"wall={stats['wall_seconds']:.3f}s"
+        )
+    for name, stats in result["federation"].items():
+        print(
+            f"federation[{name}]: p95={stats['sensor_p95_ms']:.1f}ms "
+            f"met={stats['sensor_met']} cross_zone={stats['cross_zone']} "
+            f"rejections={stats['vault_rejections']}"
         )
 
     if not args.check:

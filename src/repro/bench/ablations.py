@@ -27,6 +27,10 @@
   write-behind-backed cart, with the durability plane off vs on:
   acknowledged increments are audited against post-crash state, and the
   plane's measured RPO/RTO is reported per class.
+* :func:`run_federation_ablation` (ABL-FEDERATION) — edge-pinned
+  (NFR-scored) vs core-only placement under a geo-distributed workload
+  on a three-tier topology, plus a deliberately misconfigured control
+  arm whose cross-jurisdiction accesses are rejected and counted.
 """
 
 from __future__ import annotations
@@ -68,6 +72,8 @@ __all__ = [
     "run_qos_ablation",
     "DurabilityRow",
     "run_durability_ablation",
+    "FederationRow",
+    "run_federation_ablation",
 ]
 
 
@@ -1000,5 +1006,193 @@ def run_durability_ablation(
                     restored_docs=restored_docs,
                 )
             )
+        platform.shutdown()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# ABL-FEDERATION
+# ---------------------------------------------------------------------------
+
+
+#: Geo-distributed package: Sensor declares a 20 ms latency NFR (free to
+#: live anywhere — the placement mode decides where), Vault is pinned to
+#: the ``edge`` jurisdiction regardless of mode.
+FEDERATION_PACKAGE = """
+name: federation-bench
+classes:
+  - name: Sensor
+    qos: {latency: 20}
+    keySpecs:
+      - { name: n, type: INT, default: 0 }
+    functions:
+      - name: bump
+        image: bench/geo-bump
+  - name: Vault
+    constraint: {jurisdiction: edge}
+    keySpecs:
+      - { name: n, type: INT, default: 0 }
+    functions:
+      - name: bump
+        image: bench/geo-bump
+"""
+
+
+@dataclass(frozen=True)
+class FederationRow:
+    """One ABL-FEDERATION cell: the latency-declared Sensor class under
+    one placement arm of the federated three-tier topology."""
+
+    mode: str  # "core-only" | "edge-pinned" | "misconfigured"
+    placement: str  # resolved planner mode
+    sensor_p95_ms: float
+    sensor_target_ms: float
+    completed: int
+    failed: int
+    #: Invocations served by a replica outside the client's origin zone.
+    cross_zone: int
+    #: Cross-jurisdiction accesses rejected for the edge-pinned Vault
+    #: class — zero unless clients are deliberately misconfigured.
+    vault_rejections: int
+    vault_completed: int
+
+    @property
+    def sensor_met(self) -> bool:
+        return self.sensor_p95_ms <= self.sensor_target_ms
+
+
+def run_federation_ablation(
+    modes: Iterable[str] = ("core-only", "edge-pinned", "misconfigured"),
+    seed: int = 0,
+    objects: int = 8,
+    rounds: int = 25,
+) -> list[FederationRow]:
+    """Edge-pinned vs core-only placement under a geo-distributed load.
+
+    Eight nodes spread over a three-tier topology (two edge sites, one
+    regional DC, one core DC); clients originate from the edge sites and
+    invoke through the gateway with ``x-origin-zone`` headers.
+
+    * ``core-only`` — the control arm: the planner consolidates every
+      class on the core tier, so each edge-origin invocation pays the
+      80 ms edge↔core WAN leg and the Sensor class blows its declared
+      20 ms latency NFR.
+    * ``edge-pinned`` — NFR-scored placement: Sensor's latency bound
+      pins it to the edge tier, clients hit a same-site replica, and
+      the target holds.
+    * ``misconfigured`` — edge-pinned placement but Vault's clients
+      originate from ``core``, outside its declared ``edge``
+      jurisdiction: every access is rejected with HTTP 451 and counted,
+      which is what the ``jurisdiction`` NFR verdict reports.
+
+    Jurisdiction rejections for Vault must be zero in the first two
+    arms and exactly ``objects * rounds`` in the misconfigured one.
+    """
+    from repro.federation import FederationConfig, Zone
+    from repro.platform.oparaca import Oparaca, PlatformConfig
+
+    zones = (
+        Zone("edge-a", tier="edge", region="edge", parent="region-a"),
+        Zone("edge-b", tier="edge", region="edge", parent="region-a"),
+        Zone("region-a", tier="regional", parent="core"),
+        Zone("core", tier="core"),
+    )
+    rtt = (
+        ("edge-a", "edge-b", 0.012),
+        ("edge-a", "region-a", 0.02),
+        ("edge-b", "region-a", 0.02),
+        ("edge-a", "core", 0.08),
+        ("edge-b", "core", 0.08),
+        ("region-a", "core", 0.03),
+    )
+    edge_origins = ("edge-a", "edge-b")
+    rows: list[FederationRow] = []
+    for mode in modes:
+        placement = "core-only" if mode == "core-only" else "nfr"
+        platform = Oparaca(
+            PlatformConfig(
+                nodes=8,
+                seed=seed,
+                regions=("edge-a", "edge-b", "region-a", "core"),
+                federation=FederationConfig(
+                    enabled=True,
+                    zones=zones,
+                    zone_rtt_s=rtt,
+                    placement=placement,
+                ),
+            )
+        )
+        platform.register_image(
+            "bench/geo-bump",
+            lambda ctx: {"n": ctx.state.setdefault("n", 0)},
+            0.002,
+        )
+        platform.deploy(FEDERATION_PACKAGE)
+        sensor_ids = [
+            platform.new_object("Sensor", object_id=f"sensor-{index}")
+            for index in range(objects)
+        ]
+        vault_ids = [
+            platform.new_object("Vault", object_id=f"vault-{index}")
+            for index in range(objects)
+        ]
+        # Warm every replica so the measured phase is routing, not
+        # cold starts.
+        for oid in sensor_ids + vault_ids:
+            platform.http(
+                "POST",
+                f"/api/objects/{oid}/invokes/bump",
+                {},
+                headers={"x-origin-zone": "edge-a"},
+            )
+        vault_origin = "core" if mode == "misconfigured" else "edge-a"
+        latencies: list[float] = []
+        completed = failed = vault_completed = 0
+        for round_index in range(rounds):
+            for index, oid in enumerate(sensor_ids):
+                origin = edge_origins[(round_index + index) % len(edge_origins)]
+                started = platform.now
+                response = platform.http(
+                    "POST",
+                    f"/api/objects/{oid}/invokes/bump",
+                    {},
+                    headers={"x-origin-zone": origin},
+                )
+                if response.status == 200:
+                    completed += 1
+                    latencies.append(platform.now - started)
+                else:
+                    failed += 1
+            for oid in vault_ids:
+                response = platform.http(
+                    "POST",
+                    f"/api/objects/{oid}/invokes/bump",
+                    {},
+                    headers={"x-origin-zone": vault_origin},
+                )
+                if response.status == 200:
+                    vault_completed += 1
+        latencies.sort()
+        if latencies:
+            rank = max(0, min(len(latencies) - 1, int(0.95 * len(latencies))))
+            sensor_p95_ms = latencies[rank] * 1000.0
+        else:
+            sensor_p95_ms = 0.0
+        sensor_stats = platform.federation.class_stats("Sensor")
+        rows.append(
+            FederationRow(
+                mode=mode,
+                placement=placement,
+                sensor_p95_ms=sensor_p95_ms,
+                sensor_target_ms=20.0,
+                completed=completed,
+                failed=failed,
+                cross_zone=sensor_stats["cross_zone"],
+                vault_rejections=platform.federation.jurisdiction_rejections(
+                    "Vault"
+                ),
+                vault_completed=vault_completed,
+            )
+        )
         platform.shutdown()
     return rows

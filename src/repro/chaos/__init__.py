@@ -20,7 +20,9 @@ from repro.chaos.plan import (
     SlowPods,
     SlowWorker,
     StorageFaults,
+    WanDegradation,
     WorkerCrash,
+    ZonePartition,
 )
 from repro.chaos.plans import PLAN_NAMES, named_plan
 
@@ -39,6 +41,8 @@ __all__ = [
     "WorkerCrash",
     "HeartbeatLoss",
     "SlowWorker",
+    "ZonePartition",
+    "WanDegradation",
     "PLAN_NAMES",
     "named_plan",
 ]

@@ -37,7 +37,9 @@ from repro.chaos.plan import (
     SlowPods,
     SlowWorker,
     StorageFaults,
+    WanDegradation,
     WorkerCrash,
+    ZonePartition,
 )
 from repro.errors import SimulationError
 from repro.sim.kernel import Process
@@ -141,6 +143,10 @@ class ChaosInjector:
             return self._compile_heartbeat_loss(fault)
         if isinstance(fault, SlowWorker):
             return self._compile_slow_worker(fault)
+        if isinstance(fault, ZonePartition):
+            return self._compile_zone_partition(fault)
+        if isinstance(fault, WanDegradation):
+            return self._compile_wan_degradation(fault)
         raise NotImplementedError(f"no injector for fault kind {fault.kind!r}")
 
     def _compile_node_crash(self, fault: NodeCrash):
@@ -297,6 +303,61 @@ class ChaosInjector:
 
         def recover() -> None:
             plane.clear_worker_slow(fault.worker)
+            self._on_recover(fault)
+
+        return inject, recover
+
+    def _federation_plane(self, fault: Fault):
+        plane = self.platform.federation
+        if plane is None:
+            raise SimulationError(
+                f"{fault.kind} targets the federation plane; enable it with "
+                "PlatformConfig(federation=FederationConfig(enabled=True))"
+            )
+        return plane
+
+    def _zone_nodes(self, plane, zone: str) -> list[str]:
+        plane.topology.zone(zone)  # raises ValidationError for unknown zones
+        return plane.planner.nodes_in_zone(zone)
+
+    def _compile_zone_partition(self, fault: ZonePartition):
+        plane = self._federation_plane(fault)
+
+        def inject() -> None:
+            nodes = self._zone_nodes(plane, fault.zone)
+            self.platform.network.fault_state().isolate(nodes)
+            self._on_inject(fault)
+
+        def recover() -> None:
+            self.platform.network.fault_state().clear_partition()
+            # Anti-entropy, exactly like a healed Partition: zone-side
+            # replicas reconverge with the rest of the federation.
+            isolated = set(self._zone_nodes(plane, fault.zone))
+            for runtime in self.platform.crm.runtimes.values():
+                if isolated & set(runtime.dht.nodes):
+                    runtime.dht.rebalance()
+            self._on_recover(fault)
+
+        return inject, recover
+
+    def _compile_wan_degradation(self, fault: WanDegradation):
+        plane = self._federation_plane(fault)
+        token_box: list[object] = [None]
+
+        def inject() -> None:
+            src = self._zone_nodes(plane, fault.src_zone)
+            dst = (
+                self._zone_nodes(plane, fault.dst_zone)
+                if fault.dst_zone is not None
+                else None
+            )
+            token_box[0] = self.platform.network.fault_state().add_delay(
+                fault.extra_s, src=src, dst=dst
+            )
+            self._on_inject(fault)
+
+        def recover() -> None:
+            self.platform.network.fault_state().remove_delay(token_box[0])
             self._on_recover(fault)
 
         return inject, recover

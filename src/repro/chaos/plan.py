@@ -21,11 +21,16 @@ profile                  models
 :class:`WorkerCrash`     a scheduler-plane worker dying mid-run [s]
 :class:`HeartbeatLoss`   a worker going silent while still executing [s]
 :class:`SlowWorker`      one worker's dispatch overhead multiplied [s]
+:class:`ZonePartition`   a whole zone cut off from the federation [f]
+:class:`WanDegradation`  a degraded WAN link between two zones [f]
 =======================  ==================================================
 
 Profiles marked ``[s]`` target the scheduler plane and require
-``PlatformConfig(scheduler=SchedulerConfig(enabled=True))``; injecting
-them into a baseline platform raises :class:`SimulationError`.
+``PlatformConfig(scheduler=SchedulerConfig(enabled=True))``; profiles
+marked ``[f]`` target the federation plane and require
+``PlatformConfig(federation=FederationConfig(enabled=True))``.
+Injecting either into a baseline platform raises
+:class:`SimulationError`.
 """
 
 from __future__ import annotations
@@ -46,6 +51,8 @@ __all__ = [
     "WorkerCrash",
     "HeartbeatLoss",
     "SlowWorker",
+    "ZonePartition",
+    "WanDegradation",
     "FaultPlan",
 ]
 
@@ -276,6 +283,54 @@ class SlowWorker(Fault):
 
     def describe(self) -> dict[str, Any]:
         return {**super().describe(), "worker": self.worker, "factor": self.factor}
+
+
+@dataclass(frozen=True, kw_only=True)
+class ZonePartition(Fault):
+    """Every node of one federation zone is cut off from the rest of
+    the cluster (and from clients) — an edge site dropping off the WAN.
+    Healing clears the partition and runs DHT anti-entropy on every
+    class runtime with members in the zone."""
+
+    zone: str
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.zone:
+            raise ValidationError("ZonePartition requires a zone name")
+        if self.duration_s <= 0:
+            raise ValidationError("ZonePartition requires duration_s > 0")
+
+    def describe(self) -> dict[str, Any]:
+        return {**super().describe(), "zone": self.zone}
+
+
+@dataclass(frozen=True, kw_only=True)
+class WanDegradation(Fault):
+    """The WAN link between two zones degrades: ``extra_s`` of added
+    latency on every transfer between their nodes (symmetric).  With
+    ``dst_zone`` omitted, everything in or out of ``src_zone`` slows."""
+
+    src_zone: str
+    dst_zone: str | None = None
+    extra_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.src_zone:
+            raise ValidationError("WanDegradation requires a src_zone")
+        if self.extra_s <= 0:
+            raise ValidationError(f"extra_s must be > 0, got {self.extra_s}")
+        if self.duration_s <= 0:
+            raise ValidationError("WanDegradation requires duration_s > 0")
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            **super().describe(),
+            "src_zone": self.src_zone,
+            "dst_zone": self.dst_zone,
+            "extra_s": self.extra_s,
+        }
 
 
 @dataclass(frozen=True)

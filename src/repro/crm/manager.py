@@ -18,7 +18,12 @@ from typing import Any, Mapping
 from repro.crm.costs import CostModel, CostTracker
 from repro.crm.runtime import ClassRuntime
 from repro.crm.template import ClassRuntimeTemplate, TemplateCatalog, default_catalog
-from repro.errors import DeploymentError, UnknownClassError, UnknownFunctionError
+from repro.errors import (
+    DeploymentError,
+    SchedulingError,
+    UnknownClassError,
+    UnknownFunctionError,
+)
 from repro.faas.deployment_engine import DeploymentEngine, DeploymentModel
 from repro.faas.engine import FunctionService
 from repro.faas.knative import KnativeEngine, KnativeModel
@@ -90,6 +95,11 @@ class ClassRuntimeManager:
         #: CRM attaches every (re)deployed class to it.  ``None`` in the
         #: baseline — deployment takes the original code path.
         self.durability: Any | None = None
+        #: The federation plane, set by the platform when enabled; the
+        #: placement planner then scores every class's node domain.
+        #: ``None`` in the baseline — deployment takes the original
+        #: jurisdiction-label path.
+        self.federation: Any | None = None
         self._runtimes: dict[str, ClassRuntime] = {}
         self._resolved: dict[str, ResolvedClass] = {}
 
@@ -121,19 +131,7 @@ class ClassRuntimeManager:
             )
         # Jurisdiction constraints (§II-C, §VI): the class's state and
         # function pods may only live on nodes in the allowed regions.
-        jurisdictions = resolved.nfr.constraint.jurisdictions
-        if jurisdictions:
-            allowed_nodes = self.cluster.nodes_in_regions(jurisdictions)
-            if not allowed_nodes:
-                raise DeploymentError(
-                    f"class {resolved.name!r} is constrained to jurisdictions "
-                    f"{list(jurisdictions)}, but no cluster node carries a "
-                    f"matching 'region' label (regions: {list(self.cluster.regions)})"
-                )
-            node_hints: list[str] | None = allowed_nodes
-        else:
-            allowed_nodes = list(self.cluster.node_names)
-            node_hints = None
+        allowed_nodes, node_hints = self._placement_for(resolved)
         dht = Dht(
             self.env,
             allowed_nodes,
@@ -221,6 +219,65 @@ class ClassRuntimeManager:
             )
         return runtime
 
+    def _placement_for(
+        self, resolved: ResolvedClass
+    ) -> tuple[list[str], list[str] | None]:
+        """The class's node domain plus ordered pod-placement hints.
+
+        With the federation plane attached, the placement planner scores
+        the domain (jurisdiction hard filter, latency-NFR tier pinning,
+        capacity, deterministic tie-breaks).  Without it,
+        jurisdiction-constrained classes keep the flat region-label
+        filter and unconstrained classes are unrestricted.  Constraint
+        names matching no region/zone raise :class:`DeploymentError`
+        naming the labels that exist.
+        """
+        jurisdictions = resolved.nfr.constraint.jurisdictions
+        try:
+            if self.federation is not None:
+                planned = self.federation.placement_nodes(resolved.nfr)
+                if not planned:
+                    raise DeploymentError(
+                        f"class {resolved.name!r} is constrained to jurisdictions "
+                        f"{list(jurisdictions)}, but no cluster node sits in a "
+                        f"matching zone (regions: {list(self.cluster.regions)})"
+                    )
+                return list(planned), list(planned)
+            if jurisdictions:
+                allowed_nodes = self.cluster.nodes_in_regions(jurisdictions)
+                if not allowed_nodes:
+                    raise DeploymentError(
+                        f"class {resolved.name!r} is constrained to jurisdictions "
+                        f"{list(jurisdictions)}, but no cluster node carries a "
+                        f"matching 'region' label "
+                        f"(regions: {list(self.cluster.regions)})"
+                    )
+                return allowed_nodes, list(allowed_nodes)
+        except SchedulingError as exc:
+            raise DeploymentError(
+                f"class {resolved.name!r}: jurisdiction constraint "
+                f"{list(jurisdictions)} cannot be satisfied: {exc}"
+            ) from exc
+        return list(self.cluster.node_names), None
+
+    def refresh_placement(self, runtime: ClassRuntime) -> None:
+        """Re-run placement for a deployed class after cluster
+        membership changed, pushing fresh hints into every service's
+        deployment — so scale-up and self-heal replacements obey the
+        same constraints as the initial deploy.  No-op for classes that
+        were deployed unconstrained (hints stay ``None``-equivalent)."""
+        try:
+            _, node_hints = self._placement_for(runtime.resolved)
+        except DeploymentError:
+            # Every allowed node is gone.  Keep the stale (dead) hints:
+            # the deployment refuses to place rather than spilling the
+            # class outside its jurisdiction.
+            return
+        if node_hints is None:
+            return
+        for svc in runtime.services.values():
+            svc.deployment.set_hints(node_hints)
+
     def update_class(
         self, resolved: ResolvedClass, template: ClassRuntimeTemplate | None = None
     ) -> ClassRuntime:
@@ -253,6 +310,11 @@ class ClassRuntimeManager:
                 )
         chosen = template or self.catalog.select(resolved.nfr)
         config = chosen.config
+        # Re-run placement for the new definition before touching the
+        # old services: re-provisioned pods must honour
+        # jurisdiction/latency constraints exactly like the initial
+        # deploy (updates used to spill outside them).
+        _, node_hints = self._placement_for(resolved)
         # Tear down old services, then provision per the new definition.
         old_engine = (
             self.knative if old_runtime.engine_name == "knative" else self.deployment
@@ -279,6 +341,7 @@ class ClassRuntimeManager:
                 f"{resolved.name}.{method}",
                 definition,
                 services=self.handler_services,
+                node_hints=node_hints,
             )
         old_runtime.router.policy = config.placement
         if config.persistent and old_runtime.dht.store is not None:

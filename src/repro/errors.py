@@ -92,6 +92,20 @@ class NoRouteError(OaasError):
     """An HTTP request matched no gateway route (method/path pair)."""
 
 
+class JurisdictionError(InvocationError):
+    """A request from one jurisdiction touched an object whose class is
+    constrained to another.  Raised only when the federation plane is
+    enabled and the request carries an origin zone; gateways map this to
+    HTTP 451 and the rejection is counted into the class's
+    ``jurisdiction`` NFR verdict."""
+
+
+class MigrationError(OaasError):
+    """A live object migration between zones could not complete (unknown
+    target zone, no eligible node in the target zone, or a handoff
+    precondition failed)."""
+
+
 class FunctionExecutionError(InvocationError):
     """The user function raised an exception.
 

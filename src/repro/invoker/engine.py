@@ -139,6 +139,9 @@ class InvocationEngine:
         # Directories without per-class policies (test doubles) fall back
         # to DEFAULT_POLICY; resolved once so the hot path stays cheap.
         self._policy_source = getattr(directory, "policy_for", None)
+        #: Federation plane hook (geo-routing + jurisdiction gate);
+        #: installed by the platform only when the plane is enabled.
+        self.federation: Any | None = None
         self.object_store.create_bucket(bucket)
         self._dataflow = DataflowExecutor(self)
         self.invocations = 0
@@ -216,6 +219,7 @@ class InvocationEngine:
         root: Span | None = None,
     ) -> Generator[Any, Any, InvocationResult]:
         trace_id = trace_id or request.trace_id or request.request_id
+        yield from self._geo_admit(request)
         if request.fn_name == "new":
             return (yield from self._builtin_new(request))
         record = yield from self._load_record(request, trace_id, root)
@@ -285,19 +289,51 @@ class InvocationEngine:
             return DEFAULT_POLICY
         return self._policy_source(cls)
 
-    def _place(self, cls: str, dht: Dht, object_id: str, exclude: set[str]) -> str:
+    def _geo_admit(self, request: InvocationRequest) -> Generator[Any, Any, None]:
+        """Federation gate: enforce the target class's jurisdiction
+        constraint against the request's origin zone and pay the client
+        leg to the serving replica.  A no-op (zero yields, zero time)
+        without the plane or without an origin zone."""
+        fed = self.federation
+        if fed is None or request.origin_zone is None:
+            return
+        cls = self._target_class(request)
+        resolved = self.directory.resolved(cls)
+        dht = self.directory.dht_for(resolved.name)
+        leg = fed.admit(
+            request.origin_zone,
+            resolved.name,
+            resolved.nfr.constraint.jurisdictions,
+            dht,
+            request.object_id,
+        )
+        if leg > 0:
+            yield self.env.timeout(leg)
+
+    def _place(
+        self,
+        cls: str,
+        dht: Dht,
+        object_id: str,
+        exclude: set[str],
+        origin_zone: str | None = None,
+    ) -> str:
         """The router's choice, shed away from excluded/broken nodes.
 
         The fast path (no breakers instantiated, nothing excluded) is
-        exactly ``router.place``.  Otherwise candidates are scanned in
-        preference order — routed node, then the object's owners, then
-        any member — skipping nodes already failed this request and
-        nodes with an open breaker.
+        exactly ``router.place`` — or, with the federation plane and an
+        origin zone, the eligible replica nearest to that zone.
+        Otherwise candidates are scanned in preference order — routed
+        node, then the object's owners, then any member — skipping nodes
+        already failed this request and nodes with an open breaker.
         """
         router = self.directory.router_for(cls)
-        primary = router.place(object_id)
+        fed = self.federation
         if not exclude and not self.breakers.active:
-            return primary
+            if fed is not None and origin_zone is not None:
+                return fed.route(dht, object_id, origin_zone)
+            return router.place(object_id)
+        primary = router.place(object_id)
         fallback: str | None = None
         seen: set[str] = set()
         for node in (primary, *dht.owners(object_id), *dht.nodes):
@@ -433,7 +469,10 @@ class InvocationEngine:
             route_span = self.tracer.start(
                 trace_id or request.request_id, "route", parent=parent
             )
-            caller = self._place(resolved.name, dht, request.object_id, exclude)
+            caller = self._place(
+                resolved.name, dht, request.object_id, exclude,
+                origin_zone=request.origin_zone,
+            )
             self.tracer.finish(route_span, node=caller, cls=resolved.name)
             span = self.tracer.start(
                 trace_id or request.request_id, "state.load", parent=parent, node=caller
@@ -483,7 +522,10 @@ class InvocationEngine:
         fault_attempts = 0
         exclude: set[str] = set()
         while True:
-            caller = self._place(resolved.name, dht, request.object_id, exclude)
+            caller = self._place(
+                resolved.name, dht, request.object_id, exclude,
+                origin_zone=request.origin_zone,
+            )
             offload = self.tracer.start(
                 trace_id, f"task.offload {service.name}", parent=root
             )
@@ -773,7 +815,9 @@ class InvocationEngine:
         else:
             object_id = make_object_id(resolved.name)
         dht = self.directory.dht_for(resolved.name)
-        caller = self._place(resolved.name, dht, object_id, set())
+        caller = self._place(
+            resolved.name, dht, object_id, set(), origin_zone=request.origin_zone
+        )
         existing = yield dht.get(object_id, caller=caller)
         if existing is not None:
             raise InvocationError(f"object {object_id!r} already exists")
@@ -795,13 +839,14 @@ class InvocationEngine:
         dht: Dht,
         object_id: str,
         operation: "Callable[[str], Process]",
+        origin_zone: str | None = None,
     ) -> Generator[Any, Any, Any]:
         """Run a builtin DHT mutation under the class's retry policy."""
         policy = self._policy_for(cls)
         exclude: set[str] = set()
         attempt = 0
         while True:
-            caller = self._place(cls, dht, object_id, exclude)
+            caller = self._place(cls, dht, object_id, exclude, origin_zone=origin_zone)
             try:
                 dht.network.check_path(None, caller)
                 result = yield operation(caller)
@@ -852,6 +897,7 @@ class InvocationEngine:
                 lambda caller: dht.compare_and_put(
                     updated.to_doc(), expected_version=record.version, caller=caller
                 ),
+                origin_zone=request.origin_zone,
             )
             return ok({"version": updated.version})
         if fn == "delete":
@@ -860,6 +906,7 @@ class InvocationEngine:
                 dht,
                 record.id,
                 lambda caller: dht.delete(record.id, caller=caller),
+                origin_zone=request.origin_zone,
             )
             for object_key in record.files.values():
                 try:

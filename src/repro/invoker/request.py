@@ -40,6 +40,10 @@ class InvocationRequest:
     #: originating request's trace id and link to their step span.
     trace_id: str | None = None
     trace_parent: int | None = None
+    #: Geo-routing: the client's zone of origin.  ``None`` (the default,
+    #: and always the case without the federation plane) keeps the
+    #: baseline routing and skips jurisdiction enforcement.
+    origin_zone: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "payload", dict(self.payload))

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.chaos.injector import ChaosInjector
     from repro.durability.plane import DurabilityPlane
+    from repro.federation.plane import FederationPlane
     from repro.monitoring.collector import MonitoringSystem
     from repro.qos.plane import QosPlane
 
@@ -74,6 +75,7 @@ def nfr_compliance_report(
     chaos: "ChaosInjector | None" = None,
     qos: "QosPlane | None" = None,
     durability: "DurabilityPlane | None" = None,
+    federation: "FederationPlane | None" = None,
 ) -> list[NfrVerdict]:
     """Judge every deployed class's declared QoS against observations.
 
@@ -99,6 +101,10 @@ def nfr_compliance_report(
     sim-seconds of acknowledged writes lost, judged against the policy's
     RPO budget (0 for ``persistence: strong``, one snapshot interval for
     ``standard``).
+
+    With a ``federation`` plane supplied, jurisdiction-constrained
+    classes get a ``jurisdiction`` verdict: the count of rejected
+    cross-jurisdiction accesses, judged against a target of zero.
     """
     fault_counts = chaos.fault_counts() if chaos is not None else {}
     qos_plane = qos  # the loop below rebinds ``qos`` to each class's block
@@ -107,6 +113,8 @@ def nfr_compliance_report(
         runtime = runtimes[cls]
         if durability is not None:
             verdicts.extend(_durability_verdicts(cls, durability))
+        if federation is not None:
+            verdicts.extend(_jurisdiction_verdicts(cls, runtime, federation))
         qos = runtime.resolved.nfr.qos
         if qos.is_empty:
             continue
@@ -228,6 +236,34 @@ def _durability_verdicts(
                 f"{recovery['lost_writes']} write(s) lost, "
                 f"RTO {recovery['rto_s']:.4f}s after node "
                 f"{recovery['node']} crash"
+            ),
+        )
+    ]
+
+
+def _jurisdiction_verdicts(
+    cls: str, runtime: Any, federation: "FederationPlane"
+) -> list[NfrVerdict]:
+    """Jurisdiction verdict for a constrained class: the target is zero
+    rejected cross-jurisdiction accesses; every rejection counted by the
+    federation plane is one violation."""
+    jurisdictions = runtime.resolved.nfr.constraint.jurisdictions
+    if not jurisdictions:
+        return []
+    stats = federation.class_stats(cls)
+    rejections = float(stats["rejections"])
+    return [
+        NfrVerdict(
+            cls=cls,
+            requirement="jurisdiction",
+            target=0.0,
+            observed=rejections,
+            met=rejections == 0.0,
+            margin=-rejections,
+            detail=(
+                f"constrained to {sorted(jurisdictions)}; "
+                f"{stats['accesses']} access(es), "
+                f"{int(rejections)} rejected"
             ),
         )
     ]

@@ -144,6 +144,8 @@ class MetricsPlane:
             platform.durability.collect_metrics(registry)
         if platform.scheduler_plane is not None:
             platform.scheduler_plane.collect_metrics(registry)
+        if platform.federation is not None:
+            platform.federation.collect_metrics(registry)
         if platform.chaos is not None:
             platform.chaos.collect_metrics(registry)
         profile = platform.env.profile

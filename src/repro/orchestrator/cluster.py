@@ -108,8 +108,20 @@ class Cluster:
         return node.labels.get("region") if node is not None else None
 
     def nodes_in_regions(self, regions: tuple[str, ...] | list[str]) -> list[str]:
-        """Node names whose ``region`` label is in ``regions``."""
+        """Node names whose ``region`` label is in ``regions``.
+
+        Region names that no node carries raise :class:`SchedulingError`
+        listing the known regions — a silent ``[]`` here used to surface
+        much later as a confusing "no cluster node" failure.
+        """
         wanted = set(regions)
+        known = set(self.regions)
+        unknown = wanted - known
+        if unknown:
+            raise SchedulingError(
+                f"unknown region(s) {sorted(unknown)}; "
+                f"known regions: {sorted(known)}"
+            )
         return [
             name
             for name in sorted(self._nodes)

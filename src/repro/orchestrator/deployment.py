@@ -59,7 +59,15 @@ class Deployment:
         return sum(pod.in_flight for pod in self.pods)
 
     def _next_hint(self) -> str | None:
-        """The next placement hint, skipping nodes that left the cluster."""
+        """The next placement hint, skipping nodes that left the cluster.
+
+        Hints are a *constraint*, not a preference: they carry the
+        class's jurisdiction/placement decision.  When every hinted node
+        has left the cluster the deployment refuses to place (raising
+        :class:`SchedulingError`) rather than silently falling back to
+        an unconstrained scheduler pick — a healed pod must never land
+        outside its class's allowed nodes.
+        """
         if not self._hint_cycle:
             return None
         live = set(self.scheduler.cluster.node_names)
@@ -67,7 +75,20 @@ class Deployment:
             hint = next(self._hint_cycle)
             if hint in live:
                 return hint
-        return None  # every hinted node is gone; fall back to the scheduler
+        raise SchedulingError(
+            f"deployment {self.name!r}: every allowed node "
+            f"{self.node_hints} has left the cluster"
+        )
+
+    def set_hints(self, node_hints: list[str]) -> None:
+        """Replace the placement-hint set (cluster membership changed).
+
+        Callers (the CRM / federation planner) keep hints current as
+        nodes join and leave so reconcile-time replacements track the
+        latest placement decision.
+        """
+        self.node_hints = list(node_hints)
+        self._hint_cycle = itertools.cycle(self.node_hints) if self.node_hints else None
 
     def scale(self, replicas: int) -> None:
         """Adjust the desired replica count and converge toward it.

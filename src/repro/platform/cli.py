@@ -383,6 +383,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restore point in simulated seconds (default: latest cut)",
     )
+
+    migrate = sub.add_parser(
+        "migrate",
+        help="run a workload with the federation plane on and live-migrate "
+        "the object into another zone",
+    )
+    add_workload_args(migrate)
+    migrate.add_argument(
+        "--zones",
+        default="edge-a:edge,region-a:regional,core:core",
+        metavar="NAME:TIER[,NAME:TIER...]",
+        help="zone topology; cluster nodes are labelled round-robin "
+        "across the zones (tiers: edge, regional, core)",
+    )
+    migrate.add_argument(
+        "--to",
+        dest="target_zone",
+        required=True,
+        metavar="ZONE",
+        help="target zone for the live migration",
+    )
+    migrate.add_argument(
+        "--origin",
+        default=None,
+        metavar="ZONE",
+        help="origin zone stamped on workload requests (geo-routing)",
+    )
+    migrate.add_argument("--seed", type=int, default=0, help="platform RNG seed")
     return parser
 
 
@@ -474,10 +502,13 @@ def _build_platform(
     durability_config=None,
     metrics_config=None,
     scheduler_config=None,
+    federation_config=None,
+    regions=(),
 ):
     """An ephemeral platform with the workload's handlers registered, or
     ``None`` (after printing the error) when handler wiring is invalid."""
     from repro.durability.plane import DurabilityConfig
+    from repro.federation.plane import FederationConfig
     from repro.monitoring.plane import MetricsConfig
     from repro.platform.oparaca import Oparaca, PlatformConfig
     from repro.qos.plane import QosConfig
@@ -495,6 +526,7 @@ def _build_platform(
     platform = Oparaca(
         PlatformConfig(
             nodes=args.nodes,
+            regions=tuple(regions),
             seed=getattr(args, "seed", 0),
             tracing_enabled=tracing,
             events_enabled=events,
@@ -512,6 +544,11 @@ def _build_platform(
                 scheduler_config
                 if scheduler_config is not None
                 else SchedulerConfig()
+            ),
+            federation=(
+                federation_config
+                if federation_config is not None
+                else FederationConfig()
             ),
         )
     )
@@ -1226,6 +1263,73 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_zones(text: str):
+    from repro.federation.topology import Zone
+
+    zones = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, tier = part.partition(":")
+        zones.append(Zone(name=name.strip(), tier=tier.strip() or "regional"))
+    return tuple(zones)
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.federation.plane import FederationConfig
+
+    package = _load_pkg(args.package)
+    zones = _parse_zones(args.zones)
+    platform = _build_platform(
+        args,
+        package,
+        events=True,
+        federation_config=FederationConfig(
+            enabled=True, zones=zones, default_origin_zone=args.origin
+        ),
+        regions=tuple(zone.name for zone in zones),
+    )
+    if platform is None:
+        return 2
+    platform.deploy(package)
+    object_id = _run_workload(platform, args, quiet=True)
+    plane = platform.federation
+    runtime = platform.crm.runtime(args.new_cls)
+    source = runtime.dht.owner(object_id)
+    source_zone = plane.planner.zone_of_node(source)
+    print(
+        f"object {object_id} lives on {source} "
+        f"(zone {source_zone.name if source_zone else '?'})"
+    )
+    response = platform.http(
+        "POST",
+        f"/api/classes/{args.new_cls}/objects/{object_id}/migrate",
+        {"zone": args.target_zone},
+    )
+    if not response.ok:
+        print(f"error: migration failed: {response.body.get('error')}", file=sys.stderr)
+        return 1
+    body = response.body
+    print(
+        f"migrated to {body['target']} (zone {body['target_zone']}) in "
+        f"{body['duration_s']:.4f}s at version {body['version']} "
+        f"(epoch {body['epoch']})"
+    )
+    owner = runtime.dht.owner(object_id)
+    record = platform.get_object(object_id)
+    print(f"post-migration owner: {owner}, version {record['version']}")
+    stats = platform.federation_report()
+    print(
+        f"federation: migrations={stats['migrations_total']} "
+        f"failed={stats['migrations_failed']} "
+        f"cross_zone={stats['cross_zone_total']} "
+        f"rejections={stats['rejections_total']}"
+    )
+    platform.shutdown()
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     import urllib.parse
 
@@ -1295,6 +1399,7 @@ def main(argv: list[str] | None = None) -> int:
         "workers": _cmd_workers,
         "snapshot": _cmd_snapshot,
         "restore": _cmd_restore,
+        "migrate": _cmd_migrate,
         "query": _cmd_query,
     }
     try:

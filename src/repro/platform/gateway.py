@@ -20,12 +20,19 @@ GET       /api/classes/{cls}/snapshots               list generations [d]
 POST      /api/classes/{cls}/restore                 PIT restore [d]
 GET       /api/workers                               list workers [s]
 POST      /api/workers/{name}/drain                  drain worker [s]
+POST      /api/classes/{cls}/objects/{oid}/migrate   live migration [f]
 ========  =========================================  ==================
 
-Routes marked ``[d]`` exist only when the durability plane is enabled
-and routes marked ``[s]`` only when the scheduler plane is enabled;
+Routes marked ``[d]`` exist only when the durability plane is enabled,
+routes marked ``[s]`` only when the scheduler plane is enabled, and
+routes marked ``[f]`` only when the federation plane is enabled;
 otherwise they fall through to the usual 404 ``NoRouteError`` body, so
 a baseline platform's route surface is unchanged.
+
+With the federation plane, requests may carry an ``x-origin-zone``
+header (or inherit ``FederationConfig.default_origin_zone``); the
+engine then geo-routes the invocation to the nearest eligible replica
+and enforces jurisdiction constraints (HTTP 451 on violation).
 
 Responses carry HTTP-ish status codes mapped from the invocation
 result's error type, so clients behave as they would against the real
@@ -63,7 +70,9 @@ _STATUS_BY_ERROR = {
     "InvocationError": 403,
     "DataflowError": 400,
     "ConcurrentModificationError": 409,
+    "MigrationError": 409,
     "RateLimitedError": 429,
+    "JurisdictionError": 451,
     "FunctionExecutionError": 500,
     "InvocationTimeoutError": 504,
     "NetworkPartitionError": 503,
@@ -82,10 +91,16 @@ class HttpRequest:
     method: str
     path: str
     body: Mapping[str, Any] = field(default_factory=dict)
+    #: Request headers (case-insensitive; normalised to lower-case).
+    #: The federation plane reads ``x-origin-zone`` for geo-routing.
+    headers: Mapping[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "method", self.method.upper())
         object.__setattr__(self, "body", dict(self.body))
+        object.__setattr__(
+            self, "headers", {k.lower(): v for k, v in dict(self.headers).items()}
+        )
 
 
 @dataclass(frozen=True)
@@ -115,6 +130,7 @@ class Gateway:
         qos: QosPlane | None = None,
         durability: Any | None = None,
         scheduler: Any | None = None,
+        federation: Any | None = None,
     ) -> None:
         self.env = env
         self.engine = engine
@@ -124,6 +140,7 @@ class Gateway:
         self.qos = qos
         self.durability = durability
         self.scheduler = scheduler
+        self.federation = federation
         self.requests = 0
         self.rejected = 0
 
@@ -166,6 +183,8 @@ class Gateway:
             admin = self._durability_route(http)
         if admin is None:
             admin = self._scheduler_route(http)
+        if admin is None:
+            admin = self._federation_route(http)
         if admin is not None:
             if self.overhead_s:
                 yield self.env.timeout(self.overhead_s)
@@ -173,6 +192,13 @@ class Gateway:
                 return admin
             return (yield from admin)
         invocation = self._route(http)
+        if self.federation is not None and isinstance(invocation, InvocationRequest):
+            origin = (
+                http.headers.get("x-origin-zone")
+                or self.federation.config.default_origin_zone
+            )
+            if origin is not None:
+                invocation = dataclasses.replace(invocation, origin_zone=origin)
         admitted = False
         if isinstance(invocation, InvocationRequest) and self.qos is not None:
             # Admission runs before any overhead is spent: a rejected
@@ -331,6 +357,36 @@ class Gateway:
                 202, {"worker": name, "state": worker.state.value}
             )
         return None
+
+    def _federation_route(
+        self, http: HttpRequest
+    ) -> Generator | HttpResponse | None:
+        """Live-migration admin route, live only when the federation
+        plane is wired; otherwise fall through to the baseline 404."""
+        if self.federation is None:
+            return None
+        parts = [p for p in http.path.split("/") if p]
+        if (
+            len(parts) != 6
+            or parts[0] != "api"
+            or parts[1] != "classes"
+            or parts[3] != "objects"
+            or parts[5] != "migrate"
+            or http.method != "POST"
+        ):
+            return None
+        return self._migrate_object(parts[2], parts[4], http.body)
+
+    def _migrate_object(
+        self, cls: str, object_id: str, body: Mapping[str, Any]
+    ) -> Generator[Any, Any, HttpResponse]:
+        zone = body.get("zone")
+        if not zone or not isinstance(zone, str):
+            raise ValidationError(
+                "migrate requires a target 'zone' (string) in the body"
+            )
+        summary = yield self.federation.migrate_object(cls, object_id, zone)
+        return HttpResponse(200, dict(summary))
 
     def _storage_route(
         self, http: HttpRequest

@@ -41,7 +41,8 @@ from repro.errors import FunctionExecutionError, OaasError
 from repro.faas.deployment_engine import DeploymentModel
 from repro.faas.knative import KnativeModel
 from repro.faas.registry import FunctionRegistry, Handler, ServiceTime
-from repro.invoker.engine import InvocationEngine
+from repro.federation.plane import FederationConfig, FederationPlane
+from repro.invoker.engine import InvocationEngine, split_object_id
 from repro.invoker.queue import AsyncInvoker
 from repro.invoker.request import InvocationRequest, InvocationResult
 from repro.model.pkg import Package, load_package, loads_package
@@ -124,6 +125,12 @@ class PlatformConfig:
     #: plane is constructed and async dispatch runs the original
     #: partitioned-topic (or QoS fair-queue) code.
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: Federation plane (hierarchical edge/regional/core zone topology,
+    #: NFR-scored placement, live object migration, geo-routing).  Off
+    #: by default: with ``federation.enabled == False`` no plane is
+    #: constructed, the flat ``regions`` behavior is untouched, and
+    #: every data path runs its original (baseline) code.
+    federation: FederationConfig = field(default_factory=FederationConfig)
 
 
 class Oparaca:
@@ -219,6 +226,19 @@ class Oparaca:
                 config=self.config.scheduler,
             )
             self.scheduler_plane.start()
+        self.federation: FederationPlane | None = None
+        if self.config.federation.enabled:
+            self.federation = FederationPlane(
+                self.env,
+                self.cluster,
+                self.network,
+                self.crm,
+                events=self.events,
+                tracer=self.tracer,
+                config=self.config.federation,
+            )
+            self.crm.federation = self.federation
+            self.engine.federation = self.federation
         self.queue = AsyncInvoker(
             self.env,
             self.engine,
@@ -234,6 +254,7 @@ class Oparaca:
             qos=self.qos,
             durability=self.durability,
             scheduler=self.scheduler_plane,
+            federation=self.federation,
         )
         self._http_fronts: list[Any] = []
         self.chaos: ChaosInjector | None = None
@@ -451,9 +472,19 @@ class Oparaca:
 
     # -- HTTP front door -----------------------------------------------------------------------
 
-    def http(self, method: str, path: str, body: Mapping[str, Any] | None = None) -> HttpResponse:
+    def http(
+        self,
+        method: str,
+        path: str,
+        body: Mapping[str, Any] | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> HttpResponse:
         """Issue a REST request against the gateway, synchronously."""
-        return self.run(self.gateway.handle(HttpRequest(method, path, dict(body or {}))))
+        return self.run(
+            self.gateway.handle(
+                HttpRequest(method, path, dict(body or {}), dict(headers or {}))
+            )
+        )
 
     async def serve_http(self, host: str = "127.0.0.1", port: int = 0):
         """Start the real asyncio HTTP front end (gateway routes →
@@ -477,6 +508,11 @@ class Oparaca:
         Returns per-class failover statistics.
         """
         self.cluster.remove_node(name)
+        if self.federation is not None:
+            # Re-plan placement hints before the reconciles below so
+            # replacement pods land where the planner says, not on
+            # whatever capacity happens to be free.
+            self.federation.on_node_failed(name)
         stats: dict[str, dict[str, int]] = {}
         for cls, runtime in self.crm.runtimes.items():
             if name in runtime.dht.nodes:
@@ -499,13 +535,42 @@ class Oparaca:
             labels=labels,
         )
         for runtime in self.crm.runtimes.values():
-            jurisdictions = runtime.resolved.nfr.constraint.jurisdictions
-            if jurisdictions and region not in jurisdictions:
-                continue
+            if self.federation is not None:
+                # The planner decides eligibility: jurisdiction AND tier
+                # pinning, exactly as at deploy time.
+                if not self.federation.node_eligible(runtime.resolved.nfr, name):
+                    continue
+            else:
+                jurisdictions = runtime.resolved.nfr.constraint.jurisdictions
+                if jurisdictions and region not in jurisdictions:
+                    continue
             runtime.dht.add_node(name)
             runtime.router.refresh()
         if self.durability is not None:
             self.durability.on_node_joined(name)
+        if self.federation is not None:
+            self.federation.on_node_joined(name)
+
+    # -- federation (live migration) ---------------------------------------------------
+
+    def migrate_object(
+        self, object_id: str, zone: str, cls: str | None = None
+    ) -> dict[str, Any]:
+        """Live-migrate an object's primary copy into ``zone``.
+
+        Requires ``FederationConfig(enabled=True)``; returns the handoff
+        summary (source/target nodes and zones, version, duration).
+        """
+        if self.federation is None:
+            raise errors.ValidationError(
+                "migrate_object requires FederationConfig(enabled=True)"
+            )
+        cls = cls or split_object_id(object_id)[0]
+        if cls is None:
+            raise errors.ValidationError(
+                f"cannot determine the class of object {object_id!r}; pass cls"
+            )
+        return self.run(self.federation.migrate_object(cls, object_id, zone))
 
     # -- chaos ------------------------------------------------------------------------
 
@@ -566,6 +631,7 @@ class Oparaca:
             chaos=self.chaos,
             qos=self.qos,
             durability=self.durability,
+            federation=self.federation,
         )
 
     def qos_report(self) -> dict[str, Any]:
@@ -579,6 +645,12 @@ class Oparaca:
         generations, and the last measured recovery (RPO/RTO).  Empty
         when the plane is disabled."""
         return self.durability.stats() if self.durability is not None else {}
+
+    def federation_report(self) -> dict[str, Any]:
+        """Federation-plane statistics: zone topology, placement mode,
+        migration counters, and per-class access/rejection counts.
+        Empty when the plane is disabled."""
+        return self.federation.stats() if self.federation is not None else {}
 
     def scheduler_report(self) -> dict[str, Any]:
         """Scheduler-plane statistics: worker table (state, node, queue
@@ -621,6 +693,8 @@ class Oparaca:
             report["durability"] = self.durability.stats()
         if self.scheduler_plane is not None:
             report["scheduler"] = self.scheduler_plane.stats()
+        if self.federation is not None:
+            report["federation"] = self.federation.stats()
         if self.metrics is not None:
             report["metrics"] = self.metrics.stats()
             slo = self.metrics.slo_report()
@@ -661,6 +735,12 @@ class Oparaca:
             snap["scheduler.requeues"] = float(audit["requeues"])
             snap["scheduler.suppressed"] = float(audit["suppressed"])
             snap["scheduler.workers_live"] = float(self.scheduler_plane.live_workers)
+        if self.federation is not None:
+            fed = self.federation.stats()
+            snap["federation.migrations"] = float(fed["migrations_total"])
+            snap["federation.migrations_failed"] = float(fed["migrations_failed"])
+            snap["federation.cross_zone"] = float(fed["cross_zone_total"])
+            snap["federation.rejections"] = float(fed["rejections_total"])
         return snap
 
     def shutdown(self) -> None:

@@ -172,6 +172,11 @@ class Network:
         self.region_of = region_of
         #: Fault state injected by the chaos plane; ``None`` = healthy.
         self.faults: NetworkFaults | None = None
+        #: Per-endpoint-pair RTT resolver installed by the federation
+        #: plane: generalises the flat ``inter_region_rtt_s`` into a
+        #: zone-pair latency matrix.  ``None`` (the baseline) keeps
+        #: cross-region transfers on the flat model, byte-identical.
+        self.zone_rtt: Callable[[str, str], float | None] | None = None
         self.total_transfers = 0
         self.total_bytes = 0
         self.remote_transfers = 0
@@ -203,6 +208,12 @@ class Network:
         if cross:
             self.cross_region_transfers += 1
         delay = self.model.transfer_time(src, dst, nbytes, cross)
+        if cross and self.zone_rtt is not None:
+            # src/dst are non-None here: _cross_region already resolved
+            # both to (distinct) regions.
+            matrix_rtt = self.zone_rtt(src, dst)  # type: ignore[arg-type]
+            if matrix_rtt is not None:
+                delay += matrix_rtt - self.model.inter_region_rtt_s
         faults = self.faults
         if faults is not None and faults.active:
             if faults.partitioned(src, dst):

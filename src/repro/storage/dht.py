@@ -153,6 +153,16 @@ class Dht:
         #: writes and deletes park here so the cut observes a consistent
         #: instant across every partition.
         self._cut_gate: Gate | None = None
+        #: key -> node ownership overrides installed by live migration
+        #: (federation plane).  Empty on a baseline platform, and
+        #: :meth:`owner`/:meth:`owners` only consult the dict when at
+        #: least one pin exists, so the unpinned path is unchanged.
+        self._pins: dict[str, str] = {}
+        #: key -> migration epoch, bumped at the start of each handoff.
+        #: A put that captured the previous epoch fences itself before
+        #: installing, so an in-flight commit on the old owner can never
+        #: resurrect pre-migration state.
+        self._pin_epochs: dict[str, int] = {}
         self._read_batcher: ReadBatcher | None = None
         if (
             self.model.read_batch is not None
@@ -183,11 +193,25 @@ class Dht:
         return self.ring.nodes
 
     def owner(self, key: str) -> str:
-        """Primary owner node of an object key (used for locality routing)."""
+        """Primary owner node of an object key (used for locality routing).
+
+        A migration pin overrides the hash ring: the pinned node is the
+        primary until the key is unpinned or the node fails.
+        """
+        if self._pins:
+            pinned = self._pins.get(key)
+            if pinned is not None:
+                return pinned
         return self.ring.owner(key)
 
     def owners(self, key: str) -> list[str]:
-        return self.ring.owners(key, self.model.replication)
+        ring_owners = self.ring.owners(key, self.model.replication)
+        if self._pins:
+            pinned = self._pins.get(key)
+            if pinned is not None:
+                followers = [n for n in ring_owners if n != pinned]
+                return [pinned] + followers[: self.model.replication - 1]
+        return ring_owners
 
     # -- data path -----------------------------------------------------------
 
@@ -318,6 +342,7 @@ class Dht:
         while self._cut_gate is not None:
             yield self._cut_gate.wait()
         self.puts += 1
+        fence_epoch = self._pin_epochs.get(key, 0)
         owners = self.owners(key)
         size = doc_size_bytes(doc)
         # Sloppy-quorum accept: the first *reachable* owner acts as
@@ -344,6 +369,17 @@ class Dht:
                     f"object {key!r}: expected version {expected_version}, "
                     f"found {current_version}"
                 )
+        # Migration epoch fence: a handoff completed while this commit
+        # was in flight repointed ownership, so installing here would
+        # resurrect stale state on the old owner.  Fail the commit as a
+        # version conflict — the invoker reloads (now routed to the new
+        # owner) and retries.  No yields sit between this check and the
+        # install, so a commit that passes it is captured by the
+        # migration's best-copy read.
+        if self._pin_epochs and self._pin_epochs.get(key, 0) != fence_epoch:
+            raise ConcurrentModificationError(
+                f"object {key!r}: ownership migrated while the commit was in flight"
+            )
         stored = copy.deepcopy(doc)
         self._install(primary, key, stored)
         # Commit invalidates every near-cached copy: the next non-fresh
@@ -532,6 +568,10 @@ class Dht:
         self._mem.pop(node, None)
         self._near.pop(node, None)
         self.ring.remove_node(node)
+        if self._pins:
+            # Pins to the dead node dissolve: ownership falls back to
+            # the hash ring and rebalance reinstalls surviving copies.
+            self._pins = {k: n for k, n in self._pins.items() if n != node}
         stats = self.rebalance()
         stats["lost_pending"] = lost_pending
         if lost_fenced is not None:
@@ -564,6 +604,64 @@ class Dht:
                 moved += 1
                 self._mem[owner][key] = copy.deepcopy(doc)
         return {"keys_moved": moved, "keys_resident": len(merged)}
+
+    # -- live migration (federation plane) -----------------------------------
+
+    def pinned_node(self, key: str) -> str | None:
+        """The node a key is pinned to by migration, or ``None``."""
+        return self._pins.get(key)
+
+    def pin_epoch(self, key: str) -> int:
+        """The key's current migration epoch (0 = never migrated)."""
+        return self._pin_epochs.get(key, 0)
+
+    def prepare_migration(self, key: str) -> int:
+        """Open a handoff: bump the key's migration epoch so every
+        commit already in flight fences itself instead of installing on
+        the old owner.  Returns the new epoch."""
+        epoch = self._pin_epochs.get(key, 0) + 1
+        self._pin_epochs[key] = epoch
+        return epoch
+
+    def best_resident(self, key: str) -> dict[str, Any] | None:
+        """Newest in-memory copy of ``key`` across *all* nodes —
+        replicas and stranded sloppy-quorum copies included.  Instant;
+        part of the migration handoff's best-source selection."""
+        best: dict[str, Any] | None = None
+        for mem in self._mem.values():
+            doc = mem.get(key)
+            if doc is not None and (
+                best is None or doc.get("version", 0) > best.get("version", 0)
+            ):
+                best = doc
+        return copy.deepcopy(best) if best is not None else None
+
+    def complete_migration(
+        self, key: str, target: str, doc: dict[str, Any] | None
+    ) -> None:
+        """Atomically (no sim yields) repoint ownership of ``key`` to
+        ``target``: pin it, drop copies outside the new owner set, and
+        install the handoff copy version-guarded (never downgrading a
+        newer resident copy)."""
+        if target not in self.ring:
+            raise StorageError(f"node {target!r} is not a DHT member")
+        self._pins[key] = target
+        owners = self.owners(key)
+        for node, mem in self._mem.items():
+            if node not in owners:
+                mem.pop(key, None)
+        if doc is not None:
+            for node in owners:
+                current = self._mem[node].get(key)
+                if current is None or doc.get("version", 0) > current.get(
+                    "version", 0
+                ):
+                    self._install(node, key, copy.deepcopy(doc))
+        self._near_invalidate(key)
+
+    def unpin(self, key: str) -> None:
+        """Drop a migration pin; ownership falls back to the hash ring."""
+        self._pins.pop(key, None)
 
     # -- durability (snapshot/restore plane) ---------------------------------
 

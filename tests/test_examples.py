@@ -42,7 +42,9 @@ class TestExamples:
         result = run_example("multi_datacenter.py")
         assert result.returncode == 0, result.stderr
         assert "multi-datacenter demo complete." in result.stdout
-        assert "regions: ['eu-west']" in result.stdout
+        assert "jurisdictions: ['eu']" in result.stdout
+        assert "live migration: eu-edge -> eu-region" in result.stdout
+        assert "HTTP 451" in result.stdout
 
     def test_chaos_resilience(self):
         result = run_example("chaos_resilience.py")

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for the federation plane: the
+placement scorer's determinism and constraint-safety, and the migration
+protocol's version monotonicity / exactly-once visibility."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.federation import FederationConfig, PlacementPlanner, Zone, ZoneTopology
+from repro.model.nfr import Constraint, NonFunctionalRequirements, QosRequirement
+from repro.orchestrator.cluster import Cluster
+from repro.sim.kernel import Environment
+
+from tests.helpers import make_platform
+
+zone_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+tiers = st.sampled_from(("edge", "regional", "core"))
+
+
+@st.composite
+def topologies(draw):
+    """A topology of 2–5 uniquely named zones plus a partial RTT matrix."""
+    names = draw(
+        st.lists(zone_names, min_size=2, max_size=5, unique=True)
+    )
+    zones = tuple(Zone(name, tier=draw(tiers)) for name in names)
+    rtt = []
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            if draw(st.booleans()):
+                rtt.append((a, b, draw(st.floats(0.001, 0.2))))
+    return zones, tuple(rtt)
+
+
+def build_planner(zones, rtt, nodes_per_zone, mode="nfr"):
+    cluster = Cluster(Environment())
+    for index in range(nodes_per_zone * len(zones)):
+        zone = zones[index % len(zones)]
+        cluster.add_node(f"vm-{index}", labels={"region": zone.name})
+    topology = ZoneTopology(zones, rtt)
+    return PlacementPlanner(cluster, topology, mode=mode)
+
+
+class TestPlannerProperties:
+    @given(topo=topologies(), latency=st.none() | st.floats(1, 100))
+    @settings(max_examples=50)
+    def test_plan_is_deterministic(self, topo, latency):
+        zones, rtt = topo
+        nfr = NonFunctionalRequirements(qos=QosRequirement(latency_ms=latency))
+        plans = [
+            build_planner(zones, rtt, nodes_per_zone=2).plan(nfr)
+            for _ in range(3)
+        ]
+        assert plans[0] == plans[1] == plans[2]
+
+    @given(
+        topo=topologies(),
+        latency=st.none() | st.floats(1, 100),
+        pick=st.integers(0, 4),
+    )
+    @settings(max_examples=50)
+    def test_plan_never_violates_jurisdiction(self, topo, latency, pick):
+        zones, rtt = topo
+        allowed_zone = zones[pick % len(zones)]
+        nfr = NonFunctionalRequirements(
+            qos=QosRequirement(latency_ms=latency),
+            constraint=Constraint(jurisdictions=(allowed_zone.name,)),
+        )
+        planner = build_planner(zones, rtt, nodes_per_zone=2)
+        for node in planner.plan(nfr):
+            assert planner.zone_of_node(node).name == allowed_zone.name
+
+    @given(topo=topologies(), latency=st.none() | st.floats(1, 100))
+    @settings(max_examples=50)
+    def test_plan_nodes_exist_and_are_unique(self, topo, latency):
+        zones, rtt = topo
+        nfr = NonFunctionalRequirements(qos=QosRequirement(latency_ms=latency))
+        planner = build_planner(zones, rtt, nodes_per_zone=2)
+        plan = planner.plan(nfr)
+        assert len(plan) == len(set(plan))
+        assert set(plan) <= set(planner.cluster.node_names)
+
+    @given(topo=topologies())
+    @settings(max_examples=50)
+    def test_latency_nfr_pins_to_lowest_tier(self, topo):
+        zones, rtt = topo
+        nfr = NonFunctionalRequirements(qos=QosRequirement(latency_ms=10.0))
+        planner = build_planner(zones, rtt, nodes_per_zone=2)
+        plan = planner.plan(nfr)
+        lowest = min(zone.tier_rank for zone in zones)
+        assert plan and all(
+            planner.zone_of_node(node).tier_rank == lowest for node in plan
+        )
+
+    @given(topo=topologies())
+    @settings(max_examples=50)
+    def test_core_only_mode_pins_to_highest_tier(self, topo):
+        zones, rtt = topo
+        nfr = NonFunctionalRequirements(qos=QosRequirement(latency_ms=10.0))
+        planner = build_planner(zones, rtt, nodes_per_zone=2, mode="core-only")
+        plan = planner.plan(nfr)
+        highest = max(zone.tier_rank for zone in zones)
+        assert plan and all(
+            planner.zone_of_node(node).tier_rank == highest for node in plan
+        )
+
+    @given(
+        near=st.floats(0.001, 0.019),
+        far=st.floats(0.021, 0.2),
+    )
+    @settings(max_examples=50)
+    def test_prefers_lower_latency_zone_when_tiers_tie(self, near, far):
+        # Three same-tier zones: the planner must lead with the most
+        # central one (lowest mean RTT to the other candidate zones).
+        zones = (Zone("a"), Zone("b"), Zone("c"))
+        rtt = (("a", "b", near), ("b", "c", near), ("a", "c", far))
+        planner = build_planner(zones, rtt, nodes_per_zone=1)
+        plan = planner.plan(NonFunctionalRequirements())
+        # "b" sits near both others; "a"/"c" each have one far edge.
+        assert planner.zone_of_node(plan[0]).name == "b"
+
+
+MIG_YAML = """
+name: mig-app
+classes:
+  - name: Counter
+    keySpecs: [{name: n, type: INT, default: 0}]
+    functions: [{name: bump, image: m/bump}]
+"""
+
+MIG_ZONES = (
+    Zone("edge-a", tier="edge"),
+    Zone("region-a", tier="regional"),
+    Zone("core", tier="core"),
+)
+
+
+def _bump(ctx):
+    ctx.state["n"] = int(ctx.state.get("n") or 0) + 1
+    return {"n": ctx.state["n"]}
+
+
+def migration_platform(seed):
+    return make_platform(
+        MIG_YAML,
+        {"m/bump": (_bump, 0.002)},
+        nodes=6,
+        seed=seed,
+        regions=("edge-a", "region-a", "core"),
+        federation=FederationConfig(enabled=True, zones=MIG_ZONES),
+    )
+
+
+class TestMigrationProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        hops=st.lists(
+            st.sampled_from(("edge-a", "region-a", "core")), min_size=1, max_size=4
+        ),
+        writes_between=st.integers(0, 3),
+    )
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    def test_version_monotone_and_exactly_once(self, seed, hops, writes_between):
+        platform = migration_platform(seed)
+        obj = platform.new_object("Counter", object_id="c-1")
+        acked = 0
+        last_version = 0
+        for zone in hops:
+            for _ in range(writes_between):
+                if platform.invoke(obj, "bump", {}).ok:
+                    acked += 1
+            summary = platform.migrate_object(obj, zone, cls="Counter")
+            # Version never regresses across a handoff, and the owner
+            # lands in the requested zone.
+            assert summary["version"] >= last_version
+            last_version = summary["version"]
+            assert summary["target_zone"] == zone
+            owner = platform.crm.dht_for("Counter").owner(obj)
+            assert platform.federation.planner.zone_of_node(owner).name == zone
+        for _ in range(writes_between):
+            if platform.invoke(obj, "bump", {}).ok:
+                acked += 1
+        # Exactly-once visibility: every acknowledged increment is
+        # present, no duplicates, regardless of the migration path.
+        assert platform.get_object(obj)["state"]["n"] == acked
+        platform.shutdown()
